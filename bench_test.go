@@ -1,0 +1,332 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablation benches for the design choices DESIGN.md calls out. Each bench
+// runs a scaled-down deterministic configuration per iteration; run
+//
+//	go test -bench=. -benchmem
+//
+// at the repository root, or use cmd/aqpbench for full-scale tabular
+// output.
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/diagnostic"
+	"repro/internal/estimator"
+	"repro/internal/exec"
+	"repro/internal/experiments"
+	"repro/internal/plan"
+	"repro/internal/rng"
+	"repro/internal/sql"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+// benchConfig is deliberately small: benchmarks measure per-iteration cost
+// of regenerating a figure, not statistical power.
+func benchConfig() experiments.Config {
+	cfg := experiments.Quick()
+	cfg.QueriesPerSet = 4
+	cfg.PopulationSize = 20000
+	cfg.SampleSize = 2000
+	cfg.Trials = 12
+	cfg.TruthP = 60
+	cfg.BootstrapK = 40
+	cfg.DiagP = 25
+	cfg.Workers = 4
+	return cfg
+}
+
+// BenchmarkFig1SampleSizes regenerates Fig. 1 (required sample size per
+// technique and target relative error).
+func BenchmarkFig1SampleSizes(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig1(cfg)
+		if len(res.Sizes) != 3 {
+			b.Fatal("malformed result")
+		}
+	}
+}
+
+// BenchmarkFig3EstimatorAccuracy regenerates Fig. 3 and the §3 statistics
+// (bootstrap & closed-form accuracy on both traces).
+func BenchmarkFig3EstimatorAccuracy(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig3(cfg)
+		if len(res.Bars) != 2 {
+			b.Fatal("malformed result")
+		}
+	}
+}
+
+// BenchmarkFig4bDiagnosticClosedForm regenerates Fig. 4(b).
+func BenchmarkFig4bDiagnosticClosedForm(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig4b(cfg)
+		if len(res.Bars) != 2 {
+			b.Fatal("malformed result")
+		}
+	}
+}
+
+// BenchmarkFig4cDiagnosticBootstrap regenerates Fig. 4(c).
+func BenchmarkFig4cDiagnosticBootstrap(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig4c(cfg)
+		if len(res.Bars) != 2 {
+			b.Fatal("malformed result")
+		}
+	}
+}
+
+// BenchmarkFig7NaivePipeline regenerates Fig. 7(a)+(b): naive per-query
+// latency on the simulated cluster.
+func BenchmarkFig7NaivePipeline(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig7(cfg)
+		if len(res.QSet1) == 0 || len(res.QSet2) == 0 {
+			b.Fatal("malformed result")
+		}
+	}
+}
+
+// BenchmarkFig8abPlanOptimizations regenerates Fig. 8(a)+(b): plan
+// optimization speedup CDFs.
+func BenchmarkFig8abPlanOptimizations(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig8ab(cfg)
+		if len(res.ErrQ2) == 0 {
+			b.Fatal("malformed result")
+		}
+	}
+}
+
+// BenchmarkFig8cParallelismSweep regenerates Fig. 8(c).
+func BenchmarkFig8cParallelismSweep(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig8c(cfg)
+		if len(res.Times) == 0 {
+			b.Fatal("malformed result")
+		}
+	}
+}
+
+// BenchmarkFig8dCacheSweep regenerates Fig. 8(d).
+func BenchmarkFig8dCacheSweep(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig8d(cfg)
+		if len(res.Times) == 0 {
+			b.Fatal("malformed result")
+		}
+	}
+}
+
+// BenchmarkFig8efPhysicalTuning regenerates Fig. 8(e)+(f).
+func BenchmarkFig8efPhysicalTuning(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig8ef(cfg)
+		if len(res.TotalQ2) == 0 {
+			b.Fatal("malformed result")
+		}
+	}
+}
+
+// BenchmarkFig9OptimizedPipeline regenerates Fig. 9(a)+(b).
+func BenchmarkFig9OptimizedPipeline(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig9(cfg)
+		if len(res.QSet1) == 0 {
+			b.Fatal("malformed result")
+		}
+	}
+}
+
+// --- End-to-end engine benchmarks (real execution, local) ---
+
+func benchEngine(b *testing.B, opts core.Config) *core.Engine {
+	b.Helper()
+	src := rng.New(1)
+	n := 200000
+	times := make(table.Float64Col, n)
+	cities := make(table.StringCol, n)
+	names := []string{"NYC", "SF", "LA", "CHI"}
+	for i := 0; i < n; i++ {
+		times[i] = src.LogNormal(4, 0.6)
+		cities[i] = names[src.Intn(len(names))]
+	}
+	tbl := table.MustNew(table.Schema{
+		{Name: "Time", Type: table.Float64},
+		{Name: "City", Type: table.String},
+	}, times, cities)
+	e := core.New(opts)
+	if err := e.RegisterTable("Sessions", tbl); err != nil {
+		b.Fatal(err)
+	}
+	if err := e.BuildSamples("Sessions", 40000); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkEnginePipelineOptimized measures the real local cost of the
+// fully optimized pipeline (answer + error bars + diagnostic, one scan).
+func BenchmarkEnginePipelineOptimized(b *testing.B) {
+	e := benchEngine(b, core.Config{Seed: 1, Workers: 8})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query("SELECT AVG(Time) FROM Sessions WHERE City = 'NYC'"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnginePipelineNaive measures the same query with both §5.3
+// rewrites disabled (the UNION-ALL-style execution path).
+func BenchmarkEnginePipelineNaive(b *testing.B) {
+	e := benchEngine(b, core.Config{Seed: 1, Workers: 8,
+		DisableScanConsolidation: true, DisableOperatorPushdown: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query("SELECT AVG(Time) FROM Sessions WHERE City = 'NYC'"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations ---
+
+// BenchmarkAblationPlanRewrites measures the 2x2 grid of §5.3 rewrites on
+// real local execution of a bootstrap-heavy query.
+func BenchmarkAblationPlanRewrites(b *testing.B) {
+	src := rng.New(2)
+	n := 100000
+	vals := make(table.Float64Col, n)
+	keys := make(table.StringCol, n)
+	for i := range vals {
+		vals[i] = src.LogNormal(3, 1)
+		if src.Float64() < 0.25 {
+			keys[i] = "keep"
+		} else {
+			keys[i] = "drop"
+		}
+	}
+	tables := map[string]*exec.StoredTable{"t": {
+		Data: table.MustNew(table.Schema{
+			{Name: "v", Type: table.Float64},
+			{Name: "k", Type: table.String},
+		}, vals, keys),
+		PopRows: n * 10,
+	}}
+	def, err := plan.Analyze(
+		sql.MustParse("SELECT PERCENTILE(v, 0.9) FROM t WHERE k = 'keep'").(*sql.Select), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid := []struct {
+		name                  string
+		consolidate, pushdown bool
+	}{
+		{"naive", false, false},
+		{"consolidate-only", true, false},
+		{"pushdown-only", false, true},
+		{"consolidate+pushdown", true, true},
+	}
+	for _, g := range grid {
+		b.Run(g.name, func(b *testing.B) {
+			opt := plan.DefaultOptions(n)
+			opt.BootstrapK = 40
+			opt.Diagnostics = false
+			opt.ScanConsolidation = g.consolidate
+			opt.OperatorPushdown = g.pushdown
+			p, err := plan.Build(def, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := exec.Run(p, tables, nil, exec.Config{Workers: 8, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDiagnosticP shows the accuracy-vs-cost effect of the
+// diagnostic's p parameter (the paper's "tens of thousands of subsample
+// queries" motivation).
+func BenchmarkAblationDiagnosticP(b *testing.B) {
+	src := rng.New(3)
+	s := make([]float64, 60000)
+	for i := range s {
+		s[i] = src.LogNormal(4, 0.7)
+	}
+	q := estimator.Query{Kind: estimator.Avg}
+	for _, p := range []int{25, 50, 100} {
+		b.Run(map[int]string{25: "p25", 50: "p50", 100: "p100"}[p], func(b *testing.B) {
+			cfg := diagnostic.DefaultConfig(len(s))
+			cfg.P = p
+			b3 := len(s) / (2 * p)
+			cfg.SubsampleSizes = []int{b3 / 4, b3 / 2, b3}
+			for i := 0; i < b.N; i++ {
+				if _, err := diagnostic.Run(rng.New(uint64(i)), s, q,
+					estimator.ClosedForm{}, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStragglerMitigation quantifies §6.3 on the simulator.
+func BenchmarkAblationStragglerMitigation(b *testing.B) {
+	shape := cluster.QueryShape{
+		SampleMB: 20000, SampleRows: 100e6, Selectivity: 0.5,
+		BootstrapK: 100, DiagSizes: []int{250000, 500000, 1000000}, DiagP: 100,
+		Consolidated: true, Pushdown: true, Fanout: 1,
+	}
+	for _, mit := range []bool{false, true} {
+		name := "without-mitigation"
+		if mit {
+			name = "with-mitigation"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := cluster.Default()
+			cfg.Mitigation = mit
+			cl, err := cluster.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total := 0.0
+			for i := 0; i < b.N; i++ {
+				total += cl.SimulateBreakdown(rng.New(uint64(i)), shape).Total()
+			}
+			b.ReportMetric(total/float64(b.N), "sim-seconds/query")
+		})
+	}
+}
+
+// BenchmarkWorkloadGeneration measures synthetic trace generation.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		trace := workload.Generate(workload.TraceConfig{
+			Kind: workload.Facebook, NumQueries: 10,
+			PopulationSize: 10000, Seed: uint64(i), AdversarialFraction: -1,
+		})
+		if len(trace) != 10 {
+			b.Fatal("bad trace")
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Command aqpgen materializes the synthetic benchmark to disk: per-trace
+// query manifests (JSON) and per-query data columns (CSV), playing the
+// role of the public benchmark the paper's authors released in place of
+// their proprietary traces.
+//
+//	aqpgen -out ./bench -trace facebook -queries 100 -rows 200000
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/workload"
+)
+
+// manifestEntry describes one generated query in the on-disk manifest.
+type manifestEntry struct {
+	ID           int     `json:"id"`
+	Name         string  `json:"name"`
+	Aggregate    string  `json:"aggregate"`
+	Percentile   float64 `json:"percentile,omitempty"`
+	UDF          string  `json:"udf,omitempty"`
+	Distribution string  `json:"distribution"`
+	Rows         int     `json:"rows"`
+	BytesPerRow  int     `json:"bytes_per_row"`
+	GroupFanout  int     `json:"group_fanout"`
+	DataFile     string  `json:"data_file"`
+	ClosedForm   bool    `json:"closed_form_ok"`
+}
+
+func main() {
+	out := flag.String("out", "bench", "output directory")
+	traceName := flag.String("trace", "facebook", "trace to mimic: facebook or conviva")
+	queries := flag.Int("queries", 50, "number of queries")
+	rows := flag.Int("rows", 100000, "population rows per query")
+	seed := flag.Uint64("seed", 2014, "random seed")
+	flag.Parse()
+
+	var kind workload.Kind
+	switch *traceName {
+	case "facebook":
+		kind = workload.Facebook
+	case "conviva":
+		kind = workload.Conviva
+	default:
+		fmt.Fprintf(os.Stderr, "aqpgen: unknown trace %q\n", *traceName)
+		os.Exit(2)
+	}
+
+	trace := workload.Generate(workload.TraceConfig{
+		Kind:                kind,
+		NumQueries:          *queries,
+		PopulationSize:      *rows,
+		Seed:                *seed,
+		AdversarialFraction: -1,
+	})
+
+	dir := filepath.Join(*out, kind.String())
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	manifest := make([]manifestEntry, 0, len(trace))
+	for _, q := range trace {
+		dataFile := fmt.Sprintf("q%04d.csv", q.ID)
+		if err := writeCSV(filepath.Join(dir, dataFile), q.Population); err != nil {
+			fatal(err)
+		}
+		manifest = append(manifest, manifestEntry{
+			ID:           q.ID,
+			Name:         q.Name(),
+			Aggregate:    q.Query.Kind.String(),
+			Percentile:   q.Query.Pct,
+			UDF:          q.UDFName,
+			Distribution: q.Dist.String(),
+			Rows:         len(q.Population),
+			BytesPerRow:  q.BytesPerRow,
+			GroupFanout:  q.GroupFanout,
+			DataFile:     dataFile,
+			ClosedForm:   q.ClosedFormOK(),
+		})
+	}
+	mf, err := os.Create(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		fatal(err)
+	}
+	defer mf.Close()
+	enc := json.NewEncoder(mf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(manifest); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("aqpgen: wrote %d queries to %s\n", len(manifest), dir)
+}
+
+func writeCSV(path string, values []float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	if err := w.Write([]string{"value"}); err != nil {
+		return err
+	}
+	for _, v := range values {
+		if err := w.Write([]string{strconv.FormatFloat(v, 'g', -1, 64)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aqpgen:", err)
+	os.Exit(1)
+}

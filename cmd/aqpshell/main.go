@@ -1,0 +1,269 @@
+// Command aqpshell is an interactive approximate-SQL shell over a built-in
+// demo dataset: a Sessions table of user session times across cities,
+// sampled BlinkDB-style. Every aggregate query returns an answer with
+// error bars and a diagnostic verdict; rejected queries fall back to exact
+// execution automatically.
+//
+//	$ aqpshell
+//	aqp> SELECT AVG(Time) FROM Sessions WHERE City = 'NYC'
+//	avg = 60.13 ± 0.41 (95% CI, closed-form, diagnostic OK) [sample 100000 rows, 21ms]
+//
+// Commands:
+//
+//	\explain <sql>    show the logical plan
+//	\exact <sql>      run on the full dataset
+//	\bound <e> <sql>  answer within relative error e (escalates samples)
+//	\time <s> <sql>   answer within a time budget of s seconds
+//	\tables           list tables
+//	\help             this text
+//	\quit             exit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/table"
+)
+
+const demoRows = 1000000
+
+func buildDemo() (*core.Engine, error) {
+	src := rng.New(42)
+	times := make(table.Float64Col, demoRows)
+	cities := make(table.StringCol, demoRows)
+	bytes := make(table.Float64Col, demoRows)
+	names := []string{"NYC", "SF", "LA", "CHI", "SEA", "BOS"}
+	zipf := rng.NewZipf(src, len(names), 1.1)
+	for i := 0; i < demoRows; i++ {
+		cities[i] = names[zipf.Next()]
+		times[i] = src.LogNormal(4, 0.6)         // session seconds, median ~55s
+		bytes[i] = src.Pareto(10000, 1.3) / 1000 // KB transferred, heavy tail
+	}
+	tbl := table.MustNew(table.Schema{
+		{Name: "Time", Type: table.Float64},
+		{Name: "City", Type: table.String},
+		{Name: "KB", Type: table.Float64},
+	}, times, cities, bytes)
+
+	e := core.New(core.Config{Seed: 42, Workers: 8})
+	if err := e.RegisterTable("Sessions", tbl); err != nil {
+		return nil, err
+	}
+	e.RegisterUDF("TRIMMEDMEAN", func(values, weights []float64) float64 {
+		var m stats.Moments
+		for i, v := range values {
+			w := 1.0
+			if weights != nil {
+				w = weights[i]
+			}
+			m.AddWeighted(v, w)
+		}
+		// Clamp influence of extremes by winsorizing at a fixed cap.
+		var c stats.Moments
+		cap95 := m.Mean() + 3*m.Stddev()
+		for i, v := range values {
+			w := 1.0
+			if weights != nil {
+				w = weights[i]
+			}
+			if v > cap95 {
+				v = cap95
+			}
+			c.AddWeighted(v, w)
+		}
+		return c.Mean()
+	})
+	if err := e.BuildSamples("Sessions", 10000, 100000); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func main() {
+	fmt.Println("aqpshell — approximate query processing with reliable error bars")
+	fmt.Println("demo table: Sessions(Time FLOAT64, City STRING, KB FLOAT64),",
+		demoRows, "rows; samples: 10k, 100k")
+	fmt.Println(`type \help for commands`)
+	engine, err := buildDemo()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aqpshell:", err)
+		os.Exit(1)
+	}
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("aqp> ")
+		if !scanner.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		switch {
+		case line == `\quit` || line == `\q` || line == "exit":
+			return
+		case line == `\help`:
+			fmt.Println(`  <sql>             approximate answer with error bars
+  \explain <sql>    show the logical plan
+  \exact <sql>      run on the full dataset
+  \bound <e> <sql>  answer within relative error e
+  \time <s> <sql>   answer within a time budget of s seconds
+  \load <csv> <name> <types> [rows]  load a CSV table and sample it
+  \tables           list tables
+  \quit             exit`)
+		case strings.HasPrefix(line, `\load `):
+			// \load <csv-path> <table-name> <type,type,...> [sample-rows]
+			args := strings.Fields(strings.TrimPrefix(line, `\load `))
+			if len(args) < 3 {
+				fmt.Println(`usage: \load <csv> <name> <float|int|string,...> [sample-rows]`)
+				continue
+			}
+			if err := loadCSV(engine, args); err != nil {
+				fmt.Println("error:", err)
+			}
+		case line == `\tables`:
+			fmt.Println("  Sessions(Time FLOAT64, City STRING, KB FLOAT64) —",
+				demoRows, "rows, samples 10k/100k; UDF: TRIMMEDMEAN(col)")
+		case strings.HasPrefix(line, `\explain `):
+			out, err := engine.Explain(strings.TrimPrefix(line, `\explain `))
+			report(out, err)
+		case strings.HasPrefix(line, `\exact `):
+			ans, err := engine.QueryExact(strings.TrimPrefix(line, `\exact `))
+			printAnswer(ans, err)
+		case strings.HasPrefix(line, `\time `):
+			rest := strings.TrimPrefix(line, `\time `)
+			fields := strings.SplitN(rest, " ", 2)
+			if len(fields) != 2 {
+				fmt.Println(`usage: \time <seconds> <sql>`)
+				continue
+			}
+			secs, err := strconv.ParseFloat(fields[0], 64)
+			if err != nil || secs <= 0 {
+				fmt.Println("bad time budget:", fields[0])
+				continue
+			}
+			ans, err := engine.QueryWithTimeBudget(fields[1],
+				time.Duration(secs*float64(time.Second)))
+			printAnswer(ans, err)
+		case strings.HasPrefix(line, `\bound `):
+			rest := strings.TrimPrefix(line, `\bound `)
+			fields := strings.SplitN(rest, " ", 2)
+			if len(fields) != 2 {
+				fmt.Println(`usage: \bound <relative-error> <sql>`)
+				continue
+			}
+			bound, err := strconv.ParseFloat(fields[0], 64)
+			if err != nil {
+				fmt.Println("bad bound:", err)
+				continue
+			}
+			ans, err := engine.QueryWithErrorBound(fields[1], bound)
+			printAnswer(ans, err)
+		default:
+			ans, err := engine.Query(line)
+			printAnswer(ans, err)
+		}
+	}
+}
+
+// loadCSV registers a CSV file as a table and builds a sample over it.
+func loadCSV(engine *core.Engine, args []string) error {
+	path, name := args[0], args[1]
+	var types []table.Type
+	for _, tname := range strings.Split(args[2], ",") {
+		switch strings.ToLower(strings.TrimSpace(tname)) {
+		case "float", "float64":
+			types = append(types, table.Float64)
+		case "int", "int64":
+			types = append(types, table.Int64)
+		case "string", "str":
+			types = append(types, table.String)
+		default:
+			return fmt.Errorf("unknown column type %q", tname)
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tbl, err := table.ReadCSV(f, types)
+	if err != nil {
+		return err
+	}
+	if err := engine.RegisterTable(name, tbl); err != nil {
+		return err
+	}
+	sampleRows := tbl.NumRows() / 10
+	if len(args) > 3 {
+		if v, err := strconv.Atoi(args[3]); err == nil {
+			sampleRows = v
+		}
+	}
+	if sampleRows > 0 && sampleRows < tbl.NumRows() {
+		if err := engine.BuildSamples(name, sampleRows); err != nil {
+			return err
+		}
+		fmt.Printf("loaded %s: %d rows, sampled %d\n", name, tbl.NumRows(), sampleRows)
+	} else {
+		fmt.Printf("loaded %s: %d rows (no sample; queries run exactly)\n", name, tbl.NumRows())
+	}
+	return nil
+}
+
+func report(out string, err error) {
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(out)
+}
+
+func printAnswer(ans *core.Answer, err error) {
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, g := range ans.Groups {
+		prefix := ""
+		if g.Key != "" {
+			prefix = g.Key + ": "
+		}
+		for _, a := range g.Aggs {
+			diag := "diagnostic OK"
+			if !a.DiagnosticOK {
+				diag = "diagnostic REJECTED → " + describeFallback(a)
+			}
+			if a.Exact && a.DiagnosticOK {
+				fmt.Printf("%s%s = %.6g (exact)\n", prefix, a.Name, a.Estimate)
+				continue
+			}
+			fmt.Printf("%s%s = %.6g ± %.3g (95%% CI, %s, %s)\n",
+				prefix, a.Name, a.Estimate, a.ErrorBar.HalfWidth, a.Technique, diag)
+		}
+	}
+	if ans.SampleRows > 0 {
+		fmt.Printf("[sample %d rows, %v, %d scan(s)]\n",
+			ans.SampleRows, ans.Elapsed.Round(1000), ans.Counters.Scans)
+	} else {
+		fmt.Printf("[full data, %v]\n", ans.Elapsed.Round(1000))
+	}
+}
+
+func describeFallback(a core.AggAnswer) string {
+	if a.Exact {
+		return "answered exactly"
+	}
+	return "approximation kept (fallback disabled)"
+}

@@ -1,0 +1,348 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// paperShape is a typical QSet query: a 20 GB / 100M-row sample, 50%
+// selectivity, K=100 bootstrap, the paper's diagnostic ladder.
+func paperShape(consolidated, pushed, closedForm bool) QueryShape {
+	k := 100
+	if closedForm {
+		k = 0 // QSet-1: error bars come from closed forms, not resamples
+	}
+	return QueryShape{
+		SampleMB:     20000,
+		SampleRows:   100e6,
+		Selectivity:  0.5,
+		BootstrapK:   k,
+		DiagSizes:    []int{250000, 500000, 1000000}, // ~50/100/200MB at 200B/row
+		DiagP:        100,
+		ClosedForm:   closedForm,
+		Consolidated: consolidated,
+		Pushdown:     pushed,
+		Fanout:       1,
+	}
+}
+
+func mustCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := Default()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Machines = 0 },
+		func(c *Config) { c.SlotsPerMachine = 0 },
+		func(c *Config) { c.DiskMBps = 0 },
+		func(c *Config) { c.MemMBps = -1 },
+		func(c *Config) { c.CacheFraction = 1.5 },
+		func(c *Config) { c.TargetPartitionMB = 0 },
+	}
+	for i, mutate := range cases {
+		cfg := Default()
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	cl := mustCluster(t, Default())
+	s := paperShape(true, true, true)
+	a := cl.SimulateBreakdown(rng.New(1), s)
+	b := cl.SimulateBreakdown(rng.New(1), s)
+	if a != b {
+		t.Fatal("same seed produced different simulated times")
+	}
+}
+
+func TestOptimizedPipelineIsInteractive(t *testing.T) {
+	// The headline: the fully optimized pipeline answers in a few
+	// seconds (Fig. 9), for both closed-form and bootstrap queries.
+	cl := mustCluster(t, Default())
+	for _, closedForm := range []bool{true, false} {
+		s := paperShape(true, true, closedForm)
+		b := cl.SimulateBreakdown(rng.New(2), s)
+		if b.Total() > 12 {
+			t.Errorf("optimized total (closedForm=%v) = %.1fs, want interactive (<12s)",
+				closedForm, b.Total())
+		}
+		if b.Total() < 0.05 {
+			t.Errorf("optimized total = %.3fs implausibly fast", b.Total())
+		}
+	}
+}
+
+func TestNaivePipelineTakesMinutes(t *testing.T) {
+	// Fig. 7: the §5.2 rewrite takes minutes, dominated by diagnostics.
+	cl := mustCluster(t, Default())
+	s := paperShape(false, false, false) // QSet-2 flavour, bootstrap ξ
+	b := cl.SimulateBreakdown(rng.New(3), s)
+	if b.Total() < 60 {
+		t.Errorf("naive bootstrap total = %.1fs, want minutes", b.Total())
+	}
+	if b.DiagSec < b.ErrorSec {
+		t.Errorf("naive diagnostics (%.1fs) should dominate error estimation (%.1fs)",
+			b.DiagSec, b.ErrorSec)
+	}
+}
+
+func TestSpeedupShapesMatchFig8(t *testing.T) {
+	// Fig. 8(a)/(b): plan optimizations speed up error estimation by
+	// ~1-2x (QSet-1) vs 20-60x (QSet-2), and diagnostics by 5-20x vs
+	// 20-100x.
+	cl := mustCluster(t, Default())
+	src := rng.New(4)
+
+	// QSet-2 (bootstrap) speedups are much larger than QSet-1
+	// (closed-form) speedups.
+	naive2 := cl.SimulateBreakdown(src, paperShape(false, false, false))
+	opt2 := cl.SimulateBreakdown(src, paperShape(true, true, false))
+	naive1 := cl.SimulateBreakdown(src, paperShape(false, false, true))
+	opt1 := cl.SimulateBreakdown(src, paperShape(true, true, true))
+
+	errSpeedup2 := naive2.ErrorSec / opt2.ErrorSec
+	errSpeedup1 := naive1.ErrorSec / opt1.ErrorSec
+	diagSpeedup2 := naive2.DiagSec / opt2.DiagSec
+	diagSpeedup1 := naive1.DiagSec / opt1.DiagSec
+
+	if errSpeedup2 < 10 {
+		t.Errorf("QSet-2 error-estimation speedup = %.1fx, want >= 10x", errSpeedup2)
+	}
+	if diagSpeedup2 < 20 {
+		t.Errorf("QSet-2 diagnostics speedup = %.1fx, want >= 20x", diagSpeedup2)
+	}
+	if diagSpeedup1 < 2 {
+		t.Errorf("QSet-1 diagnostics speedup = %.1fx, want >= 2x", diagSpeedup1)
+	}
+	// QSet-1 error bars come from closed forms in both plans, so the big
+	// error-estimation wins belong to QSet-2 (Fig. 8(a) vs 8(b)).
+	if errSpeedup2 < 2*errSpeedup1 {
+		t.Errorf("bootstrap error estimation should gain far more than closed forms (%.1fx vs %.1fx)",
+			errSpeedup2, errSpeedup1)
+	}
+}
+
+func TestParallelismUShape(t *testing.T) {
+	// Fig. 8(c): latency vs machine count is U-shaped with the optimum
+	// at a moderate cluster size, not at the maximum.
+	src := rng.New(5)
+	s := paperShape(true, true, false)
+	var times []float64
+	machines := []int{5, 10, 20, 40, 80, 160}
+	for _, m := range machines {
+		cfg := Default()
+		cfg.Machines = m
+		cfg.StragglerProb = 0 // isolate the deterministic tradeoff
+		cl := mustCluster(t, cfg)
+		times = append(times, cl.SimulateBreakdown(src, s).Total())
+	}
+	best := 0
+	for i, v := range times {
+		if v < times[best] {
+			best = i
+		}
+	}
+	if best == 0 || best == len(times)-1 {
+		t.Errorf("no interior optimum: times=%v (best=%d machines)", times, machines[best])
+	}
+	// The largest cluster must be measurably worse than the best.
+	if times[len(times)-1] < times[best]*1.05 {
+		t.Errorf("over-parallelization shows no penalty: %v", times)
+	}
+}
+
+func TestCacheFractionUShape(t *testing.T) {
+	// Fig. 8(d): latency vs cache fraction is U-shaped with the optimum
+	// in the interior (paper: 30-40%).
+	src := rng.New(6)
+	s := paperShape(true, true, false)
+	fractions := []float64{0, 0.2, 0.35, 0.6, 0.9}
+	var times []float64
+	for _, f := range fractions {
+		cfg := Default()
+		cfg.CacheFraction = f
+		cfg.StragglerProb = 0
+		cl := mustCluster(t, cfg)
+		times = append(times, cl.SimulateBreakdown(src, s).Total())
+	}
+	best := 0
+	for i, v := range times {
+		if v < times[best] {
+			best = i
+		}
+	}
+	if best == 0 || best == len(times)-1 {
+		t.Errorf("no interior cache optimum: fractions=%v times=%v", fractions, times)
+	}
+	if !(fractions[best] >= 0.2 && fractions[best] <= 0.6) {
+		t.Errorf("cache optimum at %v, want within [0.2, 0.6]: %v", fractions[best], times)
+	}
+}
+
+func TestStragglerMitigationHelps(t *testing.T) {
+	s := paperShape(true, true, false)
+	with := Default()
+	with.Mitigation = true
+	without := Default()
+	without.Mitigation = false
+	clWith := mustCluster(t, with)
+	clWithout := mustCluster(t, without)
+	// Average over several seeds: mitigation should win on average.
+	var sumWith, sumWithout float64
+	const trials = 30
+	for i := uint64(0); i < trials; i++ {
+		sumWith += clWith.SimulateBreakdown(rng.New(100+i), s).Total()
+		sumWithout += clWithout.SimulateBreakdown(rng.New(100+i), s).Total()
+	}
+	if sumWith >= sumWithout {
+		t.Errorf("mitigation did not help: %.1fs vs %.1fs", sumWith/trials, sumWithout/trials)
+	}
+}
+
+func TestCacheHitSpeedsScans(t *testing.T) {
+	cold := Default()
+	cold.CacheFraction = 0
+	cold.StragglerProb = 0
+	hot := Default()
+	hot.CacheFraction = 0.3
+	hot.StragglerProb = 0
+	// Pure scan workload (no intermediate state → no spill).
+	w := Workload{Subqueries: []Subquery{{Count: 1, MB: 20000, Rows: 1e8, RowOps: 1}}}
+	tCold := mustClusterT(t, cold).Simulate(rng.New(7), w)
+	tHot := mustClusterT(t, hot).Simulate(rng.New(7), w)
+	if tHot >= tCold {
+		t.Errorf("cache did not speed scan: hot %.2fs vs cold %.2fs", tHot, tCold)
+	}
+}
+
+func mustClusterT(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	return mustCluster(t, cfg)
+}
+
+func TestEmptyWorkloadIsFree(t *testing.T) {
+	cl := mustCluster(t, Default())
+	if got := cl.Simulate(rng.New(8), Workload{}); got != 0 {
+		t.Errorf("empty workload cost %v", got)
+	}
+}
+
+func TestWorkloadComponentsScaleWithK(t *testing.T) {
+	cl := mustCluster(t, Default())
+	small := paperShape(false, false, false)
+	small.BootstrapK = 10
+	big := paperShape(false, false, false)
+	big.BootstrapK = 100
+	src := rng.New(9)
+	tSmall := cl.Simulate(src, small.ErrorEstimationWorkload())
+	tBig := cl.Simulate(src, big.ErrorEstimationWorkload())
+	ratio := tBig / tSmall
+	if ratio < 5 || ratio > 15 {
+		t.Errorf("naive error estimation should scale ~linearly with K: ratio %.1f", ratio)
+	}
+}
+
+func TestPushdownReducesConsolidatedCost(t *testing.T) {
+	cl := mustCluster(t, Default())
+	src := rng.New(10)
+	pushed := paperShape(true, true, false)
+	pushed.Selectivity = 0.05 // highly selective filter
+	unpushed := pushed
+	unpushed.Pushdown = false
+	tPushed := cl.Simulate(src, pushed.ErrorEstimationWorkload())
+	tUnpushed := cl.Simulate(src, unpushed.ErrorEstimationWorkload())
+	if tPushed >= tUnpushed {
+		t.Errorf("pushdown did not pay off: %.3fs vs %.3fs", tPushed, tUnpushed)
+	}
+}
+
+func TestConsolidatedIntermediateAccounting(t *testing.T) {
+	cl := mustCluster(t, Default())
+	s := paperShape(true, true, false)
+	mb := cl.ConsolidatedIntermediateMB(s)
+	if mb <= 0 {
+		t.Error("consolidated plan should have intermediate state")
+	}
+	// Narrower rows mean more rows per partition and thus more in-flight
+	// weight state.
+	narrow := s
+	narrow.SampleRows = 4 * s.SampleRows
+	if cl.ConsolidatedIntermediateMB(narrow) <= mb {
+		t.Error("narrow rows should increase in-flight weight state")
+	}
+	s.Consolidated = false
+	if cl.ConsolidatedIntermediateMB(s) != 0 {
+		t.Error("naive plan should have no consolidated intermediate state")
+	}
+	s.Consolidated = true
+	s.BootstrapK = 0
+	if cl.ConsolidatedIntermediateMB(s) != 0 {
+		t.Error("closed-form pipeline should have no weight state")
+	}
+}
+
+func TestFanoutIncreasesCollectionCost(t *testing.T) {
+	cl := mustCluster(t, Default())
+	src := rng.New(11)
+	narrow := paperShape(true, true, true)
+	wide := narrow
+	wide.Fanout = 64
+	tNarrow := cl.SimulateBreakdown(src, narrow).QuerySec
+	tWide := cl.SimulateBreakdown(src, wide).QuerySec
+	if tWide <= tNarrow {
+		t.Errorf("fanout did not increase collection cost: %.3f vs %.3f", tWide, tNarrow)
+	}
+}
+
+func TestHitRatioBounds(t *testing.T) {
+	cfg := Default()
+	cfg.CacheFraction = 1
+	cfg.StoredSampleMB = 1 // everything fits
+	cl := mustCluster(t, cfg)
+	if h := cl.hitRatio(); h != 1 {
+		t.Errorf("hit ratio = %v, want clamped to 1", h)
+	}
+	cfg2 := Default()
+	cfg2.CacheFraction = 0
+	cl2 := mustCluster(t, cfg2)
+	if h := cl2.hitRatio(); h != 0 {
+		t.Errorf("zero cache hit ratio = %v", h)
+	}
+}
+
+func TestBreakdownTotal(t *testing.T) {
+	b := Breakdown{QuerySec: 1, ErrorSec: 2, DiagSec: 3}
+	if b.Total() != 6 {
+		t.Errorf("Total = %v", b.Total())
+	}
+}
+
+func TestSimulatedTimesArePositiveAndFinite(t *testing.T) {
+	cl := mustCluster(t, Default())
+	src := rng.New(12)
+	for _, consolidated := range []bool{true, false} {
+		for _, closedForm := range []bool{true, false} {
+			b := cl.SimulateBreakdown(src, paperShape(consolidated, consolidated, closedForm))
+			for _, v := range []float64{b.QuerySec, b.ErrorSec, b.DiagSec} {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					t.Fatalf("degenerate simulated time %v (consolidated=%v closedForm=%v)",
+						v, consolidated, closedForm)
+				}
+			}
+		}
+	}
+}

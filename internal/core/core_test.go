@@ -1,0 +1,407 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/table"
+)
+
+// buildSessions registers a Sessions table of n rows on a fresh engine.
+func buildSessions(t *testing.T, cfg Config, n int) (*Engine, *table.Table) {
+	t.Helper()
+	src := rng.New(999)
+	times := make(table.Float64Col, n)
+	cities := make(table.StringCol, n)
+	names := []string{"NYC", "SF", "LA", "CHI"}
+	for i := 0; i < n; i++ {
+		times[i] = 60 + 20*src.NormFloat64()
+		cities[i] = names[src.Intn(len(names))]
+	}
+	tbl := table.MustNew(table.Schema{
+		{Name: "Time", Type: table.Float64},
+		{Name: "City", Type: table.String},
+	}, times, cities)
+	e := New(cfg)
+	if err := e.RegisterTable("Sessions", tbl); err != nil {
+		t.Fatal(err)
+	}
+	return e, tbl
+}
+
+// heavyTailTable registers a table whose values break MAX estimation.
+func heavyTailTable(t *testing.T, cfg Config, n int) *Engine {
+	t.Helper()
+	src := rng.New(777)
+	vals := make(table.Float64Col, n)
+	for i := range vals {
+		vals[i] = src.Pareto(1, 1.05)
+	}
+	tbl := table.MustNew(table.Schema{{Name: "v", Type: table.Float64}}, vals)
+	e := New(cfg)
+	if err := e.RegisterTable("T", tbl); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestRegisterValidation(t *testing.T) {
+	e := New(Config{Seed: 1})
+	if err := e.RegisterTable("", nil); err == nil {
+		t.Error("empty registration accepted")
+	}
+	tbl := table.MustNew(table.Schema{{Name: "x", Type: table.Float64}},
+		table.Float64Col{1})
+	if err := e.RegisterTable("t", tbl); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterTable("t", tbl); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := e.BuildSamples("nope", 10); err == nil {
+		t.Error("samples on unknown table accepted")
+	}
+	if err := e.BuildSamples("t", 100); err == nil {
+		t.Error("oversized sample accepted")
+	}
+}
+
+func TestExactQueryWithoutSamples(t *testing.T) {
+	e, tbl := buildSessions(t, Config{Seed: 2}, 20000)
+	ans, err := e.Query("SELECT AVG(Time) FROM Sessions WHERE City = 'NYC'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := ans.Groups[0].Aggs[0]
+	if !agg.Exact || agg.Technique != "exact" {
+		t.Error("sampleless query should execute exactly")
+	}
+	// Verify against manual computation.
+	cities := tbl.ColumnByName("City").(table.StringCol)
+	times := tbl.ColumnByName("Time").(table.Float64Col)
+	var m stats.Moments
+	for i := range cities {
+		if cities[i] == "NYC" {
+			m.Add(times[i])
+		}
+	}
+	if math.Abs(agg.Estimate-m.Mean()) > 1e-9 {
+		t.Errorf("exact AVG = %v, want %v", agg.Estimate, m.Mean())
+	}
+	if agg.ErrorBar.HalfWidth != 0 {
+		t.Error("exact answers have zero-width error bars")
+	}
+}
+
+func TestApproximateQueryWithErrorBars(t *testing.T) {
+	e, tbl := buildSessions(t, Config{Seed: 3}, 100000)
+	if err := e.BuildSamples("Sessions", 20000); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := e.Query("SELECT AVG(Time) FROM Sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.SampleRows != 20000 {
+		t.Errorf("sample rows = %d", ans.SampleRows)
+	}
+	agg := ans.Groups[0].Aggs[0]
+	if agg.Exact {
+		t.Fatal("expected approximate execution")
+	}
+	if agg.Technique != "closed-form" {
+		t.Errorf("technique = %q, want closed-form for AVG", agg.Technique)
+	}
+	// The error bar must bracket the true answer (95% CI; seed chosen to
+	// pass).
+	times, _ := tbl.Float64ColumnByName("Time")
+	truth := stats.Mean(times)
+	if !agg.ErrorBar.Contains(truth) {
+		t.Errorf("error bar %v misses truth %v", agg.ErrorBar, truth)
+	}
+	if !agg.DiagnosticOK {
+		t.Errorf("diagnostic rejected AVG on Gaussian data: %s", agg.DiagnosticReason)
+	}
+	if agg.RelErr <= 0 || agg.RelErr > 0.05 {
+		t.Errorf("relative error = %v, want small and positive", agg.RelErr)
+	}
+}
+
+func TestScaledCountEstimatesPopulation(t *testing.T) {
+	e, _ := buildSessions(t, Config{Seed: 4}, 80000)
+	if err := e.BuildSamples("Sessions", 8000); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := e.Query("SELECT COUNT(*) FROM Sessions WHERE City = 'NYC'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := e.QueryExact("SELECT COUNT(*) FROM Sessions WHERE City = 'NYC'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := ans.Groups[0].Aggs[0]
+	truth := exact.Groups[0].Aggs[0].Estimate
+	if relDiff := math.Abs(approx.Estimate-truth) / truth; relDiff > 0.1 {
+		t.Errorf("approximate COUNT %v vs exact %v (%.1f%% off)",
+			approx.Estimate, truth, 100*relDiff)
+	}
+	if !approx.ErrorBar.Contains(truth) {
+		t.Errorf("COUNT error bar %v misses truth %v", approx.ErrorBar, truth)
+	}
+}
+
+func TestBootstrapTechniqueForComplexAggregates(t *testing.T) {
+	// Percentiles at small diagnostic subsample sizes are legitimately
+	// noisy; this test is about technique selection, so skip diagnostics.
+	e, _ := buildSessions(t, Config{Seed: 5, BootstrapK: 50, SkipDiagnostics: true}, 60000)
+	if err := e.BuildSamples("Sessions", 20000); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := e.Query("SELECT PERCENTILE(Time, 0.9) FROM Sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := ans.Groups[0].Aggs[0]
+	if agg.Technique != "bootstrap" {
+		t.Errorf("technique = %q, want bootstrap for PERCENTILE", agg.Technique)
+	}
+	if agg.ErrorBar.HalfWidth <= 0 {
+		t.Error("bootstrap error bar missing")
+	}
+}
+
+func TestUDFQueryEndToEnd(t *testing.T) {
+	e, _ := buildSessions(t, Config{Seed: 6, BootstrapK: 40}, 60000)
+	if err := e.BuildSamples("Sessions", 20000); err != nil {
+		t.Fatal(err)
+	}
+	e.RegisterUDF("trimmed", func(values, weights []float64) float64 {
+		var m stats.Moments
+		for i, v := range values {
+			w := 1.0
+			if weights != nil {
+				w = weights[i]
+			}
+			if v > 0 && v < 150 {
+				m.AddWeighted(v, w)
+			}
+		}
+		return m.Mean()
+	})
+	ans, err := e.Query("SELECT TRIMMED(Time) FROM Sessions WHERE City = 'SF'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := ans.Groups[0].Aggs[0]
+	if agg.Technique != "bootstrap" {
+		t.Errorf("UDF technique = %q", agg.Technique)
+	}
+	if math.IsNaN(agg.Estimate) {
+		t.Error("UDF estimate NaN")
+	}
+}
+
+func TestDiagnosticRejectionTriggersExactFallback(t *testing.T) {
+	e := heavyTailTable(t, Config{Seed: 7, BootstrapK: 40}, 120000)
+	if err := e.BuildSamples("T", 40000); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := e.Query("SELECT MAX(v) FROM T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := ans.Groups[0].Aggs[0]
+	if agg.DiagnosticOK {
+		t.Fatal("diagnostic accepted MAX on extreme Pareto data")
+	}
+	if !agg.Exact {
+		t.Fatal("rejected aggregate did not fall back to exact execution")
+	}
+	if !ans.FellBack() {
+		t.Error("FellBack() should report the fallback")
+	}
+	// The exact answer is the true maximum.
+	exact, _ := e.QueryExact("SELECT MAX(v) FROM T")
+	if agg.Estimate != exact.Groups[0].Aggs[0].Estimate {
+		t.Error("fallback answer does not match exact execution")
+	}
+	if agg.DiagnosticReason == "" {
+		t.Error("fallback should preserve the rejection reason")
+	}
+}
+
+func TestDisableFallbackKeepsApproximation(t *testing.T) {
+	e := heavyTailTable(t, Config{Seed: 8, BootstrapK: 40, DisableFallback: true}, 120000)
+	if err := e.BuildSamples("T", 40000); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := e.Query("SELECT MAX(v) FROM T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := ans.Groups[0].Aggs[0]
+	if agg.DiagnosticOK {
+		t.Fatal("diagnostic accepted MAX on extreme Pareto data")
+	}
+	if agg.Exact {
+		t.Error("fallback ran despite being disabled")
+	}
+}
+
+func TestQueryWithErrorBoundEscalates(t *testing.T) {
+	e, _ := buildSessions(t, Config{Seed: 9, SkipDiagnostics: true}, 200000)
+	if err := e.BuildSamples("Sessions", 2000, 20000, 100000); err != nil {
+		t.Fatal(err)
+	}
+	// A loose bound is satisfied by the smallest sample.
+	loose, err := e.QueryWithErrorBound("SELECT AVG(Time) FROM Sessions", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.SampleRows != 2000 {
+		t.Errorf("loose bound used %d rows, want smallest (2000)", loose.SampleRows)
+	}
+	// A tight bound needs a bigger sample.
+	tight, err := e.QueryWithErrorBound("SELECT AVG(Time) FROM Sessions", 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.SampleRows <= 2000 && !tight.FellBack() {
+		t.Errorf("tight bound satisfied suspiciously by %d rows", tight.SampleRows)
+	}
+	if tight.Groups[0].Aggs[0].RelErr > 0.002 && !tight.Groups[0].Aggs[0].Exact {
+		t.Errorf("tight bound missed: relErr %v", tight.Groups[0].Aggs[0].RelErr)
+	}
+	// An impossible bound falls back to exact.
+	impossible, err := e.QueryWithErrorBound("SELECT AVG(Time) FROM Sessions", 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !impossible.Groups[0].Aggs[0].Exact {
+		t.Error("impossible bound should fall back to exact execution")
+	}
+	if _, err := e.QueryWithErrorBound("SELECT AVG(Time) FROM Sessions", -1); err == nil {
+		t.Error("negative bound accepted")
+	}
+}
+
+func TestGroupByAnswers(t *testing.T) {
+	e, _ := buildSessions(t, Config{Seed: 10, SkipDiagnostics: true}, 100000)
+	if err := e.BuildSamples("Sessions", 40000); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := e.Query("SELECT City, AVG(Time) FROM Sessions GROUP BY City")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Groups) != 4 {
+		t.Fatalf("groups = %d", len(ans.Groups))
+	}
+	exact, err := e.QueryExact("SELECT City, AVG(Time) FROM Sessions GROUP BY City")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range ans.Groups {
+		truth := exact.Groups[i].Aggs[0].Estimate
+		if g.Key != exact.Groups[i].Key {
+			t.Fatalf("group keys diverge: %q vs %q", g.Key, exact.Groups[i].Key)
+		}
+		if !g.Aggs[0].ErrorBar.Contains(truth) {
+			t.Errorf("group %s error bar %v misses truth %v",
+				g.Key, g.Aggs[0].ErrorBar, truth)
+		}
+	}
+}
+
+func TestExplain(t *testing.T) {
+	e, _ := buildSessions(t, Config{Seed: 11}, 50000)
+	if err := e.BuildSamples("Sessions", 20000); err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Explain("SELECT AVG(Time) FROM Sessions WHERE City = 'NYC'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Scan(Sessions)", "Filter", "Aggregate", "Diagnostic"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	e, _ := buildSessions(t, Config{Seed: 12}, 1000)
+	cases := []string{
+		"not sql",
+		"SELECT AVG(Time) FROM NoSuch",
+		"SELECT NOSUCHUDF(Time) FROM Sessions",
+		"SELECT AVG(Time) FROM Sessions UNION ALL SELECT AVG(Time) FROM Sessions",
+	}
+	for _, q := range cases {
+		if _, err := e.Query(q); err == nil {
+			t.Errorf("Query(%q) unexpectedly succeeded", q)
+		}
+	}
+}
+
+func TestSimulatedBreakdownAttached(t *testing.T) {
+	cl, err := cluster.New(cluster.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := buildSessions(t, Config{Seed: 13, Cluster: cl, LogicalSampleMB: 20000}, 100000)
+	if err := e.BuildSamples("Sessions", 20000); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := e.Query("SELECT AVG(Time) FROM Sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Simulated == nil {
+		t.Fatal("simulated breakdown missing")
+	}
+	if ans.Simulated.Total() <= 0 || ans.Simulated.Total() > 60 {
+		t.Errorf("simulated total = %v s, want interactive-scale", ans.Simulated.Total())
+	}
+}
+
+func TestCountersExposedOnAnswer(t *testing.T) {
+	e, _ := buildSessions(t, Config{Seed: 14, SkipDiagnostics: true}, 50000)
+	if err := e.BuildSamples("Sessions", 10000); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := e.Query("SELECT AVG(Time) FROM Sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Counters.Scans < 1 || ans.Counters.RowsScanned != 10000 {
+		t.Errorf("counters: %+v", ans.Counters)
+	}
+	if ans.Elapsed <= 0 {
+		t.Error("elapsed time not measured")
+	}
+}
+
+func TestMixedAggregateQuery(t *testing.T) {
+	// AVG uses closed form while MAX uses the bootstrap, in one query.
+	e, _ := buildSessions(t, Config{Seed: 15, BootstrapK: 40, SkipDiagnostics: true}, 60000)
+	if err := e.BuildSamples("Sessions", 20000); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := e.Query("SELECT AVG(Time), MAX(Time) FROM Sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggs := ans.Groups[0].Aggs
+	if aggs[0].Technique != "closed-form" {
+		t.Errorf("AVG technique = %q", aggs[0].Technique)
+	}
+	if aggs[1].Technique != "bootstrap" {
+		t.Errorf("MAX technique = %q", aggs[1].Technique)
+	}
+}

@@ -1,0 +1,290 @@
+// Package core is the paper's contribution assembled end-to-end: a
+// BlinkDB-style approximate query processing engine that answers SQL
+// aggregation queries on pre-built samples at interactive speed, attaches
+// error bars from the cheapest applicable estimation technique, validates
+// those error bars at runtime with the Kleiner et al. diagnostic, and
+// falls back — to a larger sample and ultimately to exact execution — for
+// queries whose errors cannot be estimated reliably.
+//
+// The pipeline per query (Fig. 5):
+//
+//	SQL → logical plan (§5.3 rewrites) → single-scan execution with
+//	Poissonized resampling → answer ± error bars → diagnostic verdict →
+//	fallback if rejected or the error bound is missed.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/estimator"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/rng"
+	"repro/internal/sample"
+	"repro/internal/sql"
+	"repro/internal/table"
+)
+
+// Config tunes the engine. Zero values select the paper's defaults.
+type Config struct {
+	// Workers is the local execution parallelism (0 = 4).
+	Workers int
+	// Seed makes all sampling and resampling reproducible.
+	Seed uint64
+	// BootstrapK is the bootstrap resample count (0 = 100).
+	BootstrapK int
+	// Alpha is the confidence level for error bars (0 = 0.95).
+	Alpha float64
+	// Diagnostics toggles the runtime diagnostic (default on; set
+	// SkipDiagnostics to disable).
+	SkipDiagnostics bool
+	// ScanConsolidation / OperatorPushdown control the §5.3 rewrites
+	// (default on; set the Disable flags for ablations).
+	DisableScanConsolidation bool
+	DisableOperatorPushdown  bool
+	// FallbackToExact re-runs rejected or out-of-bound queries on the
+	// full dataset (default on; disable for pure-approximation mode).
+	DisableFallback bool
+	// Cluster, when set, attaches simulated production-scale latencies to
+	// every answer. LogicalSampleMB scales the local sample to the
+	// simulated deployment's sample size (0 = actual local bytes).
+	Cluster         *cluster.Cluster
+	LogicalSampleMB float64
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return 4
+	}
+	return c.Workers
+}
+
+func (c Config) bootstrapK() int {
+	if c.BootstrapK <= 0 {
+		return 100
+	}
+	return c.BootstrapK
+}
+
+func (c Config) alpha() float64 {
+	if c.Alpha <= 0 {
+		return 0.95
+	}
+	return c.Alpha
+}
+
+// registeredTable is one dataset with its sample catalog.
+type registeredTable struct {
+	full       *table.Table
+	samples    []*exec.StoredTable // ascending by rows
+	stratified []*stratifiedSample // per group-by key column
+}
+
+// Engine is an approximate query processing engine.
+type Engine struct {
+	cfg    Config
+	tables map[string]*registeredTable
+	udfs   exec.Registry
+	src    *rng.Source
+}
+
+// New returns an engine with the given configuration.
+func New(cfg Config) *Engine {
+	return &Engine{
+		cfg:    cfg,
+		tables: map[string]*registeredTable{},
+		udfs:   exec.Registry{},
+		src:    rng.New(cfg.Seed),
+	}
+}
+
+// RegisterTable registers a full dataset under the given name. Samples
+// must be built explicitly with BuildSamples before approximate queries
+// can run; queries on tables without samples execute exactly.
+func (e *Engine) RegisterTable(name string, t *table.Table) error {
+	if name == "" || t == nil {
+		return fmt.Errorf("core: table registration needs a name and data")
+	}
+	if _, dup := e.tables[name]; dup {
+		return fmt.Errorf("core: table %q already registered", name)
+	}
+	e.tables[name] = &registeredTable{full: t}
+	return nil
+}
+
+// RegisterUDF registers a user-defined aggregate. Names are matched
+// case-insensitively in SQL (stored upper-cased).
+func (e *Engine) RegisterUDF(name string, fn exec.UDF) {
+	e.udfs[upper(name)] = fn
+}
+
+func upper(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'a' <= c && c <= 'z' {
+			b[i] = c - 'a' + 'A'
+		}
+	}
+	return string(b)
+}
+
+// BuildSamples draws uniform random samples (without replacement) of the
+// given row counts from the named table and adds them to its catalog,
+// shuffled so that any contiguous subset is itself a random sample.
+func (e *Engine) BuildSamples(name string, rowCounts ...int) error {
+	rt, ok := e.tables[name]
+	if !ok {
+		return fmt.Errorf("core: unknown table %q", name)
+	}
+	for _, n := range rowCounts {
+		if n <= 0 || n > rt.full.NumRows() {
+			return fmt.Errorf("core: sample size %d invalid for table %q (%d rows)",
+				n, name, rt.full.NumRows())
+		}
+		s := sample.TableWithoutReplacement(e.src.Split(), rt.full, n)
+		rt.samples = append(rt.samples, &exec.StoredTable{
+			Data:    s,
+			PopRows: rt.full.NumRows(),
+			Cached:  true,
+		})
+	}
+	sort.Slice(rt.samples, func(i, j int) bool {
+		return rt.samples[i].Data.NumRows() < rt.samples[j].Data.NumRows()
+	})
+	return nil
+}
+
+// AggAnswer is one aggregate's answer with its error bar and diagnostic
+// verdict.
+type AggAnswer struct {
+	// Name is the output alias.
+	Name string
+	// Estimate is the approximate answer θ(S) (or the exact answer after
+	// fallback).
+	Estimate float64
+	// ErrorBar is the α confidence interval; zero half-width after an
+	// exact fallback.
+	ErrorBar estimator.Interval
+	// RelErr is the relative error bound (half-width / |estimate|).
+	RelErr float64
+	// Technique names the error-estimation method used.
+	Technique string
+	// DiagnosticOK reports the runtime diagnostic's verdict (true when
+	// diagnostics are disabled or the answer is exact).
+	DiagnosticOK bool
+	// DiagnosticReason explains a rejection.
+	DiagnosticReason string
+	// Exact marks an answer computed on the full dataset.
+	Exact bool
+}
+
+// GroupAnswer is a group's aggregates.
+type GroupAnswer struct {
+	Key  string
+	Aggs []AggAnswer
+}
+
+// Answer is the engine's response to one query.
+type Answer struct {
+	SQL    string
+	Groups []GroupAnswer
+	// SampleRows is the size of the sample used (0 for exact execution).
+	SampleRows int
+	// Plan is the executed logical plan.
+	Plan *plan.Plan
+	// Counters meters the physical work.
+	Counters exec.Counters
+	// Elapsed is the local wall-clock execution time.
+	Elapsed time.Duration
+	// Simulated, when the engine has a cluster model attached, is the
+	// production-scale latency breakdown.
+	Simulated *cluster.Breakdown
+}
+
+// FellBack reports whether any aggregate fell back to exact execution.
+func (a *Answer) FellBack() bool {
+	for _, g := range a.Groups {
+		for _, agg := range g.Aggs {
+			if agg.Exact {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// planOptions assembles plan.Options from the engine config for a sample
+// of n rows.
+func (e *Engine) planOptions(n int, needBootstrap bool) plan.Options {
+	opt := plan.DefaultOptions(n)
+	opt.Alpha = e.cfg.alpha()
+	opt.BootstrapK = e.cfg.bootstrapK()
+	if !needBootstrap {
+		// Closed-form-only queries need no resamples: error bars and the
+		// diagnostic's ξ both come from closed forms (QSet-1 behaviour).
+		opt.BootstrapK = 0
+	}
+	opt.Diagnostics = !e.cfg.SkipDiagnostics
+	if opt.Diagnostics {
+		// Ladder must fit the sample AND be statistically meaningful:
+		// sub-32-row subsamples produce junk verdicts, so diagnostics are
+		// skipped (answers still carry error bars) for tiny samples.
+		b3 := n / (2 * opt.DiagP)
+		if b3 < 32 {
+			opt.Diagnostics = false
+		} else {
+			opt.DiagSizes = []int{b3 / 4, b3 / 2, b3}
+		}
+	}
+	opt.ScanConsolidation = !e.cfg.DisableScanConsolidation
+	opt.OperatorPushdown = !e.cfg.DisableOperatorPushdown
+	return opt
+}
+
+// isUDF reports whether name is a registered UDF (for the analyzer).
+func (e *Engine) isUDF(name string) bool {
+	_, ok := e.udfs[name]
+	return ok
+}
+
+// Explain parses and plans the query and returns the plan tree rendering.
+func (e *Engine) Explain(query string) (string, error) {
+	def, _, err := e.analyze(query)
+	if err != nil {
+		return "", err
+	}
+	rt := e.tables[def.Table]
+	n := rt.full.NumRows()
+	needBootstrap := !def.ClosedFormOK()
+	if len(rt.samples) > 0 {
+		n = rt.samples[len(rt.samples)-1].Data.NumRows()
+	}
+	p, err := plan.Build(def, e.planOptions(n, needBootstrap))
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
+}
+
+func (e *Engine) analyze(query string) (*plan.QueryDef, *registeredTable, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	sel, ok := stmt.(*sql.Select)
+	if !ok {
+		return nil, nil, fmt.Errorf("core: only single SELECT statements are accepted at the API (UNION ALL is an internal rewrite)")
+	}
+	def, err := plan.Analyze(sel, e.isUDF)
+	if err != nil {
+		return nil, nil, err
+	}
+	rt, ok := e.tables[def.Table]
+	if !ok {
+		return nil, nil, fmt.Errorf("core: unknown table %q", def.Table)
+	}
+	return def, rt, nil
+}

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/estimator"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Query answers the SQL query approximately on the table's largest sample,
+// with error bars and a diagnostic verdict per aggregate. Tables without
+// samples are answered exactly. Aggregates whose diagnostic rejects error
+// estimation fall back to exact execution (unless disabled).
+func (e *Engine) Query(query string) (*Answer, error) {
+	def, rt, err := e.analyze(query)
+	if err != nil {
+		return nil, err
+	}
+	st := e.pickSample(def, rt)
+	if st == nil {
+		return e.runExact(query, def, rt)
+	}
+	ans, err := e.runApproximate(query, def, rt, st)
+	if err != nil {
+		return nil, err
+	}
+	if !e.cfg.DisableFallback {
+		if err := e.applyFallback(ans, def, rt); err != nil {
+			return nil, err
+		}
+	}
+	return ans, nil
+}
+
+// QueryWithErrorBound answers the query using the smallest sample whose
+// error bars satisfy the relative error bound at the engine's confidence
+// level (BlinkDB's error-constrained queries). It escalates through the
+// sample catalog and finally to exact execution when the bound cannot be
+// met approximately or the diagnostic rejects error estimation.
+func (e *Engine) QueryWithErrorBound(query string, relErr float64) (*Answer, error) {
+	if relErr <= 0 {
+		return nil, fmt.Errorf("core: relative error bound must be positive")
+	}
+	def, rt, err := e.analyze(query)
+	if err != nil {
+		return nil, err
+	}
+	if len(rt.samples) == 0 {
+		return e.runExact(query, def, rt)
+	}
+	var last *Answer
+	minRows := 0 // samples smaller than this are provably insufficient
+	for _, st := range rt.samples {
+		if st.Data.NumRows() < minRows {
+			continue
+		}
+		ans, err := e.runApproximate(query, def, rt, st)
+		if err != nil {
+			return nil, err
+		}
+		last = ans
+		ok := true
+		worstRel := 0.0
+		for _, g := range ans.Groups {
+			for _, a := range g.Aggs {
+				if !a.DiagnosticOK || math.IsNaN(a.RelErr) || a.RelErr > relErr {
+					ok = false
+				}
+				if !math.IsNaN(a.RelErr) && a.RelErr > worstRel {
+					worstRel = a.RelErr
+				}
+			}
+		}
+		if ok {
+			return ans, nil
+		}
+		// For closed-form queries the error shrinks as 1/√n: project the
+		// required size from this run and skip samples that cannot
+		// possibly satisfy the bound (BlinkDB's sample-selection jump).
+		if def.ClosedFormOK() && worstRel > relErr && !math.IsInf(worstRel, 0) {
+			ratio := worstRel / relErr
+			minRows = int(float64(st.Data.NumRows()) * ratio * ratio * 0.8)
+		}
+	}
+	if e.cfg.DisableFallback {
+		return last, nil
+	}
+	return e.runExact(query, def, rt)
+}
+
+// pickSample chooses the sample for an unconstrained query: a stratified
+// sample matching the GROUP BY key when one exists and every aggregate is
+// scale-invariant (stratification biases population-scaled SUM/COUNT),
+// otherwise the largest uniform sample. Nil means "run exactly".
+func (e *Engine) pickSample(def *plan.QueryDef, rt *registeredTable) *exec.StoredTable {
+	if s := rt.stratifiedFor(def); s != nil && scaleInvariant(def) {
+		return s.st
+	}
+	if len(rt.samples) == 0 {
+		return nil
+	}
+	return rt.samples[len(rt.samples)-1]
+}
+
+// scaleInvariant reports whether every aggregate is unaffected by
+// non-uniform per-group sampling rates.
+func scaleInvariant(def *plan.QueryDef) bool {
+	for _, a := range def.Aggs {
+		switch a.Kind {
+		case estimator.Sum, estimator.Count:
+			return false
+		}
+	}
+	return true
+}
+
+// QueryExact answers the query exactly on the full dataset.
+func (e *Engine) QueryExact(query string) (*Answer, error) {
+	def, rt, err := e.analyze(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.runExact(query, def, rt)
+}
+
+// runExact executes the query on the full table with no sampling pipeline.
+func (e *Engine) runExact(query string, def *plan.QueryDef, rt *registeredTable) (*Answer, error) {
+	start := time.Now()
+	p, err := plan.Build(def, plan.Options{Alpha: e.cfg.alpha()})
+	if err != nil {
+		return nil, err
+	}
+	res, err := exec.Run(p, map[string]*exec.StoredTable{
+		def.Table: {Data: rt.full},
+	}, e.udfs, exec.Config{Workers: e.cfg.workers(), Seed: e.cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	ans := &Answer{
+		SQL:      query,
+		Plan:     p,
+		Counters: res.Counters,
+		Elapsed:  time.Since(start),
+	}
+	for _, g := range res.Groups {
+		ga := GroupAnswer{Key: g.Key}
+		for _, out := range g.Aggs {
+			ga.Aggs = append(ga.Aggs, AggAnswer{
+				Name:         out.Spec.Alias,
+				Estimate:     out.Value,
+				ErrorBar:     estimator.Interval{Center: out.Value},
+				RelErr:       0,
+				Technique:    "exact",
+				DiagnosticOK: true,
+				Exact:        true,
+			})
+		}
+		ans.Groups = append(ans.Groups, ga)
+	}
+	return ans, nil
+}
+
+// runApproximate executes the full §5 pipeline on the given sample.
+func (e *Engine) runApproximate(query string, def *plan.QueryDef, rt *registeredTable, st *exec.StoredTable) (*Answer, error) {
+	start := time.Now()
+	n := st.Data.NumRows()
+	opt := e.planOptions(n, !def.ClosedFormOK())
+	p, err := plan.Build(def, opt)
+	if err != nil {
+		return nil, err
+	}
+	res, err := exec.Run(p, map[string]*exec.StoredTable{def.Table: st},
+		e.udfs, exec.Config{Workers: e.cfg.workers(), Seed: e.cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	ans := &Answer{
+		SQL:        query,
+		SampleRows: n,
+		Plan:       p,
+		Counters:   res.Counters,
+	}
+	alpha := e.cfg.alpha()
+	for _, g := range res.Groups {
+		ga := GroupAnswer{Key: g.Key}
+		for _, out := range g.Aggs {
+			aa := AggAnswer{
+				Name:         out.Spec.Alias,
+				Estimate:     out.Value,
+				DiagnosticOK: true,
+			}
+			iv, technique, err := e.errorBar(out, alpha)
+			if err != nil {
+				return nil, err
+			}
+			aa.ErrorBar = iv
+			aa.Technique = technique
+			aa.RelErr = iv.RelativeError()
+			if out.Diag != nil {
+				aa.DiagnosticOK = out.Diag.OK
+				aa.DiagnosticReason = out.Diag.Reason
+			}
+			ga.Aggs = append(ga.Aggs, aa)
+		}
+		ans.Groups = append(ans.Groups, ga)
+	}
+	ans.Elapsed = time.Since(start)
+	if e.cfg.Cluster != nil {
+		b := e.simulate(def, opt, res, st)
+		ans.Simulated = &b
+	}
+	return ans, nil
+}
+
+// errorBar computes the confidence interval for one aggregate output using
+// the cheapest applicable technique: closed forms when known, otherwise
+// the bootstrap distribution the executor already produced.
+func (e *Engine) errorBar(out exec.AggOutput, alpha float64) (estimator.Interval, string, error) {
+	spec := estimator.Query{Kind: out.Spec.Kind, Pct: out.Spec.Pct}
+	if spec.ClosedFormApplicable() && out.Spec.Kind != estimator.Sum &&
+		out.Spec.Kind != estimator.Count {
+		iv, err := (estimator.ClosedForm{}).Interval(nil, out.Values, spec, alpha)
+		if err != nil {
+			return estimator.Interval{}, "", err
+		}
+		return iv, "closed-form", nil
+	}
+	if out.Spec.Kind == estimator.Sum || out.Spec.Kind == estimator.Count {
+		// Scaled sums: closed form on the scaled query the executor built.
+		iv, err := closedFormScaledSum(out, alpha)
+		if err == nil {
+			return iv, "closed-form", nil
+		}
+		// Fall through to the bootstrap on error.
+	}
+	if len(out.Bootstrap) == 0 {
+		return estimator.Interval{Center: out.Value, HalfWidth: math.NaN()},
+			"none", nil
+	}
+	half := stats.SymmetricHalfWidth(out.Bootstrap, out.Value, alpha)
+	return estimator.Interval{Center: out.Value, HalfWidth: half}, "bootstrap", nil
+}
+
+// closedFormScaledSum computes the CLT interval for a population-scaled
+// SUM/COUNT: θ̂ = c·Σx with c = |D|/|S|, so σ̂ = c·s·√n_filtered.
+func closedFormScaledSum(out exec.AggOutput, alpha float64) (estimator.Interval, error) {
+	n := len(out.Values)
+	if n == 0 {
+		return estimator.Interval{}, fmt.Errorf("core: empty aggregation input")
+	}
+	sum := stats.Sum(out.Values)
+	scale := 1.0
+	if sum != 0 {
+		scale = out.Value / sum
+	}
+	s2 := stats.SampleVariance(out.Values)
+	if math.IsNaN(s2) {
+		s2 = 0
+	}
+	z := stats.StdNormalQuantile(0.5 + alpha/2)
+	half := math.Abs(scale) * z * math.Sqrt(s2*float64(n))
+	return estimator.Interval{Center: out.Value, HalfWidth: half}, nil
+}
+
+// applyFallback re-answers exactly any aggregate whose diagnostic rejected
+// error estimation, replacing its entry in the answer.
+func (e *Engine) applyFallback(ans *Answer, def *plan.QueryDef, rt *registeredTable) error {
+	needed := false
+	for _, g := range ans.Groups {
+		for _, a := range g.Aggs {
+			if !a.DiagnosticOK {
+				needed = true
+			}
+		}
+	}
+	if !needed {
+		return nil
+	}
+	exact, err := e.runExact(ans.SQL, def, rt)
+	if err != nil {
+		return err
+	}
+	exactByKey := map[string][]AggAnswer{}
+	for _, g := range exact.Groups {
+		exactByKey[g.Key] = g.Aggs
+	}
+	for gi := range ans.Groups {
+		exAggs, ok := exactByKey[ans.Groups[gi].Key]
+		if !ok {
+			continue
+		}
+		for ai := range ans.Groups[gi].Aggs {
+			if ans.Groups[gi].Aggs[ai].DiagnosticOK {
+				continue
+			}
+			reason := ans.Groups[gi].Aggs[ai].DiagnosticReason
+			ans.Groups[gi].Aggs[ai] = exAggs[ai]
+			ans.Groups[gi].Aggs[ai].DiagnosticOK = false
+			ans.Groups[gi].Aggs[ai].DiagnosticReason = reason
+		}
+	}
+	ans.Counters.Scans += exact.Counters.Scans
+	ans.Counters.Subqueries += exact.Counters.Subqueries
+	ans.Counters.RowsScanned += exact.Counters.RowsScanned
+	ans.Counters.BytesScanned += exact.Counters.BytesScanned
+	ans.Elapsed += exact.Elapsed
+	return nil
+}
+
+// simulate derives the production-scale latency breakdown for the executed
+// pipeline from the measured counters.
+func (e *Engine) simulate(def *plan.QueryDef, opt plan.Options, res *exec.Result, st *exec.StoredTable) cluster.Breakdown {
+	actualMB := float64(st.Data.SizeBytes()) / 1e6
+	logicalMB := actualMB
+	if e.cfg.LogicalSampleMB > 0 {
+		logicalMB = e.cfg.LogicalSampleMB
+	}
+	// Production rows are wider than our lean columnar test rows; size
+	// the logical row count by a production bytes-per-row so the CPU and
+	// memory terms stay realistic.
+	const logicalBytesPerRow = 200
+	logicalRows := logicalMB * 1e6 / logicalBytesPerRow
+	rowScale := 1.0
+	if res.SampleRows > 0 {
+		rowScale = logicalRows / float64(res.SampleRows)
+	}
+	sel := 1.0
+	if res.Counters.RowsScanned > 0 {
+		sel = float64(res.Counters.RowsAfterFilter) / float64(res.Counters.RowsScanned)
+	}
+	sizes := make([]int, len(opt.DiagSizes))
+	for i, b := range opt.DiagSizes {
+		sizes[i] = int(float64(b) * rowScale)
+	}
+	k := opt.BootstrapK
+	if def.ClosedFormOK() {
+		k = 0
+	}
+	shape := cluster.QueryShape{
+		SampleMB:     logicalMB,
+		SampleRows:   int64(logicalRows),
+		Selectivity:  sel,
+		BootstrapK:   k,
+		DiagSizes:    sizes,
+		DiagP:        opt.DiagP,
+		ClosedForm:   def.ClosedFormOK(),
+		Consolidated: opt.ScanConsolidation,
+		Pushdown:     opt.OperatorPushdown,
+		Fanout:       len(res.Groups),
+	}
+	if !opt.Diagnostics {
+		shape.DiagSizes = nil
+		shape.DiagP = 0
+	}
+	src := rng.NewWithStream(e.cfg.Seed, 0xC105)
+	return e.cfg.Cluster.SimulateBreakdown(src, shape)
+}

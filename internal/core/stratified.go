@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/table"
+)
+
+// stratifiedSample is a per-key-capped sample (BlinkDB's stratified sample
+// family): rare groups keep all their rows, large groups are capped, so
+// GROUP BY answers have usable error bars for every group — a uniform
+// sample starves rare groups.
+type stratifiedSample struct {
+	keyColumn string
+	st        *exec.StoredTable
+	// groupFraction maps each key to the sampling fraction its stratum
+	// received, needed to scale per-group SUM/COUNT estimates.
+	groupFraction map[string]float64
+}
+
+// BuildStratifiedSample builds a stratified sample over the named key
+// column with at most capPerGroup rows per distinct key. The engine
+// prefers it over uniform samples for queries grouping by that column.
+func (e *Engine) BuildStratifiedSample(name, keyColumn string, capPerGroup int) error {
+	rt, ok := e.tables[name]
+	if !ok {
+		return fmt.Errorf("core: unknown table %q", name)
+	}
+	if capPerGroup <= 0 {
+		return fmt.Errorf("core: cap per group must be positive")
+	}
+	col := rt.full.ColumnByName(keyColumn)
+	if col == nil {
+		return fmt.Errorf("core: table %q has no column %q", name, keyColumn)
+	}
+	keys, err := stringKeys(col)
+	if err != nil {
+		return fmt.Errorf("core: stratified key %q: %w", keyColumn, err)
+	}
+
+	// Collect row indices per key, cap each stratum by a seeded shuffle.
+	byKey := map[string][]int{}
+	for i, k := range keys {
+		byKey[k] = append(byKey[k], i)
+	}
+	groupNames := make([]string, 0, len(byKey))
+	for k := range byKey {
+		groupNames = append(groupNames, k)
+	}
+	sort.Strings(groupNames)
+
+	src := e.src.Split()
+	var idx []int
+	fractions := make(map[string]float64, len(groupNames))
+	for _, k := range groupNames {
+		rows := byKey[k]
+		take := len(rows)
+		if take > capPerGroup {
+			take = capPerGroup
+		}
+		src.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+		idx = append(idx, rows[:take]...)
+		fractions[k] = float64(take) / float64(len(rows))
+	}
+	// Shuffle the assembled sample so contiguous subsets stay random
+	// within strata interleaving.
+	src.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+
+	rt.stratified = append(rt.stratified, &stratifiedSample{
+		keyColumn: keyColumn,
+		st: &exec.StoredTable{
+			Data:    rt.full.Gather(idx),
+			PopRows: rt.full.NumRows(),
+			Cached:  true,
+		},
+		groupFraction: fractions,
+	})
+	return nil
+}
+
+func stringKeys(col table.Column) ([]string, error) {
+	switch c := col.(type) {
+	case table.StringCol:
+		return c, nil
+	default:
+		return nil, fmt.Errorf("stratified sampling requires a string key column")
+	}
+}
+
+// stratifiedFor returns a stratified sample matching the query's GROUP BY
+// column, or nil.
+func (rt *registeredTable) stratifiedFor(def *plan.QueryDef) *stratifiedSample {
+	if len(def.GroupBy) != 1 {
+		return nil
+	}
+	for _, s := range rt.stratified {
+		if equalFold(s.keyColumn, def.GroupBy[0]) {
+			return s
+		}
+	}
+	return nil
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

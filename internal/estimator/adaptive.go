@@ -1,0 +1,89 @@
+package estimator
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// AdaptiveBootstrap is a bootstrap whose resample count K is tuned
+// automatically (the paper's §2.3.1 notes K "can be tuned automatically",
+// citing Efron & Tibshirani): it starts at MinK and doubles until the
+// confidence interval's half-width stabilizes to within Tolerance, or
+// MaxK is reached. On easy queries this saves half or more of the
+// resampling work; on hard ones it converges to the fixed-K answer.
+type AdaptiveBootstrap struct {
+	// MinK is the starting resample count (0 = 25).
+	MinK int
+	// MaxK caps the total resamples (0 = 400).
+	MaxK int
+	// Tolerance is the acceptable relative half-width change per doubling
+	// (0 = 0.05).
+	Tolerance float64
+}
+
+func (ab AdaptiveBootstrap) minK() int {
+	if ab.MinK <= 0 {
+		return 25
+	}
+	return ab.MinK
+}
+
+func (ab AdaptiveBootstrap) maxK() int {
+	if ab.MaxK <= 0 {
+		return 400
+	}
+	return ab.MaxK
+}
+
+func (ab AdaptiveBootstrap) tolerance() float64 {
+	if ab.Tolerance <= 0 {
+		return 0.05
+	}
+	return ab.Tolerance
+}
+
+// Name implements Estimator.
+func (AdaptiveBootstrap) Name() string { return "adaptive-bootstrap" }
+
+// AppliesTo implements Estimator.
+func (AdaptiveBootstrap) AppliesTo(q Query) bool { return (Bootstrap{}).AppliesTo(q) }
+
+// Interval implements Estimator.
+func (ab AdaptiveBootstrap) Interval(src *rng.Source, values []float64, q Query, alpha float64) (Interval, error) {
+	iv, _, err := ab.IntervalK(src, values, q, alpha)
+	return iv, err
+}
+
+// IntervalK is Interval but also reports the number of resamples drawn.
+func (ab AdaptiveBootstrap) IntervalK(src *rng.Source, values []float64, q Query, alpha float64) (Interval, int, error) {
+	if len(values) == 0 {
+		return Interval{}, 0, fmt.Errorf("estimator: empty sample")
+	}
+	if !ab.AppliesTo(q) {
+		return Interval{}, 0, fmt.Errorf("%w: UDF without function body", ErrNotApplicable)
+	}
+	center := q.Eval(values)
+	var ests []float64
+	draw := func(k int) {
+		b := Bootstrap{K: k}
+		ests = append(ests, b.Distribution(src, values, q)...)
+	}
+	draw(ab.minK())
+	prev := stats.SymmetricHalfWidth(ests, center, alpha)
+	for len(ests) < ab.maxK() {
+		grow := len(ests)
+		if len(ests)+grow > ab.maxK() {
+			grow = ab.maxK() - len(ests)
+		}
+		draw(grow)
+		cur := stats.SymmetricHalfWidth(ests, center, alpha)
+		if prev > 0 && math.Abs(cur-prev)/prev < ab.tolerance() {
+			return Interval{Center: center, HalfWidth: cur}, len(ests), nil
+		}
+		prev = cur
+	}
+	return Interval{Center: center, HalfWidth: prev}, len(ests), nil
+}

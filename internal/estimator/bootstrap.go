@@ -1,0 +1,108 @@
+package estimator
+
+import (
+	"fmt"
+
+	"repro/internal/resample"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// DefaultBootstrapK is the paper's resample count (§2.3.1: "a reasonably
+// large number, like 100").
+const DefaultBootstrapK = 100
+
+// IntervalMethod selects how a confidence interval is read off the
+// bootstrap distribution.
+type IntervalMethod int
+
+// Bootstrap interval constructions.
+const (
+	// SymmetricCentered is the paper's §2.2 construction: the smallest
+	// interval around θ(S) covering α of the bootstrap distribution.
+	SymmetricCentered IntervalMethod = iota
+	// NormalApprox fits N(θ(S), sd(bootstrap)²) and uses ±z·sd. Less
+	// noisy at small K, blind to skew.
+	NormalApprox
+	// PercentileMethod uses the (1±α)/2 bootstrap quantiles re-centered
+	// on θ(S) (half-width = half the quantile range).
+	PercentileMethod
+)
+
+func (m IntervalMethod) String() string {
+	switch m {
+	case SymmetricCentered:
+		return "symmetric-centered"
+	case NormalApprox:
+		return "normal-approx"
+	case PercentileMethod:
+		return "percentile"
+	default:
+		return "unknown"
+	}
+}
+
+// Bootstrap is Efron's nonparametric bootstrap (§2.3.1): it approximates
+// the sampling distribution of θ(S) by the distribution of θ over K
+// resamples of S, produced by the configured resampling strategy
+// (Poissonized by default). It applies to every aggregate, including
+// black-box UDFs.
+type Bootstrap struct {
+	// K is the number of resamples; zero means DefaultBootstrapK.
+	K int
+	// Strategy selects the resampling implementation; the zero value is
+	// resample.Poissonized, the production path.
+	Strategy resample.Strategy
+	// Method selects the interval construction; the zero value is the
+	// paper's symmetric centered interval.
+	Method IntervalMethod
+}
+
+// Name implements Estimator.
+func (Bootstrap) Name() string { return "bootstrap" }
+
+// AppliesTo implements Estimator: the bootstrap is fully generic.
+func (Bootstrap) AppliesTo(q Query) bool {
+	return q.Kind != UDF || q.Fn != nil
+}
+
+// Interval implements Estimator. The interval is centered on θ(S) with the
+// half-width chosen as the smallest symmetric radius covering α of the
+// bootstrap distribution (§2.2's symmetric centered construction).
+func (b Bootstrap) Interval(src *rng.Source, values []float64, q Query, alpha float64) (Interval, error) {
+	if len(values) == 0 {
+		return Interval{}, fmt.Errorf("estimator: empty sample")
+	}
+	if !b.AppliesTo(q) {
+		return Interval{}, fmt.Errorf("%w: UDF without function body", ErrNotApplicable)
+	}
+	k := b.K
+	if k <= 0 {
+		k = DefaultBootstrapK
+	}
+	center := q.Eval(values)
+	ests := resample.Estimates(src, values, k, q.EvalWeighted, b.Strategy)
+	var half float64
+	switch b.Method {
+	case NormalApprox:
+		half = stats.StdNormalQuantile(0.5+alpha/2) * stats.Stddev(ests)
+	case PercentileMethod:
+		lo := stats.Quantile(ests, (1-alpha)/2)
+		hi := stats.Quantile(ests, (1+alpha)/2)
+		half = (hi - lo) / 2
+	default:
+		half = stats.SymmetricHalfWidth(ests, center, alpha)
+	}
+	return Interval{Center: center, HalfWidth: half}, nil
+}
+
+// Distribution returns the raw bootstrap distribution (the K resample
+// estimates) for callers that need more than an interval, such as the
+// diagnostic's spread statistics.
+func (b Bootstrap) Distribution(src *rng.Source, values []float64, q Query) []float64 {
+	k := b.K
+	if k <= 0 {
+		k = DefaultBootstrapK
+	}
+	return resample.Estimates(src, values, k, q.EvalWeighted, b.Strategy)
+}

@@ -1,0 +1,106 @@
+package estimator
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// ClosedForm estimates confidence intervals from a normal approximation of
+// the sampling distribution with a closed-form variance estimate (§2.3.2).
+// It covers AVG, SUM, COUNT, VARIANCE and STDEV; other aggregates have no
+// known closed form and return ErrNotApplicable.
+type ClosedForm struct {
+	// UseStudentT applies a t-distribution critical value instead of the
+	// normal one; this matters only for the small subsamples used inside
+	// the diagnostic.
+	UseStudentT bool
+}
+
+// Name implements Estimator.
+func (ClosedForm) Name() string { return "closed-form" }
+
+// AppliesTo implements Estimator.
+func (ClosedForm) AppliesTo(q Query) bool { return q.ClosedFormApplicable() }
+
+// Interval implements Estimator. The returned interval is centered on the
+// sample estimate θ(S) with half-width z·σ̂, where σ̂ is the closed-form
+// standard error for the aggregate.
+func (cf ClosedForm) Interval(_ *rng.Source, values []float64, q Query, alpha float64) (Interval, error) {
+	if !cf.AppliesTo(q) {
+		return Interval{}, fmt.Errorf("%w: %s has no closed form", ErrNotApplicable, q.Name())
+	}
+	n := len(values)
+	if n == 0 {
+		return Interval{}, fmt.Errorf("estimator: empty sample")
+	}
+	se, err := closedFormStdErr(values, q)
+	if err != nil {
+		return Interval{}, err
+	}
+	crit := critValue(alpha, float64(n-1), cf.UseStudentT)
+	return Interval{Center: q.Eval(values), HalfWidth: crit * se}, nil
+}
+
+func critValue(alpha, df float64, useT bool) float64 {
+	p := 0.5 + alpha/2
+	if useT && df >= 1 {
+		return stats.StudentTQuantile(p, df)
+	}
+	return stats.StdNormalQuantile(p)
+}
+
+// closedFormStdErr returns σ̂, the estimated standard deviation of the
+// sampling distribution of θ(S), for the closed-form aggregates.
+func closedFormStdErr(values []float64, q Query) (float64, error) {
+	n := float64(len(values))
+	var m stats.Moments
+	for _, v := range values {
+		m.Add(v)
+	}
+	s2 := m.SampleVariance()
+	if math.IsNaN(s2) {
+		s2 = 0 // single observation: no spread information
+	}
+	switch q.Kind {
+	case Avg:
+		// Var(x̄) = s²/n.
+		return math.Sqrt(s2 / n), nil
+	case Sum, Count:
+		// θ̂ = scale·Σx = scale·n·x̄, so σ̂ = scale·n·s/√n = scale·s·√n.
+		return q.scale(len(values)) * math.Sqrt(s2*n), nil
+	case Variance:
+		// Var(s²) ≈ (μ₄ − σ⁴)/n (asymptotic; e.g. Rice §6).
+		mu4 := centralMoment4(values, m.Mean())
+		v := (mu4 - s2*s2) / n
+		if v < 0 {
+			v = 0
+		}
+		return math.Sqrt(v), nil
+	case Stdev:
+		// Delta method: Var(s) ≈ Var(s²) / (4σ²).
+		mu4 := centralMoment4(values, m.Mean())
+		v := (mu4 - s2*s2) / n
+		if v < 0 {
+			v = 0
+		}
+		if s2 == 0 {
+			return 0, nil
+		}
+		return math.Sqrt(v / (4 * s2)), nil
+	default:
+		return 0, fmt.Errorf("%w: %s", ErrNotApplicable, q.Name())
+	}
+}
+
+func centralMoment4(values []float64, mean float64) float64 {
+	sum := 0.0
+	for _, v := range values {
+		d := v - mean
+		d2 := d * d
+		sum += d2 * d2
+	}
+	return sum / float64(len(values))
+}

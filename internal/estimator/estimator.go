@@ -1,0 +1,25 @@
+package estimator
+
+import (
+	"errors"
+
+	"repro/internal/rng"
+)
+
+// ErrNotApplicable is returned by an Estimator whose technique does not
+// cover the given query (e.g. closed forms for MIN).
+var ErrNotApplicable = errors.New("estimator: technique not applicable to this query")
+
+// Estimator produces an α-confidence interval for θ(D) from a single
+// sample. This is the ξ of Algorithm 1: the diagnostic validates any
+// implementation of this interface at runtime.
+type Estimator interface {
+	// Name identifies the technique ("bootstrap", "closed-form", ...).
+	Name() string
+	// AppliesTo reports whether the technique covers the query at all.
+	AppliesTo(q Query) bool
+	// Interval estimates a symmetric centered α confidence interval for
+	// θ(D) given sample values. Implementations that need randomness
+	// (the bootstrap) draw from src; deterministic ones ignore it.
+	Interval(src *rng.Source, values []float64, q Query, alpha float64) (Interval, error)
+}

@@ -1,0 +1,130 @@
+package estimator
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Bound selects the concentration inequality used by LargeDeviation.
+type Bound int
+
+// Supported large-deviation inequalities.
+const (
+	// Hoeffding uses only the data range; the loosest and most common
+	// choice (used by online aggregation and Aqua).
+	Hoeffding Bound = iota
+	// Bernstein additionally exploits the sample variance and is tighter
+	// when the variance is small relative to the range.
+	Bernstein
+	// McDiarmid is the bounded-differences inequality; for a sample mean
+	// each coordinate change moves the mean by at most (b−a)/n, making it
+	// equivalent to Hoeffding here, but it is kept distinct because the
+	// engine also applies it to general bounded-sensitivity statistics.
+	McDiarmid
+	// Chernoff is the multiplicative Chernoff bound for sums of [0,1]
+	// variables: P(|x̄−μ| ≥ δμ) ≤ 2exp(−δ²nμ/3). Much tighter than
+	// Hoeffding for small proportions (selective COUNTs), since its width
+	// scales with √μ̂ rather than the full range.
+	Chernoff
+)
+
+func (b Bound) String() string {
+	switch b {
+	case Hoeffding:
+		return "hoeffding"
+	case Bernstein:
+		return "bernstein"
+	case McDiarmid:
+		return "mcdiarmid"
+	case Chernoff:
+		return "chernoff"
+	default:
+		return fmt.Sprintf("Bound(%d)", int(b))
+	}
+}
+
+// LargeDeviation produces confidence intervals from distribution-free tail
+// bounds (§2.3.3). The intervals are guaranteed to have coverage at least
+// α but are typically far wider than the true interval — the extreme
+// pessimism visible in Fig. 1. It requires known bounds on the data; when
+// the query carries none, the observed sample range is used as a proxy
+// (optimistic for genuinely unbounded data, which the tests exercise).
+type LargeDeviation struct {
+	Bound Bound
+}
+
+// Name implements Estimator.
+func (ld LargeDeviation) Name() string { return "large-deviation/" + ld.Bound.String() }
+
+// AppliesTo implements Estimator.
+func (LargeDeviation) AppliesTo(q Query) bool { return q.LargeDeviationApplicable() }
+
+// Interval implements Estimator.
+func (ld LargeDeviation) Interval(_ *rng.Source, values []float64, q Query, alpha float64) (Interval, error) {
+	if !ld.AppliesTo(q) {
+		return Interval{}, fmt.Errorf("%w: no tail bound derived for %s",
+			ErrNotApplicable, q.Name())
+	}
+	n := len(values)
+	if n == 0 {
+		return Interval{}, fmt.Errorf("estimator: empty sample")
+	}
+	lo, hi := dataBounds(values, q)
+	rangeWidth := hi - lo
+	delta := 1 - alpha
+	if delta <= 0 {
+		delta = 1e-12
+	}
+	logTerm := math.Log(2 / delta)
+	nf := float64(n)
+
+	var meanHalf float64 // half-width for the mean of the sample
+	switch ld.Bound {
+	case Hoeffding, McDiarmid:
+		// P(|x̄−μ| ≥ t) ≤ 2exp(−2nt²/(b−a)²)  ⇒  t = (b−a)√(ln(2/δ)/2n).
+		meanHalf = rangeWidth * math.Sqrt(logTerm/(2*nf))
+	case Bernstein:
+		// |x̄−μ| ≤ √(2σ²ln(2/δ)/n) + (b−a)ln(2/δ)/(3n) w.p. ≥ 1−δ.
+		s2 := stats.SampleVariance(values)
+		if math.IsNaN(s2) {
+			s2 = 0
+		}
+		meanHalf = math.Sqrt(2*s2*logTerm/nf) + rangeWidth*logTerm/(3*nf)
+	case Chernoff:
+		// Multiplicative Chernoff for [0,1]-valued data, rescaled to the
+		// declared range: δ = √(3·ln(2/δc)/(n·μ̂₀₁)) where μ̂₀₁ is the mean
+		// mapped into [0,1]. Requires a nonzero normalized mean.
+		mu := stats.Mean(values)
+		mu01 := 0.0
+		if rangeWidth > 0 {
+			mu01 = (mu - lo) / rangeWidth
+		}
+		if mu01 <= 0 {
+			// Degenerate: fall back to the Hoeffding form.
+			meanHalf = rangeWidth * math.Sqrt(logTerm/(2*nf))
+		} else {
+			deltaRel := math.Sqrt(3 * logTerm / (nf * mu01))
+			meanHalf = deltaRel * mu01 * rangeWidth
+		}
+	default:
+		return Interval{}, fmt.Errorf("estimator: unknown bound %v", ld.Bound)
+	}
+
+	center := q.Eval(values)
+	half := meanHalf
+	if q.Kind == Sum || q.Kind == Count {
+		// θ̂ = scale·n·x̄ ⇒ the bound scales by scale·n.
+		half = meanHalf * q.scale(n) * nf
+	}
+	return Interval{Center: center, HalfWidth: half}, nil
+}
+
+func dataBounds(values []float64, q Query) (lo, hi float64) {
+	if q.Bounds != nil {
+		return q.Bounds[0], q.Bounds[1]
+	}
+	return stats.Min(values), stats.Max(values)
+}

@@ -1,0 +1,631 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/diagnostic"
+	"repro/internal/estimator"
+	"repro/internal/plan"
+	"repro/internal/rng"
+	"repro/internal/sql"
+	"repro/internal/table"
+)
+
+// UDF is a user-defined aggregate over weighted data (nil weights = all
+// ones, weight zero = row absent).
+type UDF func(values, weights []float64) float64
+
+// Registry maps upper-cased UDF names to implementations.
+type Registry map[string]UDF
+
+// StoredTable is a stored sample plus the bookkeeping the executor needs:
+// the size of the population it was drawn from (for scaled SUM/COUNT) and
+// whether the storage layer considers it memory-resident (for the cost
+// model).
+type StoredTable struct {
+	Data *table.Table
+	// PopRows is |D|, the row count of the dataset the sample represents.
+	// Zero means the table IS the full dataset.
+	PopRows int
+	// Cached marks the sample as resident in cluster memory.
+	Cached bool
+}
+
+// Config controls physical execution.
+type Config struct {
+	// Workers is the local degree of parallelism (goroutines over table
+	// partitions and over bootstrap resamples). <= 0 means 1.
+	Workers int
+	// Seed drives all randomness (resampling weights, diagnostics).
+	Seed uint64
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return 1
+	}
+	return c.Workers
+}
+
+// Counters meters the work a plan performed. The naive (§5.2) and
+// consolidated (§5.3) pipelines produce radically different counters for
+// the same query; the cluster cost model turns them into simulated time.
+type Counters struct {
+	// Subqueries is the number of logical subqueries run against the
+	// stored sample (each one a separate scan in the naive rewrite).
+	Subqueries int
+	// Scans is the number of physical passes over the sample this
+	// process actually performed.
+	Scans int
+	// RowsScanned and BytesScanned total the base-table rows/bytes read
+	// across all physical scans.
+	RowsScanned  int64
+	BytesScanned int64
+	// RowsAfterFilter is the number of rows surviving the filter in one
+	// pass.
+	RowsAfterFilter int64
+	// WeightDraws is the number of Poisson weight draws the plan's
+	// resample placement implies (pushdown reduces this).
+	WeightDraws int64
+	// DiagSubqueries counts the diagnostic's subsample query executions.
+	DiagSubqueries int
+	// Tasks is the number of parallel tasks launched locally.
+	Tasks int
+}
+
+// add accumulates o into c.
+func (c *Counters) add(o Counters) {
+	c.Subqueries += o.Subqueries
+	c.Scans += o.Scans
+	c.RowsScanned += o.RowsScanned
+	c.BytesScanned += o.BytesScanned
+	c.RowsAfterFilter += o.RowsAfterFilter
+	c.WeightDraws += o.WeightDraws
+	c.DiagSubqueries += o.DiagSubqueries
+	c.Tasks += o.Tasks
+}
+
+// AggOutput is one aggregate's result for one group.
+type AggOutput struct {
+	Spec  plan.AggSpec
+	Query estimator.Query
+	// Value is the approximate answer θ(S) (or θ on the full table when
+	// the scan target is not a sample).
+	Value float64
+	// Values is the projected aggregation column for this group — the
+	// post-filter inputs θ consumed. Downstream consumers use it for
+	// closed-form variance estimates without a second scan.
+	Values []float64
+	// Bootstrap holds the K resample estimates when error estimation ran.
+	Bootstrap []float64
+	// Diag is the diagnostic verdict when the diagnostic operator ran.
+	Diag *diagnostic.Result
+}
+
+// GroupOutput is the set of aggregate results for one group key.
+type GroupOutput struct {
+	Key  string
+	Aggs []AggOutput
+}
+
+// Result is the output of executing a plan.
+type Result struct {
+	Groups     []GroupOutput
+	Counters   Counters
+	SampleRows int
+}
+
+// Run executes the plan against the given tables. Execution is faithful to
+// the plan's §5.3 flags:
+//
+//   - Consolidated resampling computes the plain answer and all resample
+//     aggregates in a single pass; the naive form physically re-executes
+//     scan → filter → project once per resample.
+//   - Pushdown controls whether Poisson weights are drawn for all scanned
+//     rows or only for rows surviving the filter.
+//   - The naive diagnostic is *accounted* at its full logical cost
+//     (sizes × p × (K+1) subqueries, each a separate scan of the sample)
+//     while the subsample mathematics is computed once — physically
+//     re-scanning tens of thousands of times would only reproduce, slowly,
+//     the same per-subsample inputs.
+func Run(p *plan.Plan, tables map[string]*StoredTable, udfs Registry, cfg Config) (*Result, error) {
+	nodes := collect(p.Root)
+	if nodes.scan == nil || nodes.agg == nil {
+		return nil, fmt.Errorf("exec: plan lacks scan or aggregate")
+	}
+	st, ok := tables[nodes.scan.Table]
+	if !ok {
+		return nil, fmt.Errorf("exec: unknown table %q", nodes.scan.Table)
+	}
+	tbl := st.Data
+
+	res := &Result{SampleRows: tbl.NumRows()}
+
+	// --- Scan, filter, project (one physical pass, parallel). ---
+	base, err := scanFilterProject(nodes, tbl, st, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Counters.add(base.counters)
+
+	// --- Group partitioning. ---
+	groups, err := splitGroups(nodes.agg, tbl, base)
+	if err != nil {
+		return nil, err
+	}
+
+	k := 0
+	if nodes.boot != nil {
+		k = nodes.boot.K
+	}
+
+	// The naive (§5.2) plan executes each bootstrap resample as its own
+	// subquery: physically re-run scan → filter → project once per
+	// resample. The per-resample weights themselves are drawn in
+	// bootstrapEstimates below; this loop performs (and meters) the
+	// repeated scans the UNION ALL rewrite pays for.
+	if k > 0 && (nodes.resample == nil || !nodes.resample.Consolidated) {
+		for r := 0; r < k; r++ {
+			rescan, err := scanFilterProject(nodes, tbl, st, cfg)
+			if err != nil {
+				return nil, err
+			}
+			res.Counters.add(Counters{
+				Subqueries:   1,
+				Scans:        1,
+				RowsScanned:  rescan.counters.RowsScanned,
+				BytesScanned: rescan.counters.BytesScanned,
+				Tasks:        rescan.counters.Tasks,
+			})
+		}
+	}
+
+	for _, g := range groups {
+		gout := GroupOutput{Key: g.key}
+		for ai, spec := range nodes.agg.Aggs {
+			q, err := queryFor(spec, st, tbl.NumRows(), len(nodes.agg.GroupBy) > 0, udfs)
+			if err != nil {
+				return nil, err
+			}
+			values := g.values[ai]
+			out := AggOutput{Spec: spec, Query: q, Value: q.Eval(values), Values: values}
+			if nodes.resample != nil && nodes.resample.UserRate > 0 {
+				// Explicit TABLESAMPLE POISSONIZED (rate): the base
+				// answer itself is one Poissonized resample (§5.2's SQL
+				// building block).
+				src := rng.NewWithStream(cfg.Seed,
+					hashStream("usersample", g.key, ai, 0))
+				w := make([]float64, len(values))
+				for i := range w {
+					w[i] = float64(src.Poisson(nodes.resample.UserRate))
+				}
+				out.Value = q.EvalWeighted(values, w)
+				res.Counters.WeightDraws += int64(len(values))
+			}
+
+			if k > 0 {
+				ests, c := bootstrapEstimates(nodes, values, q, k, cfg,
+					tbl.NumRows(), g.key, ai)
+				out.Bootstrap = ests
+				res.Counters.add(c)
+			}
+			if nodes.diag != nil {
+				dres, c, err := runDiagnostic(nodes, values, q, k, cfg, g.key, ai)
+				if err != nil {
+					return nil, err
+				}
+				out.Diag = dres
+				res.Counters.add(c)
+			}
+			gout.Aggs = append(gout.Aggs, out)
+		}
+		res.Groups = append(res.Groups, gout)
+	}
+	return res, nil
+}
+
+// nodeSet is the flattened plan chain.
+type nodeSet struct {
+	scan     *plan.Scan
+	filter   *plan.Filter
+	project  *plan.Project
+	resample *plan.Resample
+	agg      *plan.Aggregate
+	boot     *plan.Bootstrap
+	diag     *plan.Diagnostic
+}
+
+func collect(root plan.Node) nodeSet {
+	var ns nodeSet
+	plan.Walk(root, func(n plan.Node) {
+		switch v := n.(type) {
+		case *plan.Scan:
+			ns.scan = v
+		case *plan.Filter:
+			ns.filter = v
+		case *plan.Project:
+			ns.project = v
+		case *plan.Resample:
+			ns.resample = v
+		case *plan.Aggregate:
+			ns.agg = v
+		case *plan.Bootstrap:
+			ns.boot = v
+		case *plan.Diagnostic:
+			ns.diag = v
+		}
+	})
+	return ns
+}
+
+// scanResult is the outcome of the scan→filter→project pass.
+type scanResult struct {
+	sel      []int       // filtered row indices into the table
+	cols     [][]float64 // one value column per aggregate input expression
+	counters Counters
+}
+
+// scanFilterProject performs the single physical pass: partition the table
+// across workers, filter, and evaluate every aggregate's input expression.
+func scanFilterProject(nodes nodeSet, tbl *table.Table, st *StoredTable, cfg Config) (*scanResult, error) {
+	w := cfg.workers()
+	parts := tbl.Partition(w)
+	type partOut struct {
+		sel  []int // absolute row indices
+		cols [][]float64
+		err  error
+	}
+	outs := make([]partOut, len(parts))
+	var wg sync.WaitGroup
+	offset := 0
+	offsets := make([]int, len(parts))
+	for i, p := range parts {
+		offsets[i] = offset
+		offset += p.NumRows()
+	}
+	for i, part := range parts {
+		wg.Add(1)
+		go func(i int, part *table.Table) {
+			defer wg.Done()
+			var sel []int
+			if nodes.filter != nil {
+				local, err := EvalPredicate(nodes.filter.Pred, part)
+				if err != nil {
+					outs[i].err = err
+					return
+				}
+				sel = local
+			}
+			n := part.NumRows()
+			if sel != nil {
+				n = len(sel)
+			}
+			masked := len(nodes.agg.GroupBy) == 0
+			cols := make([][]float64, len(nodes.agg.Aggs))
+			for ai, spec := range nodes.agg.Aggs {
+				isSum := spec.Kind == estimator.Sum || spec.Kind == estimator.Count
+				if isSum && masked {
+					// Scaled sums evaluate over ALL sample rows, with
+					// zeros where the filter fails, so that the
+					// self-normalizing |D|·Σwx/Σw estimator sees the
+					// filter as part of the statistic. (Grouped queries
+					// fall back to conditional per-group columns; each
+					// group is treated as a separate query, per §2.1.)
+					full, err := maskedColumn(spec.Input, part, sel)
+					if err != nil {
+						outs[i].err = err
+						return
+					}
+					cols[ai] = full
+					continue
+				}
+				if spec.Input == nil {
+					// COUNT(*) under GROUP BY: indicator 1 per surviving
+					// row.
+					ones := make([]float64, n)
+					for j := range ones {
+						ones[j] = 1
+					}
+					cols[ai] = ones
+					continue
+				}
+				vals, err := EvalNumeric(spec.Input, part, sel)
+				if err != nil {
+					outs[i].err = err
+					return
+				}
+				cols[ai] = vals
+			}
+			// Convert to absolute indices.
+			abs := make([]int, n)
+			for j := 0; j < n; j++ {
+				abs[j] = offsets[i] + rowIdx(sel, j)
+			}
+			outs[i] = partOut{sel: abs, cols: cols}
+		}(i, part)
+	}
+	wg.Wait()
+
+	res := &scanResult{cols: make([][]float64, len(nodes.agg.Aggs))}
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		res.sel = append(res.sel, o.sel...)
+		for ai := range res.cols {
+			res.cols[ai] = append(res.cols[ai], o.cols[ai]...)
+		}
+	}
+	res.counters = Counters{
+		Subqueries:      1,
+		Scans:           1,
+		RowsScanned:     int64(tbl.NumRows()),
+		BytesScanned:    tbl.SizeBytes(),
+		RowsAfterFilter: int64(len(res.sel)),
+		Tasks:           len(parts),
+	}
+	return res, nil
+}
+
+// maskedColumn evaluates the aggregation input over ALL rows of the part,
+// zeroing rows the filter rejected. A nil input is COUNT(*)'s indicator.
+func maskedColumn(input sql.Expr, part *table.Table, sel []int) ([]float64, error) {
+	n := part.NumRows()
+	out := make([]float64, n)
+	if input == nil {
+		if sel == nil {
+			for i := range out {
+				out[i] = 1
+			}
+		} else {
+			for _, j := range sel {
+				out[j] = 1
+			}
+		}
+		return out, nil
+	}
+	vals, err := EvalNumeric(input, part, nil)
+	if err != nil {
+		return nil, err
+	}
+	if sel == nil {
+		copy(out, vals)
+	} else {
+		for _, j := range sel {
+			out[j] = vals[j]
+		}
+	}
+	return out, nil
+}
+
+// group is one GROUP BY bucket with per-aggregate value columns.
+type group struct {
+	key    string
+	values [][]float64
+}
+
+func splitGroups(agg *plan.Aggregate, tbl *table.Table, base *scanResult) ([]group, error) {
+	if len(agg.GroupBy) == 0 {
+		return []group{{key: "", values: base.cols}}, nil
+	}
+	if len(agg.GroupBy) > 1 {
+		return nil, fmt.Errorf("exec: multi-column GROUP BY not supported (got %d columns)",
+			len(agg.GroupBy))
+	}
+	col := tbl.ColumnByName(agg.GroupBy[0])
+	if col == nil {
+		return nil, fmt.Errorf("exec: unknown GROUP BY column %q", agg.GroupBy[0])
+	}
+	keyOf := func(row int) string {
+		switch c := col.(type) {
+		case table.StringCol:
+			return c[row]
+		case table.Int64Col:
+			return strconv.FormatInt(c[row], 10)
+		case table.Float64Col:
+			return strconv.FormatFloat(c[row], 'g', -1, 64)
+		default:
+			return ""
+		}
+	}
+	idxByKey := map[string][]int{}
+	for pos, row := range base.sel {
+		k := keyOf(row)
+		idxByKey[k] = append(idxByKey[k], pos)
+	}
+	keys := make([]string, 0, len(idxByKey))
+	for k := range idxByKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]group, 0, len(keys))
+	for _, k := range keys {
+		positions := idxByKey[k]
+		vals := make([][]float64, len(base.cols))
+		for ai, colVals := range base.cols {
+			sub := make([]float64, len(positions))
+			for j, pos := range positions {
+				sub[j] = colVals[pos]
+			}
+			vals[ai] = sub
+		}
+		out = append(out, group{key: k, values: vals})
+	}
+	return out, nil
+}
+
+// queryFor translates an AggSpec into an estimator.Query, resolving scaling
+// and UDF bodies.
+func queryFor(spec plan.AggSpec, st *StoredTable, sampleRows int, grouped bool, udfs Registry) (estimator.Query, error) {
+	switch spec.Kind {
+	case estimator.UDF:
+		fn, ok := udfs[spec.UDFName]
+		if !ok {
+			return estimator.Query{}, fmt.Errorf("exec: unregistered UDF %q", spec.UDFName)
+		}
+		return estimator.Query{Kind: estimator.UDF, Fn: fn, FnName: spec.UDFName}, nil
+	case estimator.Sum, estimator.Count:
+		if st.PopRows <= 0 {
+			return estimator.Query{Kind: spec.Kind}, nil
+		}
+		if !grouped {
+			// Ungrouped scaled sums evaluate over the full-sample masked
+			// column (zeros where the filter fails), so Query's
+			// self-normalized |D|·Σwx/Σw form applies directly.
+			return estimator.Query{Kind: spec.Kind, PopN: st.PopRows}, nil
+		}
+		// Grouped sums see only their group's rows; scale by the fixed
+		// |D|/|S| factor. (The resample-size noise this admits is the
+		// price of treating each group as a separate query, §2.1.)
+		scale := float64(st.PopRows) / float64(sampleRows)
+		return estimator.Query{
+			Kind:   estimator.UDF,
+			FnName: spec.Kind.String() + "_scaled",
+			Fn: func(values, weights []float64) float64 {
+				sum := 0.0
+				if weights == nil {
+					for _, v := range values {
+						sum += v
+					}
+				} else {
+					for i, v := range values {
+						sum += v * weights[i]
+					}
+				}
+				return scale * sum
+			},
+		}, nil
+	default:
+		return estimator.Query{Kind: spec.Kind, Pct: spec.Pct}, nil
+	}
+}
+
+// bootstrapEstimates computes the K resample estimates. Consolidated mode
+// draws weights in-process over the already-projected values (one pass
+// total). Naive mode charges one full subquery per resample. scannedRows
+// is the pre-filter row count; when pushdown is off, the plan draws
+// weights for every scanned row, so the waste is charged accordingly.
+func bootstrapEstimates(nodes nodeSet, values []float64, q estimator.Query, k int, cfg Config, scannedRows int, groupKey string, aggIdx int) ([]float64, Counters) {
+	var c Counters
+	w := cfg.workers()
+	ests := make([]float64, k)
+	var wg sync.WaitGroup
+	chunk := (k + w - 1) / w
+	for wi := 0; wi < w; wi++ {
+		lo, hi := wi*chunk, (wi+1)*chunk
+		if hi > k {
+			hi = k
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			buf := make([]float64, len(values))
+			for r := lo; r < hi; r++ {
+				src := rng.NewWithStream(cfg.Seed,
+					hashStream("boot", groupKey, aggIdx, r))
+				for i := range buf {
+					buf[i] = float64(src.Poisson1())
+				}
+				ests[r] = q.EvalWeighted(values, buf)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	c.Tasks += w
+	pushed := nodes.resample == nil || nodes.resample.Pushed
+	if pushed {
+		c.WeightDraws += int64(k) * int64(len(values))
+	} else {
+		c.WeightDraws += int64(k) * int64(scannedRows)
+	}
+	return ests, c
+}
+
+// runDiagnostic executes the diagnostic operator for one aggregate.
+func runDiagnostic(nodes nodeSet, values []float64, q estimator.Query, k int, cfg Config, groupKey string, aggIdx int) (*diagnostic.Result, Counters, error) {
+	var c Counters
+	dcfg := diagnostic.Config{
+		SubsampleSizes: nodes.diag.Sizes,
+		P:              nodes.diag.P,
+		C1:             0.2, C2: 0.2, C3: 0.5,
+		Rho:     0.95,
+		Alpha:   0.95,
+		Shuffle: true,
+	}
+	if dcfg.SubsampleSizes[len(dcfg.SubsampleSizes)-1]*dcfg.P > len(values) {
+		// Not enough filtered rows for the configured ladder: shrink it.
+		// Below 16 rows per largest subsample the verdict would be noise,
+		// so reject conservatively instead.
+		b3 := len(values) / (2 * dcfg.P)
+		if b3 < 16 {
+			return &diagnostic.Result{
+				OK:     false,
+				Reason: "too few rows after filtering for a meaningful diagnosis",
+			}, c, nil
+		}
+		dcfg.SubsampleSizes = []int{b3 / 4, b3 / 2, b3}
+	}
+	var xi estimator.Estimator
+	if q.ClosedFormApplicable() {
+		// Diagnostic subsamples are small (tens to hundreds of rows), so
+		// the Student-t critical value matters; with z the widths would be
+		// biased slightly narrow at every ladder size.
+		xi = estimator.ClosedForm{UseStudentT: true}
+	} else {
+		kk := k
+		if kk <= 0 {
+			kk = estimator.DefaultBootstrapK
+		}
+		xi = estimator.Bootstrap{K: kk}
+	}
+	src := rng.NewWithStream(cfg.Seed, hashStream("diag", groupKey, aggIdx, 0))
+	dres, err := diagnostic.Run(src, values, q, xi, dcfg)
+	if err != nil {
+		return nil, c, err
+	}
+	c.DiagSubqueries += dres.SubsampleQueries
+	if !nodes.diag.Consolidated {
+		// Naive accounting: every subsample query — including the K
+		// bootstrap replications per subsample when ξ is the bootstrap —
+		// is a separate subquery against the stored sample.
+		per := 1
+		if !q.ClosedFormApplicable() {
+			per = k + 1
+			if k <= 0 {
+				per = estimator.DefaultBootstrapK + 1
+			}
+		}
+		n := len(dcfg.SubsampleSizes) * dcfg.P * per
+		c.Subqueries += n
+		c.Scans += n
+	}
+	return &dres, c, nil
+}
+
+// hashStream derives a deterministic RNG stream id from execution
+// coordinates.
+func hashStream(kind, groupKey string, aggIdx, r int) uint64 {
+	h := uint64(1469598103934665603) // FNV-64 offset basis
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	mix(kind)
+	mix(groupKey)
+	h ^= uint64(aggIdx)
+	h *= 1099511628211
+	h ^= uint64(r)
+	h *= 1099511628211
+	return h
+}
+
+// Ensure sql import is used even if expression helpers move.
+var _ sql.Expr = (*sql.Literal)(nil)

@@ -1,0 +1,850 @@
+package exec
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/estimator"
+	"repro/internal/plan"
+	"repro/internal/rng"
+	"repro/internal/sql"
+	"repro/internal/stats"
+	"repro/internal/table"
+)
+
+// sessionsTable builds a deterministic Sessions table with a Time column,
+// a City string column and an int64 user id column.
+func sessionsTable(n int, seed uint64) *table.Table {
+	src := rng.New(seed)
+	times := make(table.Float64Col, n)
+	cities := make(table.StringCol, n)
+	users := make(table.Int64Col, n)
+	names := []string{"NYC", "SF", "LA", "CHI"}
+	for i := 0; i < n; i++ {
+		times[i] = 60 + 20*src.NormFloat64()
+		cities[i] = names[src.Intn(len(names))]
+		users[i] = int64(src.Intn(1000))
+	}
+	return table.MustNew(table.Schema{
+		{Name: "Time", Type: table.Float64},
+		{Name: "City", Type: table.String},
+		{Name: "user", Type: table.Int64},
+	}, times, cities, users)
+}
+
+func mustPlan(t *testing.T, q string, opt plan.Options, udfNames ...string) *plan.Plan {
+	t.Helper()
+	isUDF := func(name string) bool {
+		for _, u := range udfNames {
+			if u == name {
+				return true
+			}
+		}
+		return false
+	}
+	def, err := plan.Analyze(sql.MustParse(q).(*sql.Select), isUDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Build(def, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func storedSessions(n int, seed uint64) map[string]*StoredTable {
+	return map[string]*StoredTable{
+		"Sessions": {Data: sessionsTable(n, seed), PopRows: n * 10},
+	}
+}
+
+// --- Expression evaluation ---
+
+func TestEvalNumericArithmetic(t *testing.T) {
+	tbl := table.MustNew(table.Schema{{Name: "x", Type: table.Float64}},
+		table.Float64Col{1, 2, 3})
+	e := sql.MustParse("SELECT AVG(x * 2 + 1) FROM t").(*sql.Select).
+		Items[0].Expr.(*sql.FuncCall).Args[0]
+	vals, err := EvalNumeric(e, tbl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 5, 7}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Errorf("vals = %v", vals)
+			break
+		}
+	}
+}
+
+func TestEvalNumericWithSelection(t *testing.T) {
+	tbl := table.MustNew(table.Schema{{Name: "x", Type: table.Float64}},
+		table.Float64Col{10, 20, 30, 40})
+	e := &sql.ColumnRef{Name: "x"}
+	vals, err := EvalNumeric(e, tbl, []int{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0] != 40 || vals[1] != 20 {
+		t.Errorf("vals = %v", vals)
+	}
+}
+
+func TestEvalNumericIntCoercionAndScalar(t *testing.T) {
+	tbl := table.MustNew(table.Schema{{Name: "n", Type: table.Int64}},
+		table.Int64Col{1, 2})
+	vals, err := EvalNumeric(&sql.ColumnRef{Name: "n"}, tbl, nil)
+	if err != nil || vals[1] != 2 {
+		t.Errorf("int coercion: %v %v", vals, err)
+	}
+	lit, err := EvalNumeric(&sql.Literal{Num: 7}, tbl, nil)
+	if err != nil || len(lit) != 2 || lit[0] != 7 {
+		t.Errorf("scalar broadcast: %v %v", lit, err)
+	}
+}
+
+func TestEvalNumericErrors(t *testing.T) {
+	tbl := sessionsTable(10, 1)
+	if _, err := EvalNumeric(&sql.ColumnRef{Name: "nope"}, tbl, nil); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := EvalNumeric(&sql.ColumnRef{Name: "City"}, tbl, nil); err == nil {
+		t.Error("string column accepted as numeric")
+	}
+	bad := &sql.Binary{Op: "+", L: &sql.ColumnRef{Name: "City"}, R: &sql.Literal{Num: 1}}
+	if _, err := EvalNumeric(bad, tbl, nil); err == nil {
+		t.Error("string arithmetic accepted")
+	}
+}
+
+func TestEvalPredicateStringAndNumeric(t *testing.T) {
+	tbl := sessionsTable(1000, 2)
+	pred := sql.MustParse("SELECT COUNT(*) FROM t WHERE City = 'NYC' AND Time > 60").(*sql.Select).Where
+	sel, err := EvalPredicate(pred, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cities := tbl.ColumnByName("City").(table.StringCol)
+	times := tbl.ColumnByName("Time").(table.Float64Col)
+	for _, i := range sel {
+		if cities[i] != "NYC" || times[i] <= 60 {
+			t.Fatalf("row %d fails predicate", i)
+		}
+	}
+	// Verify completeness: count matches a manual scan.
+	want := 0
+	for i := 0; i < tbl.NumRows(); i++ {
+		if cities[i] == "NYC" && times[i] > 60 {
+			want++
+		}
+	}
+	if len(sel) != want {
+		t.Errorf("selected %d rows, want %d", len(sel), want)
+	}
+}
+
+func TestEvalPredicateOrNotComparators(t *testing.T) {
+	tbl := sessionsTable(500, 3)
+	pred := sql.MustParse(
+		"SELECT COUNT(*) FROM t WHERE NOT (City = 'SF') OR Time <= 50").(*sql.Select).Where
+	sel, err := EvalPredicate(pred, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cities := tbl.ColumnByName("City").(table.StringCol)
+	times := tbl.ColumnByName("Time").(table.Float64Col)
+	for _, i := range sel {
+		if !(cities[i] != "SF" || times[i] <= 50) {
+			t.Fatalf("row %d fails predicate", i)
+		}
+	}
+}
+
+func TestEvalPredicateErrors(t *testing.T) {
+	tbl := sessionsTable(10, 4)
+	if _, err := EvalPredicate(&sql.ColumnRef{Name: "Time"}, tbl); err == nil {
+		t.Error("non-boolean WHERE accepted")
+	}
+	mixed := &sql.Binary{Op: "=", L: &sql.ColumnRef{Name: "City"}, R: &sql.Literal{Num: 3}}
+	if _, err := EvalPredicate(mixed, tbl); err == nil {
+		t.Error("string-vs-number comparison accepted")
+	}
+}
+
+// --- End-to-end plan execution ---
+
+func TestRunPlainAggregate(t *testing.T) {
+	tables := storedSessions(10000, 5)
+	p := mustPlan(t, "SELECT AVG(Time) FROM Sessions", plan.Options{})
+	res, err := Run(p, tables, nil, Config{Workers: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 || len(res.Groups[0].Aggs) != 1 {
+		t.Fatalf("result shape: %+v", res.Groups)
+	}
+	got := res.Groups[0].Aggs[0].Value
+	want, _ := tables["Sessions"].Data.Float64ColumnByName("Time")
+	if math.Abs(got-stats.Mean(want)) > 1e-9 {
+		t.Errorf("AVG = %v, want %v", got, stats.Mean(want))
+	}
+	c := res.Counters
+	if c.Scans != 1 || c.Subqueries != 1 {
+		t.Errorf("counters: %+v", c)
+	}
+	if c.RowsScanned != 10000 {
+		t.Errorf("rows scanned = %d", c.RowsScanned)
+	}
+}
+
+func TestRunFilteredAggregateMatchesManual(t *testing.T) {
+	tables := storedSessions(20000, 6)
+	p := mustPlan(t, "SELECT AVG(Time) FROM Sessions WHERE City = 'NYC'", plan.Options{})
+	res, err := Run(p, tables, nil, Config{Workers: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := tables["Sessions"].Data
+	cities := tbl.ColumnByName("City").(table.StringCol)
+	times := tbl.ColumnByName("Time").(table.Float64Col)
+	var m stats.Moments
+	for i := range cities {
+		if cities[i] == "NYC" {
+			m.Add(times[i])
+		}
+	}
+	if math.Abs(res.Groups[0].Aggs[0].Value-m.Mean()) > 1e-9 {
+		t.Errorf("filtered AVG = %v, want %v", res.Groups[0].Aggs[0].Value, m.Mean())
+	}
+	if res.Counters.RowsAfterFilter != int64(m.Count()) {
+		t.Errorf("rows after filter = %d, want %v",
+			res.Counters.RowsAfterFilter, m.Count())
+	}
+}
+
+func TestRunWorkerCountInvariance(t *testing.T) {
+	tables := storedSessions(9973, 7) // prime size exercises partition edges
+	q := "SELECT SUM(Time), COUNT(*), MIN(Time), MAX(Time) FROM Sessions WHERE Time > 55"
+	var ref *Result
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := mustPlan(t, q, plan.Options{})
+		res, err := Run(p, tables, nil, Config{Workers: workers, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		for ai := range ref.Groups[0].Aggs {
+			a, b := ref.Groups[0].Aggs[ai].Value, res.Groups[0].Aggs[ai].Value
+			if math.Abs(a-b) > 1e-6*math.Abs(a) {
+				t.Errorf("workers=%d agg %d: %v != %v", workers, ai, b, a)
+			}
+		}
+	}
+}
+
+func TestRunScaledSumAndCount(t *testing.T) {
+	// PopRows = 10x sample rows: COUNT(*) must estimate ~PopRows, and
+	// SUM must estimate ~10x the sample sum.
+	tables := storedSessions(5000, 8)
+	p := mustPlan(t, "SELECT COUNT(*), SUM(Time) FROM Sessions", plan.Options{})
+	res, err := Run(p, tables, nil, Config{Workers: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := res.Groups[0].Aggs[0].Value
+	if count != 50000 {
+		t.Errorf("scaled COUNT = %v, want 50000", count)
+	}
+	times, _ := tables["Sessions"].Data.Float64ColumnByName("Time")
+	wantSum := 10 * stats.Sum(times)
+	if math.Abs(res.Groups[0].Aggs[1].Value-wantSum)/wantSum > 1e-9 {
+		t.Errorf("scaled SUM = %v, want %v", res.Groups[0].Aggs[1].Value, wantSum)
+	}
+}
+
+func TestRunGroupBy(t *testing.T) {
+	tables := storedSessions(8000, 9)
+	p := mustPlan(t, "SELECT City, AVG(Time) FROM Sessions GROUP BY City", plan.Options{})
+	res, err := Run(p, tables, nil, Config{Workers: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 4 {
+		t.Fatalf("groups = %d, want 4 cities", len(res.Groups))
+	}
+	// Keys sorted, values match manual computation.
+	tbl := tables["Sessions"].Data
+	cities := tbl.ColumnByName("City").(table.StringCol)
+	times := tbl.ColumnByName("Time").(table.Float64Col)
+	for _, g := range res.Groups {
+		var m stats.Moments
+		for i := range cities {
+			if cities[i] == g.Key {
+				m.Add(times[i])
+			}
+		}
+		if math.Abs(g.Aggs[0].Value-m.Mean()) > 1e-9 {
+			t.Errorf("group %s AVG = %v, want %v", g.Key, g.Aggs[0].Value, m.Mean())
+		}
+	}
+}
+
+func TestRunBootstrapProducesSaneDistribution(t *testing.T) {
+	tables := storedSessions(20000, 10)
+	opt := plan.Options{BootstrapK: 80, Alpha: 0.95,
+		ScanConsolidation: true, OperatorPushdown: true}
+	p := mustPlan(t, "SELECT AVG(Time) FROM Sessions", opt)
+	res, err := Run(p, tables, nil, Config{Workers: 4, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Groups[0].Aggs[0]
+	if len(out.Bootstrap) != 80 {
+		t.Fatalf("bootstrap estimates = %d", len(out.Bootstrap))
+	}
+	// Bootstrap SE should approximate s/sqrt(n).
+	times, _ := tables["Sessions"].Data.Float64ColumnByName("Time")
+	wantSE := math.Sqrt(stats.SampleVariance(times) / 20000)
+	se := stats.Stddev(out.Bootstrap)
+	if se < 0.5*wantSE || se > 2*wantSE {
+		t.Errorf("bootstrap SE = %v, want ~%v", se, wantSE)
+	}
+	// Consolidated: still one scan, one subquery.
+	if res.Counters.Scans != 1 || res.Counters.Subqueries != 1 {
+		t.Errorf("consolidated counters: %+v", res.Counters)
+	}
+	if res.Counters.WeightDraws != 80*20000 {
+		t.Errorf("weight draws = %d, want %d", res.Counters.WeightDraws, 80*20000)
+	}
+}
+
+func TestRunBootstrapDeterministicAcrossWorkerCounts(t *testing.T) {
+	tables := storedSessions(5000, 11)
+	opt := plan.Options{BootstrapK: 40, Alpha: 0.95,
+		ScanConsolidation: true, OperatorPushdown: true}
+	var ref []float64
+	for _, workers := range []int{1, 3, 7} {
+		p := mustPlan(t, "SELECT AVG(Time) FROM Sessions", opt)
+		res, err := Run(p, tables, nil, Config{Workers: workers, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := res.Groups[0].Aggs[0].Bootstrap
+		if ref == nil {
+			ref = b
+			continue
+		}
+		for i := range ref {
+			if b[i] != ref[i] {
+				t.Fatalf("workers=%d: resample %d differs (%v vs %v)",
+					workers, i, b[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestRunNaiveCountersChargeSubqueries(t *testing.T) {
+	tables := storedSessions(20000, 12)
+	naive := plan.Options{BootstrapK: 50, Alpha: 0.95,
+		ScanConsolidation: false, OperatorPushdown: false}
+	p := mustPlan(t, "SELECT AVG(Time) FROM Sessions WHERE City = 'NYC'", naive)
+	res, err := Run(p, tables, nil, Config{Workers: 4, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counters
+	if c.Subqueries != 1+50 {
+		t.Errorf("naive subqueries = %d, want 51", c.Subqueries)
+	}
+	if c.Scans != 1+50 {
+		t.Errorf("naive scans = %d, want 51", c.Scans)
+	}
+	// Unpushed resampling draws weights for every scanned row.
+	if c.WeightDraws != 50*20000 {
+		t.Errorf("unpushed weight draws = %d, want %d", c.WeightDraws, 50*20000)
+	}
+
+	pushed := plan.Options{BootstrapK: 50, Alpha: 0.95,
+		ScanConsolidation: true, OperatorPushdown: true}
+	p2 := mustPlan(t, "SELECT AVG(Time) FROM Sessions WHERE City = 'NYC'", pushed)
+	res2, err := Run(p2, tables, nil, Config{Workers: 4, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Counters.WeightDraws >= c.WeightDraws {
+		t.Errorf("pushdown did not reduce weight draws: %d vs %d",
+			res2.Counters.WeightDraws, c.WeightDraws)
+	}
+	// ~1/4 of rows are NYC.
+	ratio := float64(res2.Counters.WeightDraws) / float64(c.WeightDraws)
+	if ratio > 0.35 {
+		t.Errorf("pushdown ratio = %v, want ~0.25", ratio)
+	}
+}
+
+func TestRunDiagnosticOperator(t *testing.T) {
+	tables := storedSessions(60000, 13)
+	opt := plan.DefaultOptions(60000)
+	opt.BootstrapK = 40
+	p := mustPlan(t, "SELECT AVG(Time) FROM Sessions", opt)
+	res, err := Run(p, tables, nil, Config{Workers: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Groups[0].Aggs[0]
+	if out.Diag == nil {
+		t.Fatal("diagnostic result missing")
+	}
+	if !out.Diag.OK {
+		t.Errorf("diagnostic rejected Gaussian AVG: %s", out.Diag.Reason)
+	}
+	if res.Counters.DiagSubqueries == 0 {
+		t.Error("diagnostic subquery count not recorded")
+	}
+	// Consolidated diagnostic: no extra logical subqueries.
+	if res.Counters.Subqueries != 1 {
+		t.Errorf("consolidated pipeline subqueries = %d, want 1", res.Counters.Subqueries)
+	}
+}
+
+func TestRunNaiveDiagnosticCost(t *testing.T) {
+	tables := storedSessions(60000, 14)
+	opt := plan.DefaultOptions(60000)
+	opt.BootstrapK = 20
+	opt.ScanConsolidation = false
+	p := mustPlan(t, "SELECT AVG(Time) FROM Sessions", opt)
+	res, err := Run(p, tables, nil, Config{Workers: 4, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closed-form ξ for AVG: 3 sizes × 100 subsamples = 300 extra
+	// subqueries, plus 1 + K bootstrap.
+	want := 1 + 20 + 3*100
+	if res.Counters.Subqueries != want {
+		t.Errorf("naive subqueries = %d, want %d", res.Counters.Subqueries, want)
+	}
+}
+
+func TestRunDiagnosticShrinksLadderWhenFilterTight(t *testing.T) {
+	tables := storedSessions(20000, 15)
+	opt := plan.DefaultOptions(20000) // ladder sized for the full table
+	opt.BootstrapK = 20
+	// ~25% of rows are NYC, so the configured ladder cannot fit and the
+	// executor must shrink it rather than fail.
+	p := mustPlan(t, "SELECT AVG(Time) FROM Sessions WHERE City = 'NYC'", opt)
+	res, err := Run(p, tables, nil, Config{Workers: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Groups[0].Aggs[0].Diag == nil {
+		t.Fatal("diagnostic missing")
+	}
+}
+
+func TestRunUDF(t *testing.T) {
+	tables := storedSessions(10000, 16)
+	udfs := Registry{"CLAMPEDMEAN": func(values, weights []float64) float64 {
+		var m stats.Moments
+		for i, v := range values {
+			w := 1.0
+			if weights != nil {
+				w = weights[i]
+			}
+			if v > 100 {
+				v = 100
+			}
+			m.AddWeighted(v, w)
+		}
+		return m.Mean()
+	}}
+	opt := plan.Options{BootstrapK: 30, Alpha: 0.95,
+		ScanConsolidation: true, OperatorPushdown: true}
+	p := mustPlan(t, "SELECT CLAMPEDMEAN(Time) FROM Sessions", opt, "CLAMPEDMEAN")
+	res, err := Run(p, tables, udfs, Config{Workers: 2, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Groups[0].Aggs[0]
+	if math.IsNaN(out.Value) {
+		t.Error("UDF value NaN")
+	}
+	if len(out.Bootstrap) != 30 {
+		t.Error("UDF bootstrap missing")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tables := storedSessions(100, 17)
+	p := mustPlan(t, "SELECT AVG(Time) FROM NoSuchTable", plan.Options{})
+	if _, err := Run(p, tables, nil, Config{}); err == nil {
+		t.Error("unknown table accepted")
+	}
+	p2 := mustPlan(t, "SELECT MYUDF(Time) FROM Sessions", plan.Options{}, "MYUDF")
+	if _, err := Run(p2, tables, nil, Config{}); err == nil {
+		t.Error("unregistered UDF accepted")
+	}
+	p3 := mustPlan(t, "SELECT AVG(nope) FROM Sessions", plan.Options{})
+	if _, err := Run(p3, tables, nil, Config{}); err == nil {
+		t.Error("unknown aggregation column accepted")
+	}
+}
+
+func TestRunPercentile(t *testing.T) {
+	tables := storedSessions(10000, 18)
+	p := mustPlan(t, "SELECT PERCENTILE(Time, 0.5) FROM Sessions", plan.Options{})
+	res, err := Run(p, tables, nil, Config{Workers: 2, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	times, _ := tables["Sessions"].Data.Float64ColumnByName("Time")
+	want := stats.Quantile(times, 0.5)
+	if math.Abs(res.Groups[0].Aggs[0].Value-want) > 1e-9 {
+		t.Errorf("median = %v, want %v", res.Groups[0].Aggs[0].Value, want)
+	}
+}
+
+func TestQueryForScaledCountSemantics(t *testing.T) {
+	st := &StoredTable{PopRows: 1000}
+	q, err := queryFor(plan.AggSpec{Kind: estimator.Count}, st, 100, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ungrouped COUNT sees the full masked column: 20 ones among 100 rows
+	// of a sample representing 1000 population rows → estimate 200.
+	masked := make([]float64, 100)
+	for i := 0; i < 20; i++ {
+		masked[i] = 1
+	}
+	if got := q.Eval(masked); got != 200 {
+		t.Errorf("scaled COUNT = %v, want 200", got)
+	}
+	// Grouped COUNT uses the fixed-scale closure over its group's rows.
+	qg, err := queryFor(plan.AggSpec{Kind: estimator.Count}, st, 100, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := make([]float64, 20)
+	for i := range ones {
+		ones[i] = 1
+	}
+	if got := qg.Eval(ones); got != 200 {
+		t.Errorf("grouped scaled COUNT = %v, want 200", got)
+	}
+}
+
+func BenchmarkRunConsolidatedPipeline(b *testing.B) {
+	tables := storedSessions(100000, 20)
+	opt := plan.DefaultOptions(100000)
+	def, _ := plan.Analyze(sql.MustParse(
+		"SELECT AVG(Time) FROM Sessions WHERE City = 'NYC'").(*sql.Select), nil)
+	p, _ := plan.Build(def, opt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, tables, nil, Config{Workers: 8, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunNaivePipeline(b *testing.B) {
+	tables := storedSessions(100000, 21)
+	opt := plan.DefaultOptions(100000)
+	opt.ScanConsolidation = false
+	opt.OperatorPushdown = false
+	def, _ := plan.Analyze(sql.MustParse(
+		"SELECT AVG(Time) FROM Sessions WHERE City = 'NYC'").(*sql.Select), nil)
+	p, _ := plan.Build(def, opt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, tables, nil, Config{Workers: 8, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestRunUserTableSample(t *testing.T) {
+	tables := storedSessions(20000, 30)
+	p := mustPlan(t, "SELECT AVG(Time) FROM Sessions TABLESAMPLE POISSONIZED (100)",
+		plan.Options{})
+	res, err := Run(p, tables, nil, Config{Workers: 2, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Groups[0].Aggs[0].Value
+	times, _ := tables["Sessions"].Data.Float64ColumnByName("Time")
+	plain := stats.Mean(times)
+	// A Poissonized resample mean is a perturbation of the plain mean,
+	// not equal to it, but close (n = 20000 → SE ~ s/sqrt(n)).
+	se := math.Sqrt(stats.SampleVariance(times) / 20000)
+	if got == plain {
+		t.Error("TABLESAMPLE clause ignored: value equals plain mean exactly")
+	}
+	if math.Abs(got-plain) > 6*se {
+		t.Errorf("resampled mean %v implausibly far from %v", got, plain)
+	}
+	if res.Counters.WeightDraws == 0 {
+		t.Error("no weight draws recorded for the user sample")
+	}
+	// A rate of 400 (Poisson(4) weights) still estimates the same mean.
+	p4 := mustPlan(t, "SELECT AVG(Time) FROM Sessions TABLESAMPLE POISSONIZED (400)",
+		plan.Options{})
+	res4, err := Run(p4, tables, nil, Config{Workers: 2, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res4.Groups[0].Aggs[0].Value-plain) > 6*se {
+		t.Errorf("rate-4 resampled mean %v far from %v", res4.Groups[0].Aggs[0].Value, plain)
+	}
+}
+
+func TestRunUserTableSampleDeterministic(t *testing.T) {
+	tables := storedSessions(5000, 31)
+	p := mustPlan(t, "SELECT SUM(Time) FROM Sessions TABLESAMPLE POISSONIZED (100)",
+		plan.Options{})
+	a, err := Run(p, tables, nil, Config{Workers: 3, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, tables, nil, Config{Workers: 1, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Groups[0].Aggs[0].Value != b.Groups[0].Aggs[0].Value {
+		t.Error("user-sample evaluation not deterministic across worker counts")
+	}
+}
+
+// TestNaiveUnionRewriteExecutes runs the literal §5.2 UNION ALL rewrite
+// through the engine's own SQL surface: each subquery draws its own
+// Poissonized resample, and the collected resample answers form a
+// bootstrap distribution statistically equivalent to the consolidated
+// Bootstrap operator's.
+func TestNaiveUnionRewriteExecutes(t *testing.T) {
+	tables := storedSessions(10000, 32)
+	def, err := plan.Analyze(sql.MustParse(
+		"SELECT AVG(Time) FROM Sessions WHERE City = 'NYC'").(*sql.Select), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 60
+	text := plan.NaiveRewriteSQL(def, k)
+	inner := text[strings.Index(text, "FROM (")+len("FROM (") : strings.LastIndex(text, ") AS resamples")]
+	union, ok := sql.MustParse(inner).(*sql.UnionAll)
+	if !ok {
+		t.Fatalf("rewrite did not parse as UNION ALL: %s", inner)
+	}
+	if len(union.Selects) != k {
+		t.Fatalf("subqueries = %d", len(union.Selects))
+	}
+	var resampleAnswers []float64
+	for i, sub := range union.Selects {
+		subDef, err := plan.Analyze(sub, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := plan.Build(subDef, plan.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(p, tables, nil, Config{Workers: 2, Seed: uint64(100 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resampleAnswers = append(resampleAnswers, res.Groups[0].Aggs[0].Value)
+	}
+	// Compare against the consolidated bootstrap distribution.
+	opt := plan.Options{BootstrapK: k, Alpha: 0.95,
+		ScanConsolidation: true, OperatorPushdown: true}
+	p, _ := plan.Build(def, opt)
+	res, err := Run(p, tables, nil, Config{Workers: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	consolidated := res.Groups[0].Aggs[0].Bootstrap
+
+	mUnion, mCons := stats.Mean(resampleAnswers), stats.Mean(consolidated)
+	seUnion, seCons := stats.Stddev(resampleAnswers), stats.Stddev(consolidated)
+	if math.Abs(mUnion-mCons) > 4*(seUnion+seCons)/math.Sqrt(k) {
+		t.Errorf("union-rewrite mean %v vs consolidated %v", mUnion, mCons)
+	}
+	if r := seUnion / seCons; r < 0.6 || r > 1.7 {
+		t.Errorf("bootstrap spread mismatch: union %v vs consolidated %v", seUnion, seCons)
+	}
+}
+
+func TestRunEmptyFilterResult(t *testing.T) {
+	tables := storedSessions(1000, 33)
+	p := mustPlan(t, "SELECT AVG(Time) FROM Sessions WHERE City = 'NOWHERE'",
+		plan.Options{BootstrapK: 10, Alpha: 0.95,
+			ScanConsolidation: true, OperatorPushdown: true})
+	res, err := Run(p, tables, nil, Config{Workers: 2, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(res.Groups[0].Aggs[0].Value) {
+		t.Errorf("AVG over zero rows = %v, want NaN", res.Groups[0].Aggs[0].Value)
+	}
+	if res.Counters.RowsAfterFilter != 0 {
+		t.Errorf("rows after filter = %d", res.Counters.RowsAfterFilter)
+	}
+	// COUNT over zero matching rows is a well-defined 0 (masked column of
+	// zeros, scaled).
+	p2 := mustPlan(t, "SELECT COUNT(*) FROM Sessions WHERE City = 'NOWHERE'",
+		plan.Options{})
+	res2, err := Run(p2, tables, nil, Config{Workers: 2, Seed: 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res2.Groups[0].Aggs[0].Value; got != 0 {
+		t.Errorf("COUNT over zero rows = %v, want 0", got)
+	}
+}
+
+func TestRunEmptyGroupByResult(t *testing.T) {
+	tables := storedSessions(1000, 34)
+	p := mustPlan(t, "SELECT City, AVG(Time) FROM Sessions WHERE Time > 1e12 GROUP BY City",
+		plan.Options{})
+	res, err := Run(p, tables, nil, Config{Workers: 2, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 0 {
+		t.Errorf("groups = %d, want 0 when nothing matches", len(res.Groups))
+	}
+}
+
+// TestOperatorMatrix sweeps every arithmetic and comparison operator over
+// numeric and string operands through the SQL surface.
+func TestOperatorMatrix(t *testing.T) {
+	tbl := table.MustNew(table.Schema{
+		{Name: "a", Type: table.Float64},
+		{Name: "b", Type: table.Float64},
+		{Name: "s", Type: table.String},
+	}, table.Float64Col{6, 2}, table.Float64Col{3, 3}, table.StringCol{"x", "y"})
+
+	arith := []struct {
+		expr string
+		want []float64
+	}{
+		{"a + b", []float64{9, 5}},
+		{"a - b", []float64{3, -1}},
+		{"a * b", []float64{18, 6}},
+		{"a / b", []float64{2, 2.0 / 3}},
+		{"-a", []float64{-6, -2}},
+	}
+	for _, c := range arith {
+		e := sql.MustParse("SELECT AVG(" + c.expr + ") FROM t").(*sql.Select).
+			Items[0].Expr.(*sql.FuncCall).Args[0]
+		got, err := EvalNumeric(e, tbl, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", c.expr, err)
+		}
+		for i := range c.want {
+			if math.Abs(got[i]-c.want[i]) > 1e-12 {
+				t.Errorf("%s: row %d = %v, want %v", c.expr, i, got[i], c.want[i])
+			}
+		}
+	}
+
+	numCmp := []struct {
+		pred string
+		want []int // matching row indices
+	}{
+		{"a = 6", []int{0}},
+		{"a != 6", []int{1}},
+		{"a < 3", []int{1}},
+		{"a <= 2", []int{1}},
+		{"a > 3", []int{0}},
+		{"a >= 6", []int{0}},
+	}
+	for _, c := range numCmp {
+		pred := sql.MustParse("SELECT COUNT(*) FROM t WHERE " + c.pred).(*sql.Select).Where
+		sel, err := EvalPredicate(pred, tbl)
+		if err != nil {
+			t.Fatalf("%s: %v", c.pred, err)
+		}
+		if len(sel) != len(c.want) {
+			t.Errorf("%s: sel = %v, want %v", c.pred, sel, c.want)
+			continue
+		}
+		for i := range c.want {
+			if sel[i] != c.want[i] {
+				t.Errorf("%s: sel = %v, want %v", c.pred, sel, c.want)
+			}
+		}
+	}
+
+	strCmp := []struct {
+		pred string
+		rows int
+	}{
+		{"s = 'x'", 1},
+		{"s != 'x'", 1},
+		{"s < 'y'", 1},
+		{"s <= 'y'", 2},
+		{"s > 'x'", 1},
+		{"s >= 'x'", 2},
+	}
+	for _, c := range strCmp {
+		pred := sql.MustParse("SELECT COUNT(*) FROM t WHERE " + c.pred).(*sql.Select).Where
+		sel, err := EvalPredicate(pred, tbl)
+		if err != nil {
+			t.Fatalf("%s: %v", c.pred, err)
+		}
+		if len(sel) != c.rows {
+			t.Errorf("%s: matched %d rows, want %d", c.pred, len(sel), c.rows)
+		}
+	}
+}
+
+func TestEvalExprErrorPaths(t *testing.T) {
+	tbl := sessionsTable(10, 40)
+	bad := []string{
+		"SELECT COUNT(*) FROM t WHERE NOT Time",           // NOT non-boolean
+		"SELECT COUNT(*) FROM t WHERE (Time > 1) + 2 > 0", // arithmetic on boolean
+		"SELECT COUNT(*) FROM t WHERE City AND City",      // AND on strings
+		"SELECT AVG(-City) FROM t",                        // negate string
+	}
+	for _, q := range bad {
+		sel := sql.MustParse(q).(*sql.Select)
+		var err error
+		if sel.Where != nil {
+			_, err = EvalPredicate(sel.Where, tbl)
+		} else {
+			_, err = EvalNumeric(sel.Items[0].Expr.(*sql.FuncCall).Args[0], tbl, nil)
+		}
+		if err == nil {
+			t.Errorf("%s: expected evaluation error", q)
+		}
+	}
+}
+
+func TestRunDiagnosticTooFewRows(t *testing.T) {
+	tables := storedSessions(5000, 41)
+	opt := plan.DefaultOptions(5000)
+	opt.BootstrapK = 10
+	// Selectivity ~0: a filter matching almost nothing leaves too few rows
+	// for any diagnostic ladder; the operator must report an explicit
+	// rejection rather than failing.
+	p := mustPlan(t, "SELECT AVG(Time) FROM Sessions WHERE Time > 1e9", opt)
+	res, err := Run(p, tables, nil, Config{Workers: 2, Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Groups[0].Aggs[0].Diag
+	if d == nil {
+		t.Fatal("diagnostic result missing")
+	}
+	if d.OK {
+		t.Error("diagnostic accepted with no usable rows")
+	}
+	if d.Reason == "" {
+		t.Error("rejection must carry a reason")
+	}
+}

@@ -1,0 +1,293 @@
+// Package exec physically executes logical plans over columnar tables: it
+// evaluates filter predicates and projection expressions vectorized over
+// column slices, runs scans in parallel over table partitions, applies
+// Poissonized resampling weights, computes plain and weighted aggregates,
+// and drives the bootstrap and diagnostic operators. It also meters the
+// work performed (scans, rows, weight draws, subqueries) so the cluster
+// cost model can translate a plan's execution into simulated wall-clock
+// time at production scale.
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sql"
+	"repro/internal/table"
+)
+
+// value is the result of evaluating an expression over a batch of rows:
+// exactly one of the vectors is non-nil, or the value is a scalar constant
+// broadcast over the batch.
+type value struct {
+	nums   []float64
+	strs   []string
+	bools  []bool
+	scalar bool
+	numS   float64
+	strS   string
+	isStr  bool
+}
+
+func (v value) numAt(i int) float64 {
+	if v.scalar {
+		return v.numS
+	}
+	return v.nums[i]
+}
+
+func (v value) strAt(i int) string {
+	if v.scalar {
+		return v.strS
+	}
+	return v.strs[i]
+}
+
+// evalExpr evaluates e over the n rows of tbl, using sel as a selection
+// vector when non-nil (row i of the batch is tbl row sel[i]).
+func evalExpr(e sql.Expr, tbl *table.Table, sel []int, n int) (value, error) {
+	switch ex := e.(type) {
+	case *sql.Literal:
+		if ex.IsStr {
+			return value{scalar: true, strS: ex.Str, isStr: true}, nil
+		}
+		return value{scalar: true, numS: ex.Num}, nil
+
+	case *sql.ColumnRef:
+		col := tbl.ColumnByName(ex.Name)
+		if col == nil {
+			return value{}, fmt.Errorf("exec: unknown column %q", ex.Name)
+		}
+		switch c := col.(type) {
+		case table.Float64Col:
+			return value{nums: gatherF64(c, sel, n)}, nil
+		case table.Int64Col:
+			out := make([]float64, n)
+			for i := 0; i < n; i++ {
+				out[i] = float64(c[rowIdx(sel, i)])
+			}
+			return value{nums: out}, nil
+		case table.StringCol:
+			out := make([]string, n)
+			for i := 0; i < n; i++ {
+				out[i] = c[rowIdx(sel, i)]
+			}
+			return value{strs: out, isStr: true}, nil
+		default:
+			return value{}, fmt.Errorf("exec: unsupported column type for %q", ex.Name)
+		}
+
+	case *sql.Unary:
+		inner, err := evalExpr(ex.E, tbl, sel, n)
+		if err != nil {
+			return value{}, err
+		}
+		switch ex.Op {
+		case "-":
+			if inner.isStr {
+				return value{}, fmt.Errorf("exec: cannot negate a string")
+			}
+			if inner.scalar {
+				return value{scalar: true, numS: -inner.numS}, nil
+			}
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = -inner.nums[i]
+			}
+			return value{nums: out}, nil
+		case "NOT":
+			if inner.bools == nil {
+				return value{}, fmt.Errorf("exec: NOT applied to non-boolean")
+			}
+			out := make([]bool, n)
+			for i := range out {
+				out[i] = !inner.bools[i]
+			}
+			return value{bools: out}, nil
+		default:
+			return value{}, fmt.Errorf("exec: unknown unary operator %q", ex.Op)
+		}
+
+	case *sql.Binary:
+		return evalBinary(ex, tbl, sel, n)
+
+	case *sql.FuncCall:
+		return value{}, fmt.Errorf("exec: nested aggregate %s in row expression", ex.Name)
+
+	case *sql.Star:
+		return value{}, fmt.Errorf("exec: * outside COUNT")
+
+	default:
+		return value{}, fmt.Errorf("exec: unsupported expression %T", e)
+	}
+}
+
+func rowIdx(sel []int, i int) int {
+	if sel == nil {
+		return i
+	}
+	return sel[i]
+}
+
+func gatherF64(c table.Float64Col, sel []int, n int) []float64 {
+	if sel == nil {
+		return c[:n]
+	}
+	out := make([]float64, n)
+	for i, j := range sel {
+		out[i] = c[j]
+	}
+	return out
+}
+
+func evalBinary(ex *sql.Binary, tbl *table.Table, sel []int, n int) (value, error) {
+	l, err := evalExpr(ex.L, tbl, sel, n)
+	if err != nil {
+		return value{}, err
+	}
+	r, err := evalExpr(ex.R, tbl, sel, n)
+	if err != nil {
+		return value{}, err
+	}
+	switch ex.Op {
+	case "AND", "OR":
+		if l.bools == nil || r.bools == nil {
+			return value{}, fmt.Errorf("exec: %s applied to non-boolean operands", ex.Op)
+		}
+		out := make([]bool, n)
+		if ex.Op == "AND" {
+			for i := range out {
+				out[i] = l.bools[i] && r.bools[i]
+			}
+		} else {
+			for i := range out {
+				out[i] = l.bools[i] || r.bools[i]
+			}
+		}
+		return value{bools: out}, nil
+
+	case "+", "-", "*", "/":
+		if l.isStr || r.isStr || l.bools != nil || r.bools != nil {
+			return value{}, fmt.Errorf("exec: arithmetic %q on non-numeric operands", ex.Op)
+		}
+		if l.scalar && r.scalar {
+			return value{scalar: true, numS: applyArith(ex.Op, l.numS, r.numS)}, nil
+		}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = applyArith(ex.Op, l.numAt(i), r.numAt(i))
+		}
+		return value{nums: out}, nil
+
+	case "=", "!=", "<", "<=", ">", ">=":
+		out := make([]bool, n)
+		switch {
+		case l.isStr && r.isStr:
+			for i := range out {
+				out[i] = applyStrCmp(ex.Op, l.strAt(i), r.strAt(i))
+			}
+		case !l.isStr && !r.isStr && l.bools == nil && r.bools == nil:
+			for i := range out {
+				out[i] = applyNumCmp(ex.Op, l.numAt(i), r.numAt(i))
+			}
+		default:
+			return value{}, fmt.Errorf("exec: comparison %q between mismatched types", ex.Op)
+		}
+		return value{bools: out}, nil
+
+	default:
+		return value{}, fmt.Errorf("exec: unknown operator %q", ex.Op)
+	}
+}
+
+func applyArith(op string, a, b float64) float64 {
+	switch op {
+	case "+":
+		return a + b
+	case "-":
+		return a - b
+	case "*":
+		return a * b
+	default: // "/"
+		return a / b
+	}
+}
+
+func applyNumCmp(op string, a, b float64) bool {
+	switch op {
+	case "=":
+		return a == b
+	case "!=":
+		return a != b
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case ">":
+		return a > b
+	default: // ">="
+		return a >= b
+	}
+}
+
+func applyStrCmp(op string, a, b string) bool {
+	c := strings.Compare(a, b)
+	switch op {
+	case "=":
+		return c == 0
+	case "!=":
+		return c != 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	default: // ">="
+		return c >= 0
+	}
+}
+
+// EvalNumeric evaluates a numeric row expression over the selected rows of
+// tbl, returning one float64 per selected row. sel == nil means all rows.
+func EvalNumeric(e sql.Expr, tbl *table.Table, sel []int) ([]float64, error) {
+	n := tbl.NumRows()
+	if sel != nil {
+		n = len(sel)
+	}
+	v, err := evalExpr(e, tbl, sel, n)
+	if err != nil {
+		return nil, err
+	}
+	if v.isStr || v.bools != nil {
+		return nil, fmt.Errorf("exec: expression %s is not numeric", e)
+	}
+	if v.scalar {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = v.numS
+		}
+		return out, nil
+	}
+	return v.nums, nil
+}
+
+// EvalPredicate evaluates a boolean predicate over all rows of tbl and
+// returns the selection vector of matching row indices.
+func EvalPredicate(e sql.Expr, tbl *table.Table) ([]int, error) {
+	n := tbl.NumRows()
+	v, err := evalExpr(e, tbl, nil, n)
+	if err != nil {
+		return nil, err
+	}
+	if v.bools == nil {
+		return nil, fmt.Errorf("exec: WHERE expression %s is not boolean", e)
+	}
+	sel := make([]int, 0, n/2)
+	for i, keep := range v.bools {
+		if keep {
+			sel = append(sel, i)
+		}
+	}
+	return sel, nil
+}

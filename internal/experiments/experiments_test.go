@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFig1Shapes(t *testing.T) {
+	cfg := Quick()
+	res := Fig1(cfg)
+	if len(res.RelErrs) != 4 {
+		t.Fatalf("rel err grid = %v", res.RelErrs)
+	}
+	for _, tech := range Fig1Techniques {
+		sizes := res.Sizes[tech]
+		if len(sizes) != 4 {
+			t.Fatalf("%s: %d points", tech, len(sizes))
+		}
+		// Required size must grow as the target error shrinks.
+		for i := 1; i < len(sizes); i++ {
+			if sizes[i].Mean <= sizes[i-1].Mean {
+				t.Errorf("%s: size not increasing: %v", tech, sizes)
+			}
+		}
+	}
+	// CLT and bootstrap should track each other; Hoeffding should demand
+	// 1–2 orders of magnitude more (the paper's headline for Fig. 1).
+	for i := range res.RelErrs {
+		clt := res.Sizes["clt-closed-form"][i].Mean
+		boot := res.Sizes["bootstrap"][i].Mean
+		h := res.Sizes["hoeffding"][i].Mean
+		if r := boot / clt; r < 0.3 || r > 3 {
+			t.Errorf("point %d: bootstrap/CLT size ratio = %v, want ~1", i, r)
+		}
+		if h < 8*clt {
+			t.Errorf("point %d: Hoeffding %.3g not ≫ CLT %.3g", i, h, clt)
+		}
+	}
+	if infl := res.HoeffdingInflation(3); infl < 10 || infl > 10000 {
+		t.Errorf("Hoeffding inflation = %v, want 1-2 orders of magnitude", infl)
+	}
+}
+
+func TestFig1Deterministic(t *testing.T) {
+	a := Fig1(Quick())
+	b := Fig1(Quick())
+	for _, tech := range Fig1Techniques {
+		for i := range a.Sizes[tech] {
+			if a.Sizes[tech][i] != b.Sizes[tech][i] {
+				t.Fatal("Fig1 not deterministic")
+			}
+		}
+	}
+}
+
+func TestFig1Render(t *testing.T) {
+	var buf bytes.Buffer
+	Fig1(Quick()).Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Fig. 1", "hoeffding", "bootstrap", "inflation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig3Shapes(t *testing.T) {
+	cfg := Quick()
+	cfg.QueriesPerSet = 30 // enough for the marginal structure to appear
+	res := Fig3(cfg)
+	for _, trace := range res.Traces {
+		bars := res.Bars[trace]
+		boot := bars["bootstrap"]
+		cf := bars["closed-form"]
+		// Every fraction set must sum to ~1.
+		for name, s := range map[string]TechSummary{"bootstrap": boot, "closed-form": cf} {
+			sum := s.NotApplicable + s.Optimistic + s.Correct + s.Pessimistic
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("%s/%s fractions sum to %v", trace, name, sum)
+			}
+		}
+		// The bootstrap applies almost everywhere; closed forms do not.
+		if boot.NotApplicable > 0.05 {
+			t.Errorf("%s: bootstrap not-applicable = %v", trace, boot.NotApplicable)
+		}
+		if cf.NotApplicable < 0.25 {
+			t.Errorf("%s: closed-form not-applicable = %v, want substantial", trace, cf.NotApplicable)
+		}
+		// Neither technique is perfect: some failures must appear.
+		if boot.Optimistic+boot.Pessimistic == 0 {
+			t.Errorf("%s: bootstrap shows no failures at all", trace)
+		}
+		// But both work often enough that sampling is worthwhile.
+		if boot.Correct < 0.2 {
+			t.Errorf("%s: bootstrap correct = %v, implausibly low", trace, boot.Correct)
+		}
+	}
+	// §3: MIN/MAX break the bootstrap far more often than average.
+	if res.S3.BootstrapFailMinMax < 0.4 {
+		t.Errorf("bootstrap MIN/MAX failure rate = %v, want high (paper: 86%%)",
+			res.S3.BootstrapFailMinMax)
+	}
+	if res.S3.CLTApplicable < 0.3 || res.S3.CLTApplicable > 0.9 {
+		t.Errorf("CLT applicability = %v, want around half (paper: 57%%)",
+			res.S3.CLTApplicable)
+	}
+}
+
+func TestFig3Render(t *testing.T) {
+	cfg := Quick()
+	cfg.QueriesPerSet = 6
+	var buf bytes.Buffer
+	Fig3(cfg).Render(&buf)
+	for _, want := range []string{"Fig. 3", "facebook/bootstrap", "conviva/closed-form", "§3"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFig4DiagnosticAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic accuracy experiment is slow")
+	}
+	cfg := Quick()
+	for name, f := range map[string]func(Config) *Fig4Result{"4b": Fig4b, "4c": Fig4c} {
+		res := f(cfg)
+		for _, trace := range []string{"conviva", "facebook"} {
+			b := res.Bars[trace]
+			sum := b.AccurateApprox + b.CorrectRejection + b.FalsePositives + b.FalseNegatives
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("%s/%s: fractions sum to %v", name, trace, sum)
+			}
+			if b.Accuracy() < 0.5 {
+				t.Errorf("%s/%s: diagnostic accuracy = %v, want > 0.5 (paper: > 0.9)",
+					name, trace, b.Accuracy())
+			}
+		}
+		var buf bytes.Buffer
+		res.Render(&buf)
+		if !strings.Contains(buf.String(), "Fig. 4") {
+			t.Error("render malformed")
+		}
+	}
+}
+
+func TestFig7NaiveIsSlowAndDiagDominated(t *testing.T) {
+	res := Fig7(Quick())
+	if len(res.QSet1) == 0 || len(res.QSet2) == 0 {
+		t.Fatal("empty query sets")
+	}
+	// QSet-2 (bootstrap everywhere) is much slower than QSet-1.
+	m1, m2 := MedianTotal(res.QSet1), MedianTotal(res.QSet2)
+	if m2 < 3*m1 {
+		t.Errorf("naive QSet-2 median %.1fs not ≫ QSet-1 median %.1fs", m2, m1)
+	}
+	if m2 < 60 {
+		t.Errorf("naive QSet-2 median %.1fs, want minutes", m2)
+	}
+	// Diagnostics dominate the naive pipeline.
+	for _, b := range res.QSet2 {
+		if b.DiagSec < b.QuerySec {
+			t.Errorf("naive diagnostics (%.1fs) should dominate execution (%.1fs)",
+				b.DiagSec, b.QuerySec)
+			break
+		}
+	}
+}
+
+func TestFig9OptimizedIsInteractive(t *testing.T) {
+	res := Fig9(Quick())
+	for name, set := range map[string][]string{} {
+		_ = name
+		_ = set
+	}
+	if m := MaxTotal(res.QSet1); m > 10 {
+		t.Errorf("optimized QSet-1 max %.1fs, want interactive", m)
+	}
+	if m := MaxTotal(res.QSet2); m > 15 {
+		t.Errorf("optimized QSet-2 max %.1fs, want interactive", m)
+	}
+	// End-to-end improvement vs naive: 10–200x (paper §7.4).
+	naive := Fig7(Quick())
+	speedup := MedianTotal(naive.QSet2) / MedianTotal(res.QSet2)
+	if speedup < 10 {
+		t.Errorf("end-to-end median speedup = %.1fx, want >= 10x", speedup)
+	}
+}
+
+func TestFig8abSpeedupOrdering(t *testing.T) {
+	res := Fig8ab(Quick())
+	if Median(res.ErrQ2) < 5 {
+		t.Errorf("QSet-2 error-estimation speedup median = %.1fx, want large", Median(res.ErrQ2))
+	}
+	if Median(res.DiagQ2) < 10 {
+		t.Errorf("QSet-2 diagnostics speedup median = %.1fx, want large", Median(res.DiagQ2))
+	}
+	if Median(res.ErrQ2) < 2*Median(res.ErrQ1) {
+		t.Errorf("QSet-2 error speedups (%.1fx) should dwarf QSet-1's (%.1fx)",
+			Median(res.ErrQ2), Median(res.ErrQ1))
+	}
+	if Median(res.DiagQ1) < 2 {
+		t.Errorf("QSet-1 diagnostics speedup median = %.1fx, want >= 2x", Median(res.DiagQ1))
+	}
+}
+
+func TestFig8efTuningHelps(t *testing.T) {
+	res := Fig8ef(Quick())
+	// End-to-end, physical tuning must help on both query sets. Individual
+	// CPU-bound components can legitimately prefer more machines, so the
+	// per-component medians are only reported, not asserted.
+	for name, xs := range map[string][]float64{
+		"total/qset1": res.TotalQ1, "total/qset2": res.TotalQ2,
+	} {
+		if Median(xs) < 1 {
+			t.Errorf("%s: physical tuning slowed things down (median %.2fx)", name, Median(xs))
+		}
+	}
+	// Scan-heavy QSet-2 queries benefit measurably.
+	if Median(res.TotalQ2) < 1.1 {
+		t.Errorf("QSet-2 end-to-end tuning speedup = %.2fx, want >= 1.1x", Median(res.TotalQ2))
+	}
+}
+
+func TestFig8cInteriorOptimum(t *testing.T) {
+	res := Fig8c(Quick())
+	opt := res.OptimumX()
+	if opt <= res.X[0] || opt >= res.X[len(res.X)-1] {
+		t.Errorf("parallelism optimum at boundary: %v (times %+v)", opt, res.Times)
+	}
+}
+
+func TestFig8dInteriorOptimum(t *testing.T) {
+	res := Fig8d(Quick())
+	opt := res.OptimumX()
+	if opt <= 0.05 || opt >= 0.95 {
+		t.Errorf("cache optimum at boundary: %v", opt)
+	}
+	if opt < 0.15 || opt > 0.7 {
+		t.Errorf("cache optimum = %v, want in the paper's 0.3-0.4 neighbourhood", opt)
+	}
+}
+
+func TestSystemRendersProduceOutput(t *testing.T) {
+	cfg := Quick()
+	var buf bytes.Buffer
+	Fig7(cfg).Render(&buf)
+	Fig9(cfg).Render(&buf)
+	Fig8ab(cfg).Render(&buf)
+	Fig8ef(cfg).Render(&buf)
+	Fig8c(cfg).Render(&buf)
+	Fig8d(cfg).Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Fig. 7", "Fig. 9", "Fig. 8(a)", "Fig. 8(e)",
+		"Fig. 8(c)", "Fig. 8(d)", "optimum"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestSummarizeAndCDF(t *testing.T) {
+	s := summarize([]float64{1, 2, 3, 4, 5})
+	if s.Mean != 3 || s.Q01 != 1 || s.Q99 != 4 {
+		t.Errorf("summarize = %+v", s)
+	}
+	if got := summarize(nil); got.Mean != 0 {
+		t.Errorf("empty summarize = %+v", got)
+	}
+	cdf := cdfPoints([]float64{1, 2, 3, 4}, 4)
+	if len(cdf) != 4 || cdf[3][0] != 4 || cdf[3][1] != 1 {
+		t.Errorf("cdf = %v", cdf)
+	}
+	if cdfPoints(nil, 4) != nil {
+		t.Error("empty cdf should be nil")
+	}
+}
+
+func TestConfigsDiffer(t *testing.T) {
+	q, f := Quick(), Full()
+	if q.QueriesPerSet >= f.QueriesPerSet || q.SampleSize >= f.SampleSize {
+		t.Error("Quick should be smaller than Full")
+	}
+}
+
+func TestDiagnosticAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation is slow")
+	}
+	cfg := Quick()
+	cfg.QueriesPerSet = 6
+	res := DiagnosticAblation(cfg)
+	if len(res.Ps) != 3 || len(res.Accuracy) != 3 {
+		t.Fatalf("result shape: %+v", res)
+	}
+	// Cost must grow linearly in p.
+	if !(res.SubsampleQueries[2] > res.SubsampleQueries[0]) {
+		t.Errorf("subsample cost not increasing in p: %v", res.SubsampleQueries)
+	}
+	// Accuracy at the paper's p=100 should be at least as good as the
+	// cheapest setting, within noise.
+	if res.Accuracy[2] < res.Accuracy[0]-0.25 {
+		t.Errorf("accuracy degraded with more subsamples: %v", res.Accuracy)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Diagnostic ablation") {
+		t.Error("render malformed")
+	}
+}
+
+func TestWriteCSVOutputs(t *testing.T) {
+	cfg := Quick()
+	cfg.QueriesPerSet = 4
+	check := func(name string, r interface{ WriteCSV(io.Writer) error }, wantHeader string) {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := r.WriteCSV(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		if len(lines) < 2 {
+			t.Fatalf("%s: csv has %d lines", name, len(lines))
+		}
+		if lines[0] != wantHeader {
+			t.Errorf("%s: header %q, want %q", name, lines[0], wantHeader)
+		}
+	}
+	check("fig1", Fig1(cfg), "technique,rel_err,mean_rows,q01_rows,q99_rows")
+	check("fig7", Fig7(cfg), "qset,query,exec_sec,error_sec,diag_sec,total_sec")
+	check("fig8ab", Fig8ab(cfg), "qset,component,query,speedup")
+	check("fig8c", Fig8c(cfg), "x,mean_sec,q01_sec,q99_sec")
+}

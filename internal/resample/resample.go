@@ -1,0 +1,170 @@
+// Package resample implements the resampling strategies of §5 of the
+// paper. The production path is Poissonized resampling: instead of
+// materializing each bootstrap resample (which requires exact
+// with-replacement draws and O(|S|) extra memory per resample), every row
+// is independently assigned a Poisson(1) multiplicity per resample. The
+// resample size is then only approximately |S| — Normal(|S|, √|S|) — which
+// the bootstrap tolerates, and weight generation becomes an embarrassingly
+// parallel streaming operation.
+//
+// Two baselines are provided for the ablation benchmarks: exact
+// multinomial resampling (the statistically exact counts, requiring a
+// coupled draw) and tuple augmentation (TA), which materializes each
+// resample as a physical copy, the strategy Pol & Jermaine found to be
+// 8–9× slower than the plain query.
+package resample
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// PoissonWeights returns n independent Poisson(1) multiplicities as
+// float64 (ready to multiply into aggregation columns). This is one
+// resample's weight vector.
+func PoissonWeights(src *rng.Source, n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = float64(src.Poisson1())
+	}
+	return w
+}
+
+// PoissonWeightsRate returns Poisson(rate) multiplicities; rate != 1
+// corresponds to TABLESAMPLE POISSONIZED (100*rate) resamples that are
+// larger or smaller than the input, used when subsampling and resampling
+// are fused.
+func PoissonWeightsRate(src *rng.Source, n int, rate float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = float64(src.Poisson(rate))
+	}
+	return w
+}
+
+// FillPoissonWeights writes Poisson(1) multiplicities into w, reusing its
+// storage. The hot loop of the consolidated scan calls this once per
+// (row-block, resample) pair.
+func FillPoissonWeights(src *rng.Source, w []float64) {
+	for i := range w {
+		w[i] = float64(src.Poisson1())
+	}
+}
+
+// WeightMatrix returns k independent Poisson(1) weight vectors over n
+// rows: the "augment each tuple with k weights" layout of scan
+// consolidation (Fig. 6(a)). The result is resample-major: out[r][i] is
+// row i's multiplicity in resample r.
+func WeightMatrix(src *rng.Source, n, k int) [][]float64 {
+	out := make([][]float64, k)
+	for r := range out {
+		out[r] = PoissonWeights(src, n)
+	}
+	return out
+}
+
+// ExactMultinomialWeights returns multiplicities for one exact bootstrap
+// resample: n draws with replacement from n rows, so the weights sum to
+// exactly n. This requires the coupled multinomial draw that Poissonization
+// removes; it costs n random draws plus a counting pass.
+func ExactMultinomialWeights(src *rng.Source, n int) []float64 {
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		w[src.Intn(n)]++
+	}
+	return w
+}
+
+// Materialize returns a physically copied with-replacement resample of xs
+// (the TA strategy): n gathers plus n·8 bytes of fresh memory per
+// resample.
+func Materialize(src *rng.Source, xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i := range out {
+		out[i] = xs[src.Intn(len(xs))]
+	}
+	return out
+}
+
+// WeightedTheta is a query function evaluated on a weighted dataset:
+// weights are row multiplicities (0 = row absent from the resample).
+type WeightedTheta func(values, weights []float64) float64
+
+// PlainTheta is a query function on an unweighted dataset.
+type PlainTheta func(values []float64) float64
+
+// Uniform lifts a weighted query function to the unweighted case by
+// passing nil weights; WeightedTheta implementations must treat nil
+// weights as all-ones.
+func Uniform(theta WeightedTheta, values []float64) float64 {
+	return theta(values, nil)
+}
+
+// Strategy selects how bootstrap resamples are produced.
+type Strategy int
+
+// Resampling strategies.
+const (
+	// Poissonized streams independent Poisson(1) weights (production path).
+	Poissonized Strategy = iota
+	// ExactMultinomial draws coupled counts summing to exactly n.
+	ExactMultinomial
+	// TupleAugmentation materializes each resample as a physical copy.
+	TupleAugmentation
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Poissonized:
+		return "poissonized"
+	case ExactMultinomial:
+		return "exact-multinomial"
+	case TupleAugmentation:
+		return "tuple-augmentation"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Estimates runs theta on k resamples of values using the given strategy
+// and returns the k point estimates — the bootstrap distribution that the
+// bootstrap error operator and the diagnostic both consume.
+func Estimates(src *rng.Source, values []float64, k int, theta WeightedTheta, strategy Strategy) []float64 {
+	out := make([]float64, k)
+	switch strategy {
+	case Poissonized:
+		w := make([]float64, len(values))
+		for r := 0; r < k; r++ {
+			FillPoissonWeights(src, w)
+			out[r] = theta(values, w)
+		}
+	case ExactMultinomial:
+		for r := 0; r < k; r++ {
+			out[r] = theta(values, ExactMultinomialWeights(src, len(values)))
+		}
+	case TupleAugmentation:
+		for r := 0; r < k; r++ {
+			out[r] = theta(Materialize(src, values), nil)
+		}
+	default:
+		panic("resample: unknown strategy")
+	}
+	return out
+}
+
+// SizeDistribution draws trials Poissonized resample sizes over n rows and
+// reports the fraction whose size falls inside [lo, hi]. It exists to
+// verify the §5.1 concentration claim (P(size ∈ [9500, 10500]) ≈ 0.9999994
+// for n = 10,000) without materializing weight vectors.
+func SizeDistribution(src *rng.Source, n, trials, lo, hi int) float64 {
+	inside := 0
+	for t := 0; t < trials; t++ {
+		// The total of n iid Poisson(1) variates is Poisson(n).
+		size := src.Poisson(float64(n))
+		if size >= lo && size <= hi {
+			inside++
+		}
+	}
+	return float64(inside) / float64(trials)
+}

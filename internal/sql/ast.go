@@ -1,0 +1,263 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Statement is a parsed SQL statement: either *Select or *UnionAll.
+type Statement interface {
+	// String renders the statement back to SQL (round-trippable).
+	String() string
+	stmt()
+}
+
+// Select is a single SELECT statement.
+type Select struct {
+	Items   []SelectItem
+	From    TableRef
+	Where   Expr     // nil when absent
+	GroupBy []string // empty when absent
+}
+
+func (*Select) stmt() {}
+
+func (s *Select) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(it.Expr.String())
+		if it.Alias != "" {
+			sb.WriteString(" AS ")
+			sb.WriteString(it.Alias)
+		}
+	}
+	sb.WriteString(" FROM ")
+	sb.WriteString(s.From.String())
+	if s.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		sb.WriteString(strings.Join(s.GroupBy, ", "))
+	}
+	return sb.String()
+}
+
+// UnionAll is a UNION ALL chain of selects (the naive bootstrap rewrite of
+// §5.2 produces one subquery per resample).
+type UnionAll struct {
+	Selects []*Select
+}
+
+func (*UnionAll) stmt() {}
+
+func (u *UnionAll) String() string {
+	parts := make([]string, len(u.Selects))
+	for i, s := range u.Selects {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, " UNION ALL ")
+}
+
+// SelectItem is one projected expression with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// TableRef is a FROM-clause source: *TableName or *SubQuery.
+type TableRef interface {
+	String() string
+	tableRef()
+}
+
+// TableName references a stored table, optionally with a Poissonized
+// sampling clause.
+type TableName struct {
+	Name   string
+	Sample *PoissonSample // nil when absent
+}
+
+func (*TableName) tableRef() {}
+
+func (t *TableName) String() string {
+	if t.Sample == nil {
+		return t.Name
+	}
+	return fmt.Sprintf("%s TABLESAMPLE POISSONIZED (%g)", t.Name, t.Sample.RatePercent)
+}
+
+// PoissonSample is the TABLESAMPLE POISSONIZED (rate) clause; the argument
+// is the Poisson rate multiplied by 100, per §5.2.
+type PoissonSample struct {
+	RatePercent float64
+}
+
+// Rate returns the Poisson rate (RatePercent / 100).
+func (p *PoissonSample) Rate() float64 { return p.RatePercent / 100 }
+
+// SubQuery is a parenthesized SELECT (or UNION ALL) in a FROM clause.
+type SubQuery struct {
+	Stmt  Statement
+	Alias string
+}
+
+func (*SubQuery) tableRef() {}
+
+func (s *SubQuery) String() string {
+	out := "(" + s.Stmt.String() + ")"
+	if s.Alias != "" {
+		out += " AS " + s.Alias
+	}
+	return out
+}
+
+// Expr is an expression node: *Literal, *ColumnRef, *Binary, *Unary,
+// *FuncCall or *Star.
+type Expr interface {
+	String() string
+	expr()
+}
+
+// Literal is a numeric or string constant.
+type Literal struct {
+	Num   float64
+	Str   string
+	IsStr bool
+}
+
+func (*Literal) expr() {}
+
+func (l *Literal) String() string {
+	if l.IsStr {
+		return "'" + strings.ReplaceAll(l.Str, "'", "''") + "'"
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%g", l.Num), "0"), ".")
+}
+
+// ColumnRef names a column.
+type ColumnRef struct {
+	Name string
+}
+
+func (*ColumnRef) expr() {}
+
+func (c *ColumnRef) String() string { return c.Name }
+
+// Star is the * in COUNT(*).
+type Star struct{}
+
+func (*Star) expr() {}
+
+func (*Star) String() string { return "*" }
+
+// Binary is a binary operation. Op is one of
+// + - * / = != < <= > >= AND OR.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+func (*Binary) expr() {}
+
+func (b *Binary) String() string {
+	return "(" + b.L.String() + " " + b.Op + " " + b.R.String() + ")"
+}
+
+// Unary is a unary operation: "-" or "NOT".
+type Unary struct {
+	Op string
+	E  Expr
+}
+
+func (*Unary) expr() {}
+
+func (u *Unary) String() string {
+	if u.Op == "NOT" {
+		return "(NOT " + u.E.String() + ")"
+	}
+	return "(" + u.Op + u.E.String() + ")"
+}
+
+// FuncCall is an aggregate or scalar function application. Name is stored
+// upper-cased.
+type FuncCall struct {
+	Name string
+	Args []Expr
+}
+
+func (*FuncCall) expr() {}
+
+func (f *FuncCall) String() string {
+	args := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		args[i] = a.String()
+	}
+	return f.Name + "(" + strings.Join(args, ", ") + ")"
+}
+
+// AggregateNames are the built-in aggregate functions the planner
+// recognizes; any other FuncCall is treated as a registered UDF (aggregate)
+// or scalar function.
+var AggregateNames = map[string]bool{
+	"AVG": true, "SUM": true, "COUNT": true, "MIN": true, "MAX": true,
+	"VARIANCE": true, "STDEV": true, "PERCENTILE": true,
+}
+
+// IsAggregate reports whether the expression tree contains an aggregate
+// function call (built-in or any function call, since the engine's UDFs are
+// aggregates).
+func IsAggregate(e Expr, isUDF func(name string) bool) bool {
+	switch v := e.(type) {
+	case *FuncCall:
+		if AggregateNames[v.Name] || (isUDF != nil && isUDF(v.Name)) {
+			return true
+		}
+		for _, a := range v.Args {
+			if IsAggregate(a, isUDF) {
+				return true
+			}
+		}
+		return false
+	case *Binary:
+		return IsAggregate(v.L, isUDF) || IsAggregate(v.R, isUDF)
+	case *Unary:
+		return IsAggregate(v.E, isUDF)
+	default:
+		return false
+	}
+}
+
+// Columns returns the distinct column names referenced by the expression,
+// in first-appearance order.
+func Columns(e Expr) []string {
+	var out []string
+	seen := map[string]bool{}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch v := e.(type) {
+		case *ColumnRef:
+			key := strings.ToLower(v.Name)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, v.Name)
+			}
+		case *Binary:
+			walk(v.L)
+			walk(v.R)
+		case *Unary:
+			walk(v.E)
+		case *FuncCall:
+			for _, a := range v.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	return out
+}

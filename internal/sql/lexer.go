@@ -1,0 +1,147 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// lexer converts query text into tokens.
+type lexer struct {
+	src []rune
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: []rune(src)} }
+
+func (l *lexer) peekRune() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) next() (token, error) {
+	// Skip whitespace and -- comments.
+	for l.pos < len(l.src) {
+		r := l.src[l.pos]
+		if unicode.IsSpace(r) {
+			l.pos++
+			continue
+		}
+		if r == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	r := l.src[l.pos]
+
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		for l.pos < len(l.src) &&
+			(unicode.IsLetter(l.src[l.pos]) || unicode.IsDigit(l.src[l.pos]) ||
+				l.src[l.pos] == '_' || l.src[l.pos] == '.') {
+			l.pos++
+		}
+		word := string(l.src[start:l.pos])
+		upper := strings.ToUpper(word)
+		if keywords[upper] {
+			return token{kind: tokKeyword, text: upper, pos: start}, nil
+		}
+		return token{kind: tokIdent, text: word, pos: start}, nil
+
+	case unicode.IsDigit(r) || (r == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(l.src[l.pos+1])):
+		for l.pos < len(l.src) &&
+			(unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '.' ||
+				l.src[l.pos] == 'e' || l.src[l.pos] == 'E' ||
+				((l.src[l.pos] == '+' || l.src[l.pos] == '-') &&
+					(l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E'))) {
+			l.pos++
+		}
+		text := string(l.src[start:l.pos])
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return token{}, errf(start, "bad numeric literal %q", text)
+		}
+		return token{kind: tokNumber, text: text, num: v, pos: start}, nil
+
+	case r == '\'':
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.src) {
+			c := l.src[l.pos]
+			if c == '\'' {
+				// '' escapes a quote.
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					sb.WriteRune('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{kind: tokString, text: sb.String(), pos: start}, nil
+			}
+			sb.WriteRune(c)
+			l.pos++
+		}
+		return token{}, errf(start, "unterminated string literal")
+
+	case strings.ContainsRune("(),*+-/=", r):
+		l.pos++
+		return token{kind: tokSymbol, text: string(r), pos: start}, nil
+
+	case r == '<':
+		l.pos++
+		if l.peekRune() == '=' {
+			l.pos++
+			return token{kind: tokSymbol, text: "<=", pos: start}, nil
+		}
+		if l.peekRune() == '>' {
+			l.pos++
+			return token{kind: tokSymbol, text: "!=", pos: start}, nil
+		}
+		return token{kind: tokSymbol, text: "<", pos: start}, nil
+
+	case r == '>':
+		l.pos++
+		if l.peekRune() == '=' {
+			l.pos++
+			return token{kind: tokSymbol, text: ">=", pos: start}, nil
+		}
+		return token{kind: tokSymbol, text: ">", pos: start}, nil
+
+	case r == '!':
+		l.pos++
+		if l.peekRune() == '=' {
+			l.pos++
+			return token{kind: tokSymbol, text: "!=", pos: start}, nil
+		}
+		return token{}, errf(start, "unexpected character '!'")
+
+	default:
+		return token{}, errf(start, "unexpected character %q", string(r))
+	}
+}
+
+// lexAll tokenizes the whole input (used by the parser, which buffers all
+// tokens up front — queries are short).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,355 @@
+// Package stats provides the statistical primitives the AQP pipeline is
+// built on: streaming moments (Welford), quantiles (exact and sketched),
+// empirical distributions, the normal and Student-t distributions, and the
+// symmetric centered interval construction from §2.2 of the paper.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by operations that need at least one observation.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Moments accumulates count, mean, variance, min and max in one pass using
+// Welford's numerically stable update. The zero value is an empty
+// accumulator ready for use.
+type Moments struct {
+	n     float64 // total weight
+	mean  float64
+	m2    float64 // sum of squared deviations (times weight)
+	min   float64
+	max   float64
+	empty bool // tracks "no observations yet"; inverted so zero value works
+	seen  bool
+}
+
+// Add folds a single observation into the accumulator.
+func (m *Moments) Add(x float64) { m.AddWeighted(x, 1) }
+
+// AddWeighted folds an observation with non-negative weight w. Zero-weight
+// observations are ignored entirely (they do not affect min/max), matching
+// the semantics of Poissonized resampling where weight 0 means "the row is
+// absent from this resample".
+func (m *Moments) AddWeighted(x, w float64) {
+	if w <= 0 {
+		return
+	}
+	if !m.seen {
+		m.min, m.max = x, x
+		m.seen = true
+	} else {
+		if x < m.min {
+			m.min = x
+		}
+		if x > m.max {
+			m.max = x
+		}
+	}
+	m.n += w
+	delta := x - m.mean
+	m.mean += delta * w / m.n
+	m.m2 += w * delta * (x - m.mean)
+}
+
+// Merge folds another accumulator into this one (parallel reduction).
+func (m *Moments) Merge(o *Moments) {
+	if !o.seen {
+		return
+	}
+	if !m.seen {
+		*m = *o
+		return
+	}
+	if o.min < m.min {
+		m.min = o.min
+	}
+	if o.max > m.max {
+		m.max = o.max
+	}
+	n := m.n + o.n
+	delta := o.mean - m.mean
+	m.mean += delta * o.n / n
+	m.m2 += o.m2 + delta*delta*m.n*o.n/n
+	m.n = n
+}
+
+// Count returns the total weight folded in so far.
+func (m *Moments) Count() float64 { return m.n }
+
+// Mean returns the weighted mean, or NaN when empty.
+func (m *Moments) Mean() float64 {
+	if !m.seen {
+		return math.NaN()
+	}
+	return m.mean
+}
+
+// Variance returns the population variance, or NaN when empty.
+func (m *Moments) Variance() float64 {
+	if !m.seen || m.n == 0 {
+		return math.NaN()
+	}
+	return m.m2 / m.n
+}
+
+// SampleVariance returns the Bessel-corrected sample variance, or NaN when
+// fewer than two units of weight have been observed.
+func (m *Moments) SampleVariance() float64 {
+	if !m.seen || m.n <= 1 {
+		return math.NaN()
+	}
+	return m.m2 / (m.n - 1)
+}
+
+// Stddev returns the population standard deviation.
+func (m *Moments) Stddev() float64 { return math.Sqrt(m.Variance()) }
+
+// Min returns the smallest observation, or NaN when empty.
+func (m *Moments) Min() float64 {
+	if !m.seen {
+		return math.NaN()
+	}
+	return m.min
+}
+
+// Max returns the largest observation, or NaN when empty.
+func (m *Moments) Max() float64 {
+	if !m.seen {
+		return math.NaN()
+	}
+	return m.max
+}
+
+// Sum returns the weighted sum of observations.
+func (m *Moments) Sum() float64 {
+	if !m.seen {
+		return 0
+	}
+	return m.mean * m.n
+}
+
+// Mean returns the arithmetic mean of xs, or NaN when empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// Variance returns the population variance of xs, or NaN when empty.
+func Variance(xs []float64) float64 {
+	var m Moments
+	for _, x := range xs {
+		m.Add(x)
+	}
+	return m.Variance()
+}
+
+// SampleVariance returns the Bessel-corrected variance of xs.
+func SampleVariance(xs []float64) float64 {
+	var m Moments
+	for _, x := range xs {
+		m.Add(x)
+	}
+	return m.SampleVariance()
+}
+
+// Stddev returns the population standard deviation of xs.
+func Stddev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the smallest element of xs, or NaN when empty.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs, or NaN when empty.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-quantile (q in [0,1]) of xs using linear
+// interpolation between order statistics (type-7, the R/NumPy default).
+// The input is not modified. It returns NaN for empty input or q outside
+// [0,1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return QuantileSorted(sorted, q)
+}
+
+// QuantileSorted is Quantile for pre-sorted input, avoiding the copy.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// WeightedQuantile returns the q-quantile of (xs, ws) where ws are
+// non-negative weights (e.g. Poissonized resample multiplicities). Rows
+// with zero weight are ignored. Returns NaN when total weight is zero.
+func WeightedQuantile(xs, ws []float64, q float64) float64 {
+	if len(xs) != len(ws) || len(xs) == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	type wx struct{ x, w float64 }
+	items := make([]wx, 0, len(xs))
+	total := 0.0
+	for i, x := range xs {
+		if ws[i] > 0 {
+			items = append(items, wx{x, ws[i]})
+			total += ws[i]
+		}
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].x < items[j].x })
+	target := q * total
+	cum := 0.0
+	for _, it := range items {
+		cum += it.w
+		if cum >= target {
+			return it.x
+		}
+	}
+	return items[len(items)-1].x
+}
+
+// SymmetricHalfWidth returns the half-width a of the smallest interval
+// [center-a, center+a] that covers at least ceil(alpha * len(xs)) of the
+// values xs. This is the "smallest symmetric interval around θ(S) that
+// covers α·p elements" construction used both for true confidence
+// intervals and inside the diagnostic (Algorithm 1).
+//
+// It returns NaN for empty input or alpha outside (0, 1].
+func SymmetricHalfWidth(xs []float64, center, alpha float64) float64 {
+	n := len(xs)
+	if n == 0 || alpha <= 0 || alpha > 1 {
+		return math.NaN()
+	}
+	devs := make([]float64, n)
+	for i, x := range xs {
+		devs[i] = math.Abs(x - center)
+	}
+	sort.Float64s(devs)
+	k := int(math.Ceil(alpha * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return devs[k-1]
+}
+
+// Histogram is a fixed-width bucket histogram over [lo, hi); values outside
+// the range land in clamped edge buckets. It supports the latency and
+// speedup CDF plots in the benchmark harness.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+	count   int
+}
+
+// NewHistogram creates a histogram with n buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, n)}
+}
+
+// Add records a value.
+func (h *Histogram) Add(x float64) {
+	n := len(h.Buckets)
+	idx := int(float64(n) * (x - h.Lo) / (h.Hi - h.Lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	h.Buckets[idx]++
+	h.count++
+}
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() int { return h.count }
+
+// CDF returns, for each bucket upper edge, the fraction of recorded values
+// at or below it.
+func (h *Histogram) CDF() []float64 {
+	out := make([]float64, len(h.Buckets))
+	cum := 0
+	for i, c := range h.Buckets {
+		cum += c
+		if h.count > 0 {
+			out[i] = float64(cum) / float64(h.count)
+		}
+	}
+	return out
+}
+
+// ECDF returns an empirical CDF evaluator for xs. The returned function
+// reports the fraction of observations <= x.
+func ECDF(xs []float64) func(float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	return func(x float64) float64 {
+		if len(sorted) == 0 {
+			return math.NaN()
+		}
+		idx := sort.SearchFloat64s(sorted, math.Nextafter(x, math.Inf(1)))
+		return float64(idx) / n
+	}
+}

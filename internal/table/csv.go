@@ -1,0 +1,93 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadCSV loads a table from CSV data with a header row. Column types are
+// given explicitly (one per header column); numeric parse failures abort
+// with a row/column-addressed error. It round-trips the files cmd/aqpgen
+// writes.
+func ReadCSV(r io.Reader, types []Type) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading CSV header: %w", err)
+	}
+	if len(header) != len(types) {
+		return nil, fmt.Errorf("table: CSV has %d columns but %d types given",
+			len(header), len(types))
+	}
+	schema := make(Schema, len(header))
+	for i, name := range header {
+		schema[i] = Field{Name: strings.TrimSpace(name), Type: types[i]}
+	}
+	b := NewBuilder(schema)
+	row := make([]any, len(header))
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table: reading CSV line %d: %w", line, err)
+		}
+		for i, cell := range rec {
+			switch types[i] {
+			case Float64:
+				v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+				if err != nil {
+					return nil, fmt.Errorf("table: line %d column %q: %w",
+						line, schema[i].Name, err)
+				}
+				row[i] = v
+			case Int64:
+				v, err := strconv.ParseInt(strings.TrimSpace(cell), 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("table: line %d column %q: %w",
+						line, schema[i].Name, err)
+				}
+				row[i] = v
+			case String:
+				row[i] = cell
+			}
+		}
+		b.AppendRow(row...)
+	}
+	return b.Build(), nil
+}
+
+// WriteCSV writes the table as CSV with a header row.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, t.NumCols())
+	for i, f := range t.Schema() {
+		header[i] = f.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, t.NumCols())
+	for r := 0; r < t.NumRows(); r++ {
+		for c := 0; c < t.NumCols(); c++ {
+			switch col := t.Column(c).(type) {
+			case Float64Col:
+				rec[c] = strconv.FormatFloat(col[r], 'g', -1, 64)
+			case Int64Col:
+				rec[c] = strconv.FormatInt(col[r], 10)
+			case StringCol:
+				rec[c] = col[r]
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,93 @@
+package table
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadCSV(t *testing.T) {
+	in := "time,user,city\n1.5,10,NYC\n2.25,20,SF\n"
+	tbl, err := ReadCSV(strings.NewReader(in), []Type{Float64, Int64, String})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 || tbl.NumCols() != 3 {
+		t.Fatalf("shape %dx%d", tbl.NumRows(), tbl.NumCols())
+	}
+	if tbl.Column(0).(Float64Col)[1] != 2.25 {
+		t.Error("float payload wrong")
+	}
+	if tbl.Column(1).(Int64Col)[0] != 10 {
+		t.Error("int payload wrong")
+	}
+	if tbl.Column(2).(StringCol)[1] != "SF" {
+		t.Error("string payload wrong")
+	}
+	if tbl.Schema().Index("city") != 2 {
+		t.Error("header names lost")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+		types    []Type
+	}{
+		{"empty", "", []Type{Float64}},
+		{"type count mismatch", "a,b\n1,2\n", []Type{Float64}},
+		{"bad float", "a\nxyz\n", []Type{Float64}},
+		{"bad int", "a\n1.5\n", []Type{Int64}},
+		{"ragged row", "a,b\n1\n", []Type{Float64, Float64}},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.in), c.types); err == nil {
+			t.Errorf("%s: error expected", c.name)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := MustNew(
+		Schema{{Name: "x", Type: Float64}, {Name: "n", Type: Int64}, {Name: "s", Type: String}},
+		Float64Col{1.5, -2.75, 1e-9},
+		Int64Col{1, -2, 3},
+		StringCol{"a", "hello world", "c,with,commas"},
+	)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, []Type{Float64, Int64, String})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != orig.NumRows() {
+		t.Fatalf("rows %d != %d", back.NumRows(), orig.NumRows())
+	}
+	for c := 0; c < orig.NumCols(); c++ {
+		switch col := orig.Column(c).(type) {
+		case Float64Col:
+			got := back.Column(c).(Float64Col)
+			for i := range col {
+				if got[i] != col[i] {
+					t.Errorf("col %d row %d: %v != %v", c, i, got[i], col[i])
+				}
+			}
+		case Int64Col:
+			got := back.Column(c).(Int64Col)
+			for i := range col {
+				if got[i] != col[i] {
+					t.Errorf("col %d row %d: %v != %v", c, i, got[i], col[i])
+				}
+			}
+		case StringCol:
+			got := back.Column(c).(StringCol)
+			for i := range col {
+				if got[i] != col[i] {
+					t.Errorf("col %d row %d: %q != %q", c, i, got[i], col[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,373 @@
+// Package table implements the in-memory columnar storage substrate of the
+// engine: typed columns, schemas, immutable table views, contiguous
+// partitioning (the unit of parallel task scheduling) and row gathering.
+//
+// Tables are append-built with a Builder and immutable afterwards; Slice
+// and Partition return views that share column storage, which is what makes
+// "any subset of a shuffled sample is itself a random sample" free at the
+// storage layer (§5.3 of the paper).
+package table
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type enumerates column types supported by the engine.
+type Type int
+
+// Column types.
+const (
+	Float64 Type = iota
+	Int64
+	String
+)
+
+func (t Type) String() string {
+	switch t {
+	case Float64:
+		return "FLOAT64"
+	case Int64:
+		return "INT64"
+	case String:
+		return "STRING"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Field is a named, typed column slot in a schema.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of fields.
+type Schema []Field
+
+// Index returns the position of the named field, or -1 if absent. Lookup is
+// case-insensitive, matching the SQL layer.
+func (s Schema) Index(name string) int {
+	for i, f := range s {
+		if strings.EqualFold(f.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the schema as "name TYPE, ...".
+func (s Schema) String() string {
+	parts := make([]string, len(s))
+	for i, f := range s {
+		parts[i] = f.Name + " " + f.Type.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Column is a typed vector of values.
+type Column interface {
+	Len() int
+	Type() Type
+	// slice returns a view of rows [i, j) sharing storage.
+	slice(i, j int) Column
+	// gather returns a new column of the rows at idx.
+	gather(idx []int) Column
+	sizeBytes() int64
+}
+
+// Float64Col is a vector of float64 values.
+type Float64Col []float64
+
+// Len returns the number of rows.
+func (c Float64Col) Len() int { return len(c) }
+
+// Type returns Float64.
+func (c Float64Col) Type() Type { return Float64 }
+
+func (c Float64Col) slice(i, j int) Column { return c[i:j] }
+
+func (c Float64Col) gather(idx []int) Column {
+	out := make(Float64Col, len(idx))
+	for k, i := range idx {
+		out[k] = c[i]
+	}
+	return out
+}
+
+func (c Float64Col) sizeBytes() int64 { return int64(len(c)) * 8 }
+
+// Int64Col is a vector of int64 values.
+type Int64Col []int64
+
+// Len returns the number of rows.
+func (c Int64Col) Len() int { return len(c) }
+
+// Type returns Int64.
+func (c Int64Col) Type() Type { return Int64 }
+
+func (c Int64Col) slice(i, j int) Column { return c[i:j] }
+
+func (c Int64Col) gather(idx []int) Column {
+	out := make(Int64Col, len(idx))
+	for k, i := range idx {
+		out[k] = c[i]
+	}
+	return out
+}
+
+func (c Int64Col) sizeBytes() int64 { return int64(len(c)) * 8 }
+
+// StringCol is a vector of string values.
+type StringCol []string
+
+// Len returns the number of rows.
+func (c StringCol) Len() int { return len(c) }
+
+// Type returns String.
+func (c StringCol) Type() Type { return String }
+
+func (c StringCol) slice(i, j int) Column { return c[i:j] }
+
+func (c StringCol) gather(idx []int) Column {
+	out := make(StringCol, len(idx))
+	for k, i := range idx {
+		out[k] = c[i]
+	}
+	return out
+}
+
+func (c StringCol) sizeBytes() int64 {
+	var n int64
+	for _, s := range c {
+		n += int64(len(s)) + 16
+	}
+	return n
+}
+
+// Table is an immutable columnar table (or a view into one).
+type Table struct {
+	schema Schema
+	cols   []Column
+	rows   int
+}
+
+// New assembles a table from a schema and matching columns. All columns
+// must have equal length and types matching the schema.
+func New(schema Schema, cols ...Column) (*Table, error) {
+	if len(schema) != len(cols) {
+		return nil, fmt.Errorf("table: schema has %d fields but %d columns given",
+			len(schema), len(cols))
+	}
+	rows := 0
+	for i, c := range cols {
+		if c.Type() != schema[i].Type {
+			return nil, fmt.Errorf("table: column %q is %v but schema says %v",
+				schema[i].Name, c.Type(), schema[i].Type)
+		}
+		if i == 0 {
+			rows = c.Len()
+		} else if c.Len() != rows {
+			return nil, fmt.Errorf("table: column %q has %d rows, want %d",
+				schema[i].Name, c.Len(), rows)
+		}
+	}
+	return &Table{schema: schema, cols: cols, rows: rows}, nil
+}
+
+// MustNew is New but panics on error; for tests and generators with static
+// shape.
+func MustNew(schema Schema, cols ...Column) *Table {
+	t, err := New(schema, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return t.rows }
+
+// NumCols returns the column count.
+func (t *Table) NumCols() int { return len(t.cols) }
+
+// Schema returns the table schema. Callers must not mutate it.
+func (t *Table) Schema() Schema { return t.schema }
+
+// Column returns the i-th column.
+func (t *Table) Column(i int) Column { return t.cols[i] }
+
+// ColumnByName returns the named column, or nil if absent.
+func (t *Table) ColumnByName(name string) Column {
+	i := t.schema.Index(name)
+	if i < 0 {
+		return nil
+	}
+	return t.cols[i]
+}
+
+// Float64ColumnByName returns the named column coerced to float64 values.
+// Int64 columns are converted (copied); Float64 columns are returned
+// directly. It returns an error for string columns or missing names.
+func (t *Table) Float64ColumnByName(name string) ([]float64, error) {
+	c := t.ColumnByName(name)
+	if c == nil {
+		return nil, fmt.Errorf("table: no column %q", name)
+	}
+	switch col := c.(type) {
+	case Float64Col:
+		return col, nil
+	case Int64Col:
+		out := make([]float64, len(col))
+		for i, v := range col {
+			out[i] = float64(v)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("table: column %q is %v, not numeric", name, c.Type())
+	}
+}
+
+// Slice returns a zero-copy view of rows [i, j).
+func (t *Table) Slice(i, j int) *Table {
+	if i < 0 || j > t.rows || i > j {
+		panic(fmt.Sprintf("table: Slice(%d, %d) out of range [0, %d]", i, j, t.rows))
+	}
+	cols := make([]Column, len(t.cols))
+	for k, c := range t.cols {
+		cols[k] = c.slice(i, j)
+	}
+	return &Table{schema: t.schema, cols: cols, rows: j - i}
+}
+
+// Partition splits the table into k contiguous, zero-copy views of
+// near-equal size. Remainder rows are spread across the leading
+// partitions. k must be >= 1; partitions beyond the row count are empty.
+func (t *Table) Partition(k int) []*Table {
+	if k < 1 {
+		panic("table: Partition with k < 1")
+	}
+	parts := make([]*Table, k)
+	base := t.rows / k
+	rem := t.rows % k
+	start := 0
+	for i := 0; i < k; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		parts[i] = t.Slice(start, start+size)
+		start += size
+	}
+	return parts
+}
+
+// Gather returns a new table containing the rows at idx, in order. Indices
+// may repeat (sampling with replacement).
+func (t *Table) Gather(idx []int) *Table {
+	cols := make([]Column, len(t.cols))
+	for k, c := range t.cols {
+		cols[k] = c.gather(idx)
+	}
+	return &Table{schema: t.schema, cols: cols, rows: len(idx)}
+}
+
+// WithColumn returns a new table view with an extra column appended. The
+// column must match the table's row count.
+func (t *Table) WithColumn(f Field, c Column) (*Table, error) {
+	if c.Len() != t.rows {
+		return nil, fmt.Errorf("table: new column %q has %d rows, want %d",
+			f.Name, c.Len(), t.rows)
+	}
+	if c.Type() != f.Type {
+		return nil, fmt.Errorf("table: new column %q type mismatch", f.Name)
+	}
+	schema := make(Schema, 0, len(t.schema)+1)
+	schema = append(schema, t.schema...)
+	schema = append(schema, f)
+	cols := make([]Column, 0, len(t.cols)+1)
+	cols = append(cols, t.cols...)
+	cols = append(cols, c)
+	return &Table{schema: schema, cols: cols, rows: t.rows}, nil
+}
+
+// SizeBytes estimates the in-memory footprint of the table's data; the
+// cluster cost model uses it to convert views into scan times.
+func (t *Table) SizeBytes() int64 {
+	var n int64
+	for _, c := range t.cols {
+		n += c.sizeBytes()
+	}
+	return n
+}
+
+// Builder accumulates rows for a schema and produces an immutable Table.
+type Builder struct {
+	schema Schema
+	f64s   map[int][]float64
+	i64s   map[int][]int64
+	strs   map[int][]string
+	rows   int
+}
+
+// NewBuilder returns a builder for the given schema.
+func NewBuilder(schema Schema) *Builder {
+	b := &Builder{
+		schema: schema,
+		f64s:   map[int][]float64{},
+		i64s:   map[int][]int64{},
+		strs:   map[int][]string{},
+	}
+	for i, f := range schema {
+		switch f.Type {
+		case Float64:
+			b.f64s[i] = nil
+		case Int64:
+			b.i64s[i] = nil
+		case String:
+			b.strs[i] = nil
+		}
+	}
+	return b
+}
+
+// AppendRow appends one row. vals must match the schema arity and types
+// (float64, int64 or string per field). It panics on mismatch, since
+// builders are driven by generators with static shape.
+func (b *Builder) AppendRow(vals ...any) {
+	if len(vals) != len(b.schema) {
+		panic(fmt.Sprintf("table: AppendRow got %d values for %d fields",
+			len(vals), len(b.schema)))
+	}
+	for i, v := range vals {
+		switch b.schema[i].Type {
+		case Float64:
+			b.f64s[i] = append(b.f64s[i], v.(float64))
+		case Int64:
+			b.i64s[i] = append(b.i64s[i], v.(int64))
+		case String:
+			b.strs[i] = append(b.strs[i], v.(string))
+		}
+	}
+	b.rows++
+}
+
+// NumRows returns the number of rows appended so far.
+func (b *Builder) NumRows() int { return b.rows }
+
+// Build finalizes the builder into a Table. The builder must not be used
+// afterwards.
+func (b *Builder) Build() *Table {
+	cols := make([]Column, len(b.schema))
+	for i, f := range b.schema {
+		switch f.Type {
+		case Float64:
+			cols[i] = Float64Col(b.f64s[i])
+		case Int64:
+			cols[i] = Int64Col(b.i64s[i])
+		case String:
+			cols[i] = StringCol(b.strs[i])
+		}
+	}
+	return MustNew(b.schema, cols...)
+}
