@@ -10,6 +10,7 @@ package repro
 // output.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/cluster"
@@ -18,7 +19,9 @@ import (
 	"repro/internal/estimator"
 	"repro/internal/exec"
 	"repro/internal/experiments"
+	"repro/internal/kernel"
 	"repro/internal/plan"
+	"repro/internal/resample"
 	"repro/internal/rng"
 	"repro/internal/sql"
 	"repro/internal/table"
@@ -314,6 +317,94 @@ func BenchmarkAblationStragglerMitigation(b *testing.B) {
 				total += cl.SimulateBreakdown(rng.New(uint64(i)), shape).Total()
 			}
 			b.ReportMetric(total/float64(b.N), "sim-seconds/query")
+		})
+	}
+}
+
+// BenchmarkBootstrapKernel is the §5.3.1 loop-order ablation: resample-major
+// (one full pass + one fresh weight vector per resample, the naive
+// Poissonized layout) against the blocked fused kernel (one streaming pass,
+// block-major, no weight vectors). n=100k values, K=100 resamples.
+func BenchmarkBootstrapKernel(b *testing.B) {
+	const n, k = 100000, 100
+	src := rng.New(50)
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = 100 + 10*src.NormFloat64()
+	}
+	q := estimator.Query{Kind: estimator.Avg}
+
+	b.Run("resample-major", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			src := rng.New(uint64(i))
+			var sink float64
+			for r := 0; r < k; r++ {
+				w := resample.PoissonWeights(src, n)
+				sink += q.EvalWeighted(values, w)
+			}
+			if sink == 0 {
+				b.Fatal("degenerate estimates")
+			}
+		}
+	})
+	b.Run("blocked-fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sums := kernel.FusedSums(values, k, uint64(i), 1, 1)
+			var sink float64
+			for r := 0; r < k; r++ {
+				sink += q.FinalizeFused(sums.WX[r], sums.W[r], n)
+			}
+			if sink == 0 {
+				b.Fatal("degenerate estimates")
+			}
+		}
+	})
+	b.Run("blocked-fused-parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sums := kernel.FusedSums(values, k, uint64(i), 1, 4)
+			if sums.WX[0] == 0 {
+				b.Fatal("degenerate estimates")
+			}
+		}
+	})
+	b.Run("blocked-generic", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ests, _ := kernel.Generic(values, k, uint64(i), 1, 1, q.EvalWeighted)
+			if ests[0] == 0 {
+				b.Fatal("degenerate estimates")
+			}
+		}
+	})
+}
+
+// BenchmarkDiagnosticParallel measures diagnostic.Run's worker scaling: the
+// P subsample queries at each ladder size fan out across Workers goroutines
+// with a worker-count-invariant verdict.
+func BenchmarkDiagnosticParallel(b *testing.B) {
+	src := rng.New(51)
+	s := make([]float64, 100000)
+	for i := range s {
+		s[i] = 10 + 3*src.NormFloat64()
+	}
+	q := estimator.Query{Kind: estimator.Avg}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			cfg := diagnostic.DefaultConfig(len(s))
+			cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				res, err := diagnostic.Run(rng.New(uint64(i)), s, q,
+					estimator.Bootstrap{K: 100}, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.PerSize) == 0 {
+					b.Fatal("no per-size stats")
+				}
+			}
 		})
 	}
 }

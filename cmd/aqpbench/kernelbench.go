@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/diagnostic"
+	"repro/internal/estimator"
+	"repro/internal/kernel"
+	"repro/internal/resample"
+	"repro/internal/rng"
+)
+
+// kernelVariant is one timed loop-order variant of the multi-resample
+// aggregation benchmark.
+type kernelVariant struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// Speedup is relative to the resample-major baseline.
+	Speedup float64 `json:"speedup"`
+}
+
+// diagTiming is one worker count of the parallel diagnostic sweep.
+type diagTiming struct {
+	Workers int     `json:"workers"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Speedup float64 `json:"speedup"`
+}
+
+// kernelBenchResult is the §5.3.1 kernel micro-benchmark: the loop-order
+// ablation (resample-major vs blocked-fused vs blocked-generic) and the
+// diagnostic worker sweep. It serializes to BENCH_kernel.json for
+// machine consumption alongside the usual text/CSV rendering.
+type kernelBenchResult struct {
+	N          int             `json:"n"`
+	K          int             `json:"k"`
+	BlockSize  int             `json:"block_size"`
+	Variants   []kernelVariant `json:"variants"`
+	Diagnostic []diagTiming    `json:"diagnostic"`
+}
+
+// timeOp runs fn iters times and returns the mean ns/op.
+func timeOp(iters int, fn func(i int)) float64 {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn(i)
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
+// kernelBench measures the fused kernel against the naive resample-major
+// layout on n values and k resamples, then sweeps diagnostic.Run's Workers
+// knob on the same data.
+func kernelBench(n, k, iters, seed int) *kernelBenchResult {
+	src := rng.New(uint64(seed))
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = 100 + 10*src.NormFloat64()
+	}
+	q := estimator.Query{Kind: estimator.Avg}
+	res := &kernelBenchResult{N: n, K: k, BlockSize: kernel.BlockSize}
+
+	var sink float64
+	baseline := timeOp(iters, func(i int) {
+		s := rng.New(uint64(i))
+		for r := 0; r < k; r++ {
+			w := resample.PoissonWeights(s, n)
+			sink += q.EvalWeighted(values, w)
+		}
+	})
+	fused := timeOp(iters, func(i int) {
+		sums := kernel.FusedSums(values, k, uint64(i), 1, 1)
+		for r := 0; r < k; r++ {
+			sink += q.FinalizeFused(sums.WX[r], sums.W[r], n)
+		}
+	})
+	generic := timeOp(iters, func(i int) {
+		ests, _ := kernel.Generic(values, k, uint64(i), 1, 1, q.EvalWeighted)
+		sink += ests[0]
+	})
+	if sink == 0 {
+		panic("aqpbench: degenerate kernel benchmark")
+	}
+	res.Variants = []kernelVariant{
+		{Name: "resample-major", NsPerOp: baseline, Speedup: 1},
+		{Name: "blocked-fused", NsPerOp: fused, Speedup: baseline / fused},
+		{Name: "blocked-generic", NsPerOp: generic, Speedup: baseline / generic},
+	}
+
+	var serial float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		cfg := diagnostic.DefaultConfig(n)
+		cfg.Workers = workers
+		w := workers
+		ns := timeOp(iters, func(i int) {
+			out, err := diagnostic.Run(rng.New(uint64(i)), values, q,
+				estimator.Bootstrap{K: k}, cfg)
+			if err != nil {
+				panic("aqpbench: " + err.Error())
+			}
+			_ = out
+		})
+		if w == 1 {
+			serial = ns
+		}
+		res.Diagnostic = append(res.Diagnostic,
+			diagTiming{Workers: w, NsPerOp: ns, Speedup: serial / ns})
+	}
+	return res
+}
+
+// Render implements result.
+func (r *kernelBenchResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "§5.3.1 kernel ablation (n=%d, K=%d, block=%d values)\n",
+		r.N, r.K, r.BlockSize)
+	fmt.Fprintf(w, "  %-18s %14s %9s\n", "variant", "ms/op", "speedup")
+	for _, v := range r.Variants {
+		fmt.Fprintf(w, "  %-18s %14.2f %8.2fx\n", v.Name, v.NsPerOp/1e6, v.Speedup)
+	}
+	fmt.Fprintf(w, "  parallel diagnostic (bootstrap K=%d):\n", r.K)
+	for _, d := range r.Diagnostic {
+		fmt.Fprintf(w, "  %-18s %14.2f %8.2fx\n",
+			fmt.Sprintf("workers=%d", d.Workers), d.NsPerOp/1e6, d.Speedup)
+	}
+}
+
+// WriteCSV implements result.
+func (r *kernelBenchResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "section,name,ns_per_op,speedup"); err != nil {
+		return err
+	}
+	for _, v := range r.Variants {
+		if _, err := fmt.Fprintf(w, "kernel,%s,%.0f,%.3f\n",
+			v.Name, v.NsPerOp, v.Speedup); err != nil {
+			return err
+		}
+	}
+	for _, d := range r.Diagnostic {
+		if _, err := fmt.Fprintf(w, "diagnostic,workers=%d,%.0f,%.3f\n",
+			d.Workers, d.NsPerOp, d.Speedup); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON emits the machine-readable form consumed by CI and tooling.
+func (r *kernelBenchResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

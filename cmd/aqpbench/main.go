@@ -8,7 +8,8 @@
 //	aqpbench -fig all -csv out/  # also write plot-ready CSV per figure
 //
 // Figures: 1, 3 (includes the §3 table), 4b, 4c, 7, 8ab, 8c, 8d, 8ef, 9,
-// ablation.
+// ablation, kernel (the §5.3.1 loop-order ablation, which also writes
+// machine-readable BENCH_kernel.json).
 package main
 
 import (
@@ -37,6 +38,7 @@ func main() {
 	queries := flag.Int("queries", 0, "override queries per set")
 	workers := flag.Int("workers", 0, "override worker count")
 	csvDir := flag.String("csv", "", "also write plot-ready CSV files into this directory")
+	benchJSON := flag.String("benchjson", "BENCH_kernel.json", "output path for the kernel benchmark's machine-readable results")
 	flag.Parse()
 
 	cfg := experiments.Quick()
@@ -63,8 +65,15 @@ func main() {
 		"8ef":      func() result { return experiments.Fig8ef(cfg) },
 		"9":        func() result { return experiments.Fig9(cfg) },
 		"ablation": func() result { return experiments.DiagnosticAblation(cfg) },
+		"kernel": func() result {
+			n, iters := 100000, 3
+			if *full {
+				n, iters = 1000000, 5
+			}
+			return kernelBench(n, 100, iters, int(cfg.Seed))
+		},
 	}
-	order := []string{"1", "3", "4b", "4c", "7", "8ab", "8c", "8d", "8ef", "9", "ablation"}
+	order := []string{"1", "3", "4b", "4c", "7", "8ab", "8c", "8d", "8ef", "9", "ablation", "kernel"}
 
 	var selected []string
 	switch strings.ToLower(*fig) {
@@ -99,6 +108,22 @@ func main() {
 		start := time.Now()
 		res := runners[key]()
 		res.Render(os.Stdout)
+		if jr, ok := res.(interface{ WriteJSON(io.Writer) error }); ok && *benchJSON != "" {
+			f, err := os.Create(*benchJSON)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "aqpbench:", err)
+				os.Exit(1)
+			}
+			if err := jr.WriteJSON(f); err != nil {
+				fmt.Fprintln(os.Stderr, "aqpbench:", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "aqpbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("[json written to %s]\n", *benchJSON)
+		}
 		if *csvDir != "" {
 			path := filepath.Join(*csvDir, "fig"+key+".csv")
 			f, err := os.Create(path)

@@ -176,8 +176,11 @@ func TestBootstrapTechniqueForComplexAggregates(t *testing.T) {
 }
 
 func TestUDFQueryEndToEnd(t *testing.T) {
+	// A 40k-row sample keeps the filtered diagnostic's subsample ladder
+	// large enough that its Δ/σ statistics sit clear of the c1/c2
+	// acceptance thresholds rather than on the boundary.
 	e, _ := buildSessions(t, Config{Seed: 6, BootstrapK: 40}, 60000)
-	if err := e.BuildSamples("Sessions", 20000); err != nil {
+	if err := e.BuildSamples("Sessions", 40000); err != nil {
 		t.Fatal(err)
 	}
 	e.RegisterUDF("trimmed", func(values, weights []float64) float64 {

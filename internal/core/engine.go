@@ -30,7 +30,11 @@ import (
 
 // Config tunes the engine. Zero values select the paper's defaults.
 type Config struct {
-	// Workers is the local execution parallelism (0 = 4).
+	// Workers is the local execution parallelism (0 = 4). It bounds the
+	// scan operators, the multi-resample bootstrap kernel, and the
+	// diagnostic's per-size subsample fan-out alike; answers are
+	// bit-identical at every setting because all randomness is drawn from
+	// per-work-unit RNG streams, never from shared per-worker state.
 	Workers int
 	// Seed makes all sampling and resampling reproducible.
 	Seed uint64

@@ -16,12 +16,20 @@ package diagnostic
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/estimator"
 	"repro/internal/rng"
 	"repro/internal/sample"
 	"repro/internal/stats"
 )
+
+// subStream derives the RNG stream id of subsample j at ladder-size index
+// si. rng.NewWithStream finalizes the id, so a collision-free combination
+// suffices.
+func subStream(si, j int) uint64 {
+	return uint64(si)<<32 | uint64(uint32(j))
+}
 
 // Config carries Algorithm 1's parameters. The paper's experiments use
 // p=100, k=3, c1=c2=0.2, c3=0.5 and ρ=0.95, with subsample sizes equivalent
@@ -46,6 +54,19 @@ type Config struct {
 	// partitioning. Leave true unless the caller guarantees the sample
 	// is already in random order.
 	Shuffle bool
+	// Workers bounds the parallelism of the per-size subsample queries:
+	// at each ladder size the P (truth + ξ) evaluations fan out across at
+	// most Workers goroutines. <= 1 runs serially. Every subsample owns
+	// its own RNG stream, so the verdict and every per-size statistic are
+	// identical at any worker count.
+	Workers int
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 1 {
+		return 1
+	}
+	return c.Workers
 }
 
 // DefaultConfig returns the paper's settings scaled to a sample of n rows:
@@ -133,6 +154,12 @@ type Result struct {
 
 // Run executes Algorithm 1: it checks whether the error-estimation
 // procedure est can be trusted for query q on the given sample.
+//
+// At each ladder size the P subsample evaluations (the true estimate θ on
+// the subsample plus ξ's interval) fan out across cfg.Workers goroutines.
+// Each (size, subsample) pair owns an RNG stream derived from a single
+// draw off src, so the verdict and every per-size statistic are
+// bit-identical at any worker count.
 func Run(src *rng.Source, values []float64, q estimator.Query, est estimator.Estimator, cfg Config) (Result, error) {
 	if err := cfg.Validate(len(values)); err != nil {
 		return Result{}, err
@@ -147,30 +174,65 @@ func Run(src *rng.Source, values []float64, q estimator.Query, est estimator.Est
 	}
 	// Best available estimate of θ(D).
 	t := q.Eval(s)
+	// Base seed for the per-(size, subsample) streams.
+	base := src.Uint64()
 
 	res := Result{PerSize: make([]SizeStats, 0, len(cfg.SubsampleSizes))}
-	for _, b := range cfg.SubsampleSizes {
+	for si, b := range cfg.SubsampleSizes {
 		subs, err := sample.DisjointSubsamples(s, b, cfg.P)
 		if err != nil {
 			return Result{}, err
 		}
-		// True interval at this size: θ on each subsample.
+		// θ and ξ on each subsample, fanned across the worker pool. ests
+		// is the truth ladder; widths is ξ's per-subsample half-width.
 		ests := make([]float64, cfg.P)
-		for j, sub := range subs {
-			ests[j] = q.Eval(sub)
-		}
-		res.SubsampleQueries += cfg.P
-		x := stats.SymmetricHalfWidth(ests, t, cfg.Alpha)
-
-		// ξ's estimate on each subsample.
 		widths := make([]float64, cfg.P)
-		for j, sub := range subs {
-			iv, err := est.Interval(src, sub, q, cfg.Alpha)
+		errs := make([]error, cfg.P)
+		evalRange := func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				sub := subs[j]
+				ests[j] = q.Eval(sub)
+				iv, err := est.Interval(rng.NewWithStream(base, subStream(si, j)),
+					sub, q, cfg.Alpha)
+				if err != nil {
+					errs[j] = err
+					continue
+				}
+				widths[j] = iv.HalfWidth
+			}
+		}
+		w := cfg.workers()
+		if w > cfg.P {
+			w = cfg.P
+		}
+		if w <= 1 {
+			evalRange(0, cfg.P)
+		} else {
+			var wg sync.WaitGroup
+			chunk := (cfg.P + w - 1) / w
+			for wi := 0; wi < w; wi++ {
+				lo, hi := wi*chunk, (wi+1)*chunk
+				if hi > cfg.P {
+					hi = cfg.P
+				}
+				if lo >= hi {
+					continue
+				}
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					evalRange(lo, hi)
+				}(lo, hi)
+			}
+			wg.Wait()
+		}
+		for _, err := range errs {
 			if err != nil {
 				return Result{OK: false, Reason: "estimator failed: " + err.Error()}, nil
 			}
-			widths[j] = iv.HalfWidth
 		}
+		res.SubsampleQueries += cfg.P // truth: one θ per subsample
+		x := stats.SymmetricHalfWidth(ests, t, cfg.Alpha)
 		res.SubsampleQueries += cfg.P // ξ costs at least one θ-scale pass per subsample
 
 		st := SizeStats{Size: b, TrueHalfWidth: x}

@@ -2,6 +2,7 @@ package diagnostic
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -150,6 +151,33 @@ func TestDiagnosticDeterministicUnderSeed(t *testing.T) {
 	for i := range a.PerSize {
 		if a.PerSize[i] != b.PerSize[i] {
 			t.Fatal("per-size statistics differ across identical runs")
+		}
+	}
+}
+
+func TestDiagnosticWorkerCountInvariance(t *testing.T) {
+	// The verdict and every per-size statistic must be byte-identical at
+	// any worker count: each (size, subsample) pair owns an RNG stream, so
+	// the bootstrap draws inside ξ never depend on goroutine scheduling.
+	s := gaussianSample(40, 40000, 100, 15)
+	q := estimator.Query{Kind: estimator.Avg}
+	run := func(workers int) Result {
+		cfg := smallConfig(len(s))
+		cfg.Workers = workers
+		res, err := Run(rng.New(41), s, q, estimator.Bootstrap{K: 50}, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	base := run(1)
+	if !base.OK {
+		t.Fatalf("serial diagnostic rejected Gaussian AVG: %s", base.Reason)
+	}
+	for _, w := range []int{4, 8} {
+		if got := run(w); !reflect.DeepEqual(got, base) {
+			t.Errorf("workers=%d: result differs from serial run\nserial: %+v\ngot:    %+v",
+				w, base, got)
 		}
 	}
 }

@@ -3,6 +3,7 @@ package estimator
 import (
 	"fmt"
 
+	"repro/internal/kernel"
 	"repro/internal/resample"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -81,7 +82,7 @@ func (b Bootstrap) Interval(src *rng.Source, values []float64, q Query, alpha fl
 		k = DefaultBootstrapK
 	}
 	center := q.Eval(values)
-	ests := resample.Estimates(src, values, k, q.EvalWeighted, b.Strategy)
+	ests := b.estimates(src, values, q, k)
 	var half float64
 	switch b.Method {
 	case NormalApprox:
@@ -104,5 +105,24 @@ func (b Bootstrap) Distribution(src *rng.Source, values []float64, q Query) []fl
 	if k <= 0 {
 		k = DefaultBootstrapK
 	}
-	return resample.Estimates(src, values, k, q.EvalWeighted, b.Strategy)
+	return b.estimates(src, values, q, k)
+}
+
+// estimates produces the K resample estimates. The Poissonized production
+// path runs on the blocked multi-resample kernel: fused Σw·x / Σw
+// accumulators for the closed-form family (no weight vectors
+// materialized), the generic weighted-θ fallback otherwise. Both consume
+// the same two draws from src and the same per-(resample, block) streams,
+// so fused and generic agree on identical weights for identical queries.
+func (b Bootstrap) estimates(src *rng.Source, values []float64, q Query, k int) []float64 {
+	if b.Strategy != resample.Poissonized || !q.FusedApplicable() {
+		return resample.Estimates(src, values, k, q.EvalWeighted, b.Strategy)
+	}
+	seed, stream := src.Uint64(), src.Uint64()
+	sums := kernel.FusedSums(values, k, seed, stream, 1)
+	out := make([]float64, k)
+	for r := range out {
+		out[r] = q.FinalizeFused(sums.WX[r], sums.W[r], len(values))
+	}
+	return out
 }

@@ -192,6 +192,47 @@ func foldWeighted(m *stats.Moments, values, weights []float64) {
 	}
 }
 
+// FusedApplicable reports whether the blocked multi-resample kernel has a
+// fused closed-form accumulator for q: the Σw·x / Σw family (AVG, and
+// population-scaled or plain SUM/COUNT). For these the kernel never
+// materializes a weight vector; everything else takes the generic
+// weighted-θ fallback.
+func (q Query) FusedApplicable() bool {
+	switch q.Kind {
+	case Avg, Sum, Count:
+		return true
+	default:
+		return false
+	}
+}
+
+// FinalizeFused turns one resample's fused accumulators (wx = Σw·x, w =
+// Σw) into θ, matching EvalWeighted's semantics for the fused kinds up to
+// floating-point summation order. n is the number of input rows (needed to
+// reproduce EvalWeighted's NaN on empty input).
+func (q Query) FinalizeFused(wx, w float64, n int) float64 {
+	if n == 0 {
+		return math.NaN()
+	}
+	switch q.Kind {
+	case Avg:
+		if w == 0 {
+			return math.NaN()
+		}
+		return wx / w
+	case Sum, Count:
+		if q.PopN > 0 {
+			if w == 0 {
+				return math.NaN()
+			}
+			return float64(q.PopN) * wx / w
+		}
+		return wx
+	default:
+		return math.NaN()
+	}
+}
+
 // ClosedFormApplicable reports whether a closed-form CLT variance estimate
 // is known for the query. Per the paper, this covers COUNT, SUM, AVG,
 // VARIANCE and STDEV; MIN, MAX, percentiles and black-box UDFs have no

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/diagnostic"
 	"repro/internal/estimator"
+	"repro/internal/kernel"
 	"repro/internal/plan"
 	"repro/internal/rng"
 	"repro/internal/sql"
@@ -503,41 +504,30 @@ func queryFor(spec plan.AggSpec, st *StoredTable, sampleRows int, grouped bool, 
 	}
 }
 
-// bootstrapEstimates computes the K resample estimates. Consolidated mode
-// draws weights in-process over the already-projected values (one pass
-// total). Naive mode charges one full subquery per resample. scannedRows
-// is the pre-filter row count; when pushdown is off, the plan draws
-// weights for every scanned row, so the waste is charged accordingly.
+// bootstrapEstimates computes the K resample estimates on the blocked
+// multi-resample kernel (internal/kernel): the value column is streamed
+// block-major once, with fused Σw·x / Σw accumulators for the closed-form
+// family and the generic weighted-θ fallback (pooled weight buffers) for
+// quantiles and UDFs. Per-(resample, block) RNG streams make the result
+// bit-identical at every worker count. Naive mode charges one full
+// subquery per resample elsewhere; scannedRows is the pre-filter row
+// count, charged for weight draws when pushdown is off.
 func bootstrapEstimates(nodes nodeSet, values []float64, q estimator.Query, k int, cfg Config, scannedRows int, groupKey string, aggIdx int) ([]float64, Counters) {
 	var c Counters
-	w := cfg.workers()
-	ests := make([]float64, k)
-	var wg sync.WaitGroup
-	chunk := (k + w - 1) / w
-	for wi := 0; wi < w; wi++ {
-		lo, hi := wi*chunk, (wi+1)*chunk
-		if hi > k {
-			hi = k
+	stream := hashStream("boot", groupKey, aggIdx, 0)
+	var ests []float64
+	if q.FusedApplicable() {
+		sums := kernel.FusedSums(values, k, cfg.Seed, stream, cfg.workers())
+		ests = make([]float64, k)
+		for r := range ests {
+			ests[r] = q.FinalizeFused(sums.WX[r], sums.W[r], len(values))
 		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			buf := make([]float64, len(values))
-			for r := lo; r < hi; r++ {
-				src := rng.NewWithStream(cfg.Seed,
-					hashStream("boot", groupKey, aggIdx, r))
-				for i := range buf {
-					buf[i] = float64(src.Poisson1())
-				}
-				ests[r] = q.EvalWeighted(values, buf)
-			}
-		}(lo, hi)
+		c.Tasks += sums.Tasks
+	} else {
+		var tasks int
+		ests, tasks = kernel.Generic(values, k, cfg.Seed, stream, cfg.workers(), q.EvalWeighted)
+		c.Tasks += tasks
 	}
-	wg.Wait()
-	c.Tasks += w
 	pushed := nodes.resample == nil || nodes.resample.Pushed
 	if pushed {
 		c.WeightDraws += int64(k) * int64(len(values))
@@ -557,6 +547,9 @@ func runDiagnostic(nodes nodeSet, values []float64, q estimator.Query, k int, cf
 		Rho:     0.95,
 		Alpha:   0.95,
 		Shuffle: true,
+		// Fan the per-size subsample queries across the executor's worker
+		// pool; verdicts are worker-count-invariant (per-subsample streams).
+		Workers: cfg.workers(),
 	}
 	if dcfg.SubsampleSizes[len(dcfg.SubsampleSizes)-1]*dcfg.P > len(values) {
 		// Not enough filtered rows for the configured ladder: shrink it.

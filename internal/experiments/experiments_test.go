@@ -68,6 +68,9 @@ func TestFig1Render(t *testing.T) {
 }
 
 func TestFig3Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Fig. 3 regression is slow")
+	}
 	cfg := Quick()
 	cfg.QueriesPerSet = 30 // enough for the marginal structure to appear
 	res := Fig3(cfg)
@@ -110,6 +113,9 @@ func TestFig3Shapes(t *testing.T) {
 }
 
 func TestFig3Render(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Fig. 3 rendering runs the full estimator evaluation")
+	}
 	cfg := Quick()
 	cfg.QueriesPerSet = 6
 	var buf bytes.Buffer

@@ -1,0 +1,262 @@
+// Package kernel implements the blocked, fused, multi-resample aggregation
+// kernel behind scan consolidation (§5.3.1). The naive layout of
+// Poissonized bootstrapping is resample-major: for each of the K resamples,
+// re-stream the whole value column, materialize a fresh n-row weight
+// vector, and evaluate θ — K full passes whose working set (values +
+// weights) falls out of cache between resamples, plus K buffer
+// allocations.
+//
+// This package turns the loop inside out. The value column is processed in
+// cache-sized blocks (BlockSize float64s ≈ 8 KiB); for each block, the
+// kernel draws Poisson(1) weights and updates all K resample accumulators
+// before moving to the next block. Every value is read from memory once
+// and stays L1-resident while the K resamples consume it, and for the
+// closed-form family (SUM/COUNT/AVG — anything of the Σw·x / Σw shape) no
+// weight vector is ever materialized at all.
+//
+// Weight generation is event-major (multinomial thinning): i.i.d.
+// Poisson(1) weights over a block of B rows are distributionally identical
+// to one total N ~ Poisson(B) followed by N events placed uniformly in the
+// block. Σw is then N for free, Σw·x is N gathered adds, and — because
+// BlockSize is a power of two — full-block placement is a bias-free bit
+// shift off one raw Uint64, cheaper than a per-row Poisson inversion.
+//
+// Determinism: every (resample r, block b) pair owns its own RNG stream,
+// derived from a caller-supplied base stream. The weights of resample r
+// are therefore a pure function of (seed, stream, r, b), independent of
+// which worker processed the block or how many workers ran — results are
+// bit-identical at any degree of parallelism, and FillWeights can
+// reproduce any resample's exact weight vector for the generic θ fallback
+// and for equivalence tests.
+package kernel
+
+import (
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// BlockSize is the number of float64 values processed per block. 1024
+// values = 8 KiB: comfortably inside L1d, so one block's values stay
+// resident while all K resamples stream over it. It must remain a power of
+// two — full-block event placement draws the row index as the top bits of
+// a raw Uint64.
+const BlockSize = 1 << blockBits
+
+const (
+	blockBits  = 10
+	blockShift = 64 - blockBits
+)
+
+// streamFor derives the RNG stream id of (resample r, block b) from the
+// caller's base stream by FNV-style mixing. rng.StreamSource runs the
+// result through the SplitMix64 finalizer, so light mixing suffices here.
+func streamFor(base uint64, r, b int) uint64 {
+	h := base ^ 0x517cc1b727220a95
+	h ^= uint64(r)
+	h *= 1099511628211
+	h ^= uint64(b)
+	h *= 1099511628211
+	return h
+}
+
+// bufPool recycles float64 scratch buffers (weight vectors for the generic
+// path, per-block partial accumulators for the fused path) across kernel
+// invocations, so a steady query stream performs no per-call scratch
+// allocation.
+var bufPool sync.Pool
+
+func getBuf(n int) []float64 {
+	// Undersized pooled buffers are dropped (not re-pooled) so the pool
+	// converges to the largest working-set size in use.
+	if p, _ := bufPool.Get().(*[]float64); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]float64, n)
+}
+
+func putBuf(b []float64) {
+	bufPool.Put(&b)
+}
+
+// Sums holds the fused per-resample accumulators of one kernel run:
+// WX[r] = Σ w·x and W[r] = Σ w over resample r's Poisson weights. The
+// closed-form aggregates finalize from these two numbers alone (AVG =
+// WX/W, scaled SUM/COUNT = |D|·WX/W), so the kernel never materializes a
+// weight vector for them.
+type Sums struct {
+	WX []float64
+	W  []float64
+	// Tasks is the number of parallel work units that actually performed
+	// work: goroutines launched, or 1 for the inline (workers <= 1) path.
+	Tasks int
+}
+
+// FusedSums streams values block-major and returns the fused accumulators
+// for K Poissonized resamples. Parallelism is over contiguous block
+// ranges; per-block partials are merged serially in block order afterwards,
+// so the result is bit-identical at every worker count.
+func FusedSums(values []float64, k int, seed, stream uint64, workers int) Sums {
+	out := Sums{WX: make([]float64, k), W: make([]float64, k), Tasks: 1}
+	n := len(values)
+	nb := (n + BlockSize - 1) / BlockSize
+	if k == 0 || nb == 0 {
+		return out
+	}
+	partWX := getBuf(nb * k)
+	partW := getBuf(nb * k)
+
+	process := func(b int) {
+		lo := b * BlockSize
+		hi := lo + BlockSize
+		if hi > n {
+			hi = n
+		}
+		blk := values[lo:hi]
+		bl := len(blk)
+		base := b * k
+		for r := 0; r < k; r++ {
+			src := rng.StreamSource(seed, streamFor(stream, r, b))
+			// Event-major: the block's total multiplicity is one
+			// Poisson(bl) draw; each event gathers one value.
+			ev := src.Poisson(float64(bl))
+			var wx float64
+			if bl == BlockSize {
+				for e := 0; e < ev; e++ {
+					wx += blk[src.Uint64()>>blockShift]
+				}
+			} else {
+				for e := 0; e < ev; e++ {
+					wx += blk[src.Uint64n(uint64(bl))]
+				}
+			}
+			partWX[base+r] = wx
+			partW[base+r] = float64(ev)
+		}
+	}
+
+	if workers > nb {
+		workers = nb
+	}
+	if workers <= 1 {
+		for b := 0; b < nb; b++ {
+			process(b)
+		}
+	} else {
+		chunk := (nb + workers - 1) / workers
+		var wg sync.WaitGroup
+		launched := 0
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > nb {
+				hi = nb
+			}
+			if lo >= hi {
+				continue
+			}
+			launched++
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for b := lo; b < hi; b++ {
+					process(b)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		out.Tasks = launched
+	}
+	// In-order reduction over blocks: the floating-point merge order is a
+	// function of the block layout only, never of the worker count.
+	for b := 0; b < nb; b++ {
+		base := b * k
+		for r := 0; r < k; r++ {
+			out.WX[r] += partWX[base+r]
+			out.W[r] += partW[base+r]
+		}
+	}
+	putBuf(partWX)
+	putBuf(partW)
+	return out
+}
+
+// FillWeights writes resample r's Poisson(1) weight vector into w — drawn
+// block by block from exactly the per-(resample, block) streams and the
+// same event sequence FusedSums consumes, so the generic path and the
+// fused path see identical weights for identical (seed, stream, r).
+func FillWeights(w []float64, seed, stream uint64, r int) {
+	n := len(w)
+	for b := 0; b*BlockSize < n; b++ {
+		lo := b * BlockSize
+		hi := lo + BlockSize
+		if hi > n {
+			hi = n
+		}
+		bl := hi - lo
+		blk := w[lo:hi]
+		for i := range blk {
+			blk[i] = 0
+		}
+		src := rng.StreamSource(seed, streamFor(stream, r, b))
+		ev := src.Poisson(float64(bl))
+		if bl == BlockSize {
+			for e := 0; e < ev; e++ {
+				blk[src.Uint64()>>blockShift]++
+			}
+		} else {
+			for e := 0; e < ev; e++ {
+				blk[src.Uint64n(uint64(bl))]++
+			}
+		}
+	}
+}
+
+// Generic computes K weighted-θ resample estimates for aggregates without
+// a fused accumulator (quantiles, MIN/MAX, black-box UDFs). Weight vectors
+// are materialized one resample at a time into pooled buffers; parallelism
+// is over resamples. Results are worker-count-invariant because each
+// resample's weights come from its own per-(resample, block) streams. The
+// returned int counts the parallel tasks that actually ran (goroutines
+// launched, or 1 inline). theta may be called concurrently and must be
+// safe for that, as estimator.Query.EvalWeighted is.
+func Generic(values []float64, k int, seed, stream uint64, workers int, theta func(values, weights []float64) float64) ([]float64, int) {
+	ests := make([]float64, k)
+	if k == 0 {
+		return ests, 0
+	}
+	run := func(lo, hi int) {
+		buf := getBuf(len(values))
+		for r := lo; r < hi; r++ {
+			FillWeights(buf, seed, stream, r)
+			ests[r] = theta(values, buf)
+		}
+		putBuf(buf)
+	}
+	if workers > k {
+		workers = k
+	}
+	if workers <= 1 {
+		run(0, k)
+		return ests, 1
+	}
+	chunk := (k + workers - 1) / workers
+	var wg sync.WaitGroup
+	launched := 0
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > k {
+			hi = k
+		}
+		if lo >= hi {
+			continue
+		}
+		launched++
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			run(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return ests, launched
+}

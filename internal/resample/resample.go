@@ -17,6 +17,7 @@ package resample
 import (
 	"fmt"
 
+	"repro/internal/kernel"
 	"repro/internal/rng"
 )
 
@@ -130,15 +131,20 @@ func (s Strategy) String() string {
 // Estimates runs theta on k resamples of values using the given strategy
 // and returns the k point estimates — the bootstrap distribution that the
 // bootstrap error operator and the diagnostic both consume.
+//
+// The Poissonized production path runs on the blocked kernel
+// (internal/kernel): two draws from src seed the kernel's
+// per-(resample, block) streams, weights are generated block-major into a
+// pooled buffer, and results are deterministic given src's state.
 func Estimates(src *rng.Source, values []float64, k int, theta WeightedTheta, strategy Strategy) []float64 {
-	out := make([]float64, k)
 	switch strategy {
 	case Poissonized:
-		w := make([]float64, len(values))
-		for r := 0; r < k; r++ {
-			FillPoissonWeights(src, w)
-			out[r] = theta(values, w)
-		}
+		seed, stream := src.Uint64(), src.Uint64()
+		out, _ := kernel.Generic(values, k, seed, stream, 1, theta)
+		return out
+	}
+	out := make([]float64, k)
+	switch strategy {
 	case ExactMultinomial:
 		for r := 0; r < k; r++ {
 			out[r] = theta(values, ExactMultinomialWeights(src, len(values)))

@@ -43,12 +43,21 @@ func New(seed uint64) *Source {
 // even under the same seed, which lets deterministic experiments assign one
 // stream per (query, trial) pair.
 func NewWithStream(seed, stream uint64) *Source {
+	s := StreamSource(seed, stream)
+	return &s
+}
+
+// StreamSource is the value form of NewWithStream: it returns a Source by
+// value so hot loops that open one stream per (resample, block) pair can
+// keep the generator on the stack instead of allocating. The stream
+// derivation is identical to NewWithStream's.
+func StreamSource(seed, stream uint64) Source {
 	// Derive an odd gamma from the stream id by running it through the
 	// SplitMix64 finalizer; force the low bit so the Weyl sequence has
 	// period 2^64.
 	g := mix64(stream*goldenGamma + goldenGamma)
 	g |= 1
-	return &Source{state: mix64(seed + g), gamma: g}
+	return Source{state: mix64(seed + g), gamma: g}
 }
 
 func mix64(z uint64) uint64 {
