@@ -8,8 +8,9 @@
 //	aqpbench -fig all -csv out/  # also write plot-ready CSV per figure
 //
 // Figures: 1, 3 (includes the §3 table), 4b, 4c, 7, 8ab, 8c, 8d, 8ef, 9,
-// ablation, kernel (the §5.3.1 loop-order ablation, which also writes
-// machine-readable BENCH_kernel.json).
+// ablation, stages (the traced per-stage latency breakdown, which writes
+// machine-readable BENCH_stages.json), kernel (the §5.3.1 loop-order
+// ablation, which also writes machine-readable BENCH_kernel.json).
 package main
 
 import (
@@ -32,7 +33,7 @@ type result interface {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 3, 4b, 4c, 7, 8ab, 8c, 8d, 8ef, 9, ablation, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 3, 4b, 4c, 7, 8ab, 8c, 8d, 8ef, 9, ablation, stages, kernel, all")
 	full := flag.Bool("full", false, "run at paper-faithful scale (slow)")
 	seed := flag.Uint64("seed", 2014, "random seed")
 	queries := flag.Int("queries", 0, "override queries per set")
@@ -65,6 +66,7 @@ func main() {
 		"8ef":      func() result { return experiments.Fig8ef(cfg) },
 		"9":        func() result { return experiments.Fig9(cfg) },
 		"ablation": func() result { return experiments.DiagnosticAblation(cfg) },
+		"stages":   func() result { return experiments.Stages(cfg) },
 		"kernel": func() result {
 			n, iters := 100000, 3
 			if *full {
@@ -73,7 +75,7 @@ func main() {
 			return kernelBench(n, 100, iters, int(cfg.Seed))
 		},
 	}
-	order := []string{"1", "3", "4b", "4c", "7", "8ab", "8c", "8d", "8ef", "9", "ablation", "kernel"}
+	order := []string{"1", "3", "4b", "4c", "7", "8ab", "8c", "8d", "8ef", "9", "ablation", "stages", "kernel"}
 
 	var selected []string
 	switch strings.ToLower(*fig) {
@@ -109,7 +111,14 @@ func main() {
 		res := runners[key]()
 		res.Render(os.Stdout)
 		if jr, ok := res.(interface{ WriteJSON(io.Writer) error }); ok && *benchJSON != "" {
-			f, err := os.Create(*benchJSON)
+			jsonPath := *benchJSON
+			// Results carrying their own file name (the stage-trace export)
+			// keep distinct outputs when several JSON figures run in one
+			// invocation.
+			if named, ok := res.(interface{ JSONName() string }); ok {
+				jsonPath = named.JSONName()
+			}
+			f, err := os.Create(jsonPath)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "aqpbench:", err)
 				os.Exit(1)
@@ -122,7 +131,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "aqpbench:", err)
 				os.Exit(1)
 			}
-			fmt.Printf("[json written to %s]\n", *benchJSON)
+			fmt.Printf("[json written to %s]\n", jsonPath)
 		}
 		if *csvDir != "" {
 			path := filepath.Join(*csvDir, "fig"+key+".csv")

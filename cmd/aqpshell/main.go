@@ -21,6 +21,7 @@ package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/table"
@@ -35,7 +37,7 @@ import (
 
 const demoRows = 1000000
 
-func buildDemo() (*core.Engine, error) {
+func buildDemo(metricsAddr string) (*core.Engine, error) {
 	src := rng.New(42)
 	times := make(table.Float64Col, demoRows)
 	cities := make(table.StringCol, demoRows)
@@ -53,7 +55,12 @@ func buildDemo() (*core.Engine, error) {
 		{Name: "KB", Type: table.Float64},
 	}, times, cities, bytes)
 
-	e := core.New(core.Config{Seed: 42, Workers: 8})
+	e := core.New(core.Config{
+		Seed:        42,
+		Workers:     8,
+		Obs:         obs.NewTracer(obs.Options{}),
+		MetricsAddr: metricsAddr,
+	})
 	if err := e.RegisterTable("Sessions", tbl); err != nil {
 		return nil, err
 	}
@@ -88,14 +95,38 @@ func buildDemo() (*core.Engine, error) {
 }
 
 func main() {
+	explain := flag.Bool("explain", false,
+		"print the per-stage trace (span tree and counters) after each query")
+	metricsAddr := flag.String("metrics", "",
+		"serve /metrics and /debug/queries on this address (e.g. 127.0.0.1:9090)")
+	flag.Parse()
+
 	fmt.Println("aqpshell — approximate query processing with reliable error bars")
 	fmt.Println("demo table: Sessions(Time FLOAT64, City STRING, KB FLOAT64),",
 		demoRows, "rows; samples: 10k, 100k")
 	fmt.Println(`type \help for commands`)
-	engine, err := buildDemo()
+	engine, err := buildDemo(*metricsAddr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aqpshell:", err)
 		os.Exit(1)
+	}
+	defer engine.Close()
+	if addr, err := engine.MetricsEndpoint(); err != nil {
+		fmt.Fprintln(os.Stderr, "aqpshell: metrics endpoint:", err)
+		os.Exit(1)
+	} else if addr != "" {
+		fmt.Printf("metrics: http://%s/metrics  traces: http://%s/debug/queries\n", addr, addr)
+	}
+
+	// show prints an answer and, under -explain, the recorded span tree.
+	show := func(ans *core.Answer, err error) {
+		printAnswer(ans, err)
+		if !*explain {
+			return
+		}
+		if t, ok := engine.Tracer().Last(); ok {
+			fmt.Print(obs.FormatTrace(t))
+		}
 	}
 
 	scanner := bufio.NewScanner(os.Stdin)
@@ -140,7 +171,7 @@ func main() {
 			report(out, err)
 		case strings.HasPrefix(line, `\exact `):
 			ans, err := engine.QueryExact(strings.TrimPrefix(line, `\exact `))
-			printAnswer(ans, err)
+			show(ans, err)
 		case strings.HasPrefix(line, `\time `):
 			rest := strings.TrimPrefix(line, `\time `)
 			fields := strings.SplitN(rest, " ", 2)
@@ -155,7 +186,7 @@ func main() {
 			}
 			ans, err := engine.QueryWithTimeBudget(fields[1],
 				time.Duration(secs*float64(time.Second)))
-			printAnswer(ans, err)
+			show(ans, err)
 		case strings.HasPrefix(line, `\bound `):
 			rest := strings.TrimPrefix(line, `\bound `)
 			fields := strings.SplitN(rest, " ", 2)
@@ -169,10 +200,10 @@ func main() {
 				continue
 			}
 			ans, err := engine.QueryWithErrorBound(fields[1], bound)
-			printAnswer(ans, err)
+			show(ans, err)
 		default:
 			ans, err := engine.Query(line)
-			printAnswer(ans, err)
+			show(ans, err)
 		}
 	}
 }

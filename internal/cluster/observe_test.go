@@ -1,0 +1,41 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestBreakdownObserve(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := Breakdown{QuerySec: 1.5, ErrorSec: 0.5, DiagSec: 2.0}
+	b.Observe(reg, 10*time.Millisecond)
+
+	for _, comp := range []string{"query", "error", "diag", "total"} {
+		h := reg.Histogram("aqp_cluster_sim_seconds", "", obs.SimSecondsBuckets,
+			"component", comp)
+		if h.Count() != 1 {
+			t.Errorf("component %q observed %d times, want 1", comp, h.Count())
+		}
+	}
+	total := reg.Histogram("aqp_cluster_sim_seconds", "", obs.SimSecondsBuckets,
+		"component", "total")
+	if total.Sum() != 4.0 {
+		t.Errorf("total sum = %v, want 4.0", total.Sum())
+	}
+	ratio := reg.Histogram("aqp_cluster_sim_wall_ratio", "", obs.RatioBuckets)
+	if ratio.Count() != 1 {
+		t.Fatalf("ratio observed %d times, want 1", ratio.Count())
+	}
+	if got := ratio.Sum(); got < 399 || got > 401 {
+		t.Errorf("sim/wall ratio = %v, want ~400 (4s simulated / 10ms wall)", got)
+	}
+
+	// Nil registry and zero wall time must be safe no-ops.
+	b.Observe(nil, time.Second)
+	b.Observe(reg, 0)
+	if ratio.Count() != 1 {
+		t.Error("zero wall time must not observe a ratio")
+	}
+}

@@ -18,7 +18,7 @@ func (e *Engine) EstimateRequiredRows(query string, relErr float64) (int, error)
 	if relErr <= 0 {
 		return 0, fmt.Errorf("core: relative error bound must be positive")
 	}
-	def, rt, err := e.analyze(query)
+	def, rt, err := e.analyze(nil, query)
 	if err != nil {
 		return 0, err
 	}
@@ -29,9 +29,9 @@ func (e *Engine) EstimateRequiredRows(query string, relErr float64) (int, error)
 		return 0, fmt.Errorf("core: required-rows estimation needs a single closed-form aggregate")
 	}
 	pilot := rt.samples[0]
-	ans, err := e.runApproximate(query, def, rt, pilot)
+	ans, err := e.runApproximate(nil, query, def, rt, pilot)
 	if err != nil {
-		return 0, err
+		return 0, fmt.Errorf("core: pilot for required-rows estimate: %w", err)
 	}
 	agg := ans.Groups[0].Aggs[0]
 	if math.IsNaN(agg.RelErr) || math.IsInf(agg.RelErr, 0) || agg.RelErr <= 0 {
@@ -53,21 +53,23 @@ func (e *Engine) EstimateRequiredRows(query string, relErr float64) (int, error)
 // constrained queries). Prediction calibrates per-row cost on the
 // smallest sample, so the first budgeted query on a table pays one pilot
 // execution.
-func (e *Engine) QueryWithTimeBudget(query string, budget time.Duration) (*Answer, error) {
+func (e *Engine) QueryWithTimeBudget(query string, budget time.Duration) (ans *Answer, err error) {
 	if budget <= 0 {
 		return nil, fmt.Errorf("core: time budget must be positive")
 	}
-	def, rt, err := e.analyze(query)
+	qt := e.obs.StartQuery(query)
+	defer func() { qt.Finish(err) }()
+	def, rt, err := e.analyze(qt, query)
 	if err != nil {
 		return nil, err
 	}
 	if len(rt.samples) == 0 {
-		return e.runExact(query, def, rt)
+		return e.runExact(qt, qt.Root(), query, def, rt)
 	}
 	pilot := rt.samples[0]
-	pilotAns, err := e.runApproximate(query, def, rt, pilot)
+	pilotAns, err := e.runApproximate(qt, query, def, rt, pilot)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: budget pilot: %w", err)
 	}
 	if pilotAns.Elapsed >= budget {
 		// Even the smallest sample blows the budget; it is still the best
@@ -85,7 +87,7 @@ func (e *Engine) QueryWithTimeBudget(query string, budget time.Duration) (*Answe
 	if best == pilot {
 		return pilotAns, nil
 	}
-	return e.runApproximate(query, def, rt, best)
+	return e.runApproximate(qt, query, def, rt, best)
 }
 
 // RequiredSampleSizeForError is a convenience re-export of the Fig. 1

@@ -16,11 +16,13 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/estimator"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/rng"
 	"repro/internal/sample"
@@ -57,6 +59,15 @@ type Config struct {
 	// simulated deployment's sample size (0 = actual local bytes).
 	Cluster         *cluster.Cluster
 	LogicalSampleMB float64
+	// Obs, when set, records a per-stage trace and aggregate metrics for
+	// every query (see internal/obs). Nil disables telemetry; answers are
+	// bit-identical either way.
+	Obs *obs.Tracer
+	// MetricsAddr, when non-empty, serves the tracer's /metrics and
+	// /debug/queries endpoints on this address (e.g. "127.0.0.1:9090";
+	// ":0" picks a free port, see Engine.MetricsEndpoint). Setting it
+	// without Obs creates a default tracer.
+	MetricsAddr string
 }
 
 func (c Config) workers() int {
@@ -93,16 +104,53 @@ type Engine struct {
 	tables map[string]*registeredTable
 	udfs   exec.Registry
 	src    *rng.Source
+
+	obs    *obs.Tracer
+	obsSrv *obs.Server
+	obsErr error
+	qid    atomic.Uint64 // untraced query ids for error wrapping
 }
 
 // New returns an engine with the given configuration.
 func New(cfg Config) *Engine {
-	return &Engine{
+	e := &Engine{
 		cfg:    cfg,
 		tables: map[string]*registeredTable{},
 		udfs:   exec.Registry{},
 		src:    rng.New(cfg.Seed),
+		obs:    cfg.Obs,
 	}
+	if cfg.MetricsAddr != "" {
+		if e.obs == nil {
+			e.obs = obs.NewTracer(obs.Options{})
+		}
+		e.obsSrv, e.obsErr = obs.Serve(cfg.MetricsAddr, e.obs)
+	}
+	return e
+}
+
+// Tracer returns the engine's tracer (nil when telemetry is disabled).
+func (e *Engine) Tracer() *obs.Tracer { return e.obs }
+
+// MetricsEndpoint returns the bound address of the metrics HTTP endpoint,
+// or the listen error when Config.MetricsAddr could not be served. Empty
+// address and nil error mean no endpoint was requested.
+func (e *Engine) MetricsEndpoint() (string, error) {
+	if e.obsErr != nil {
+		return "", e.obsErr
+	}
+	if e.obsSrv == nil {
+		return "", nil
+	}
+	return e.obsSrv.Addr, nil
+}
+
+// Close shuts down the metrics endpoint, if one is being served.
+func (e *Engine) Close() error {
+	if e.obsSrv == nil {
+		return nil
+	}
+	return e.obsSrv.Close()
 }
 
 // RegisterTable registers a full dataset under the given name. Samples
@@ -256,7 +304,7 @@ func (e *Engine) isUDF(name string) bool {
 
 // Explain parses and plans the query and returns the plan tree rendering.
 func (e *Engine) Explain(query string) (string, error) {
-	def, _, err := e.analyze(query)
+	def, _, err := e.analyze(nil, query)
 	if err != nil {
 		return "", err
 	}
@@ -273,22 +321,40 @@ func (e *Engine) Explain(query string) (string, error) {
 	return p.Explain(), nil
 }
 
-func (e *Engine) analyze(query string) (*plan.QueryDef, *registeredTable, error) {
+// queryID returns a stable identifier for error wrapping: the trace's id
+// when telemetry is on, an engine-local counter otherwise, plus a prefix of
+// the SQL so errors are attributable without a trace ring at hand.
+func (e *Engine) queryID(qt *obs.QueryTrace, query string) string {
+	id := qt.ID()
+	if id == 0 {
+		id = e.qid.Add(1)
+	}
+	if len(query) > 48 {
+		query = query[:48] + "..."
+	}
+	return fmt.Sprintf("q%d (%s)", id, query)
+}
+
+func (e *Engine) analyze(qt *obs.QueryTrace, query string) (*plan.QueryDef, *registeredTable, error) {
+	span := qt.StartSpan(obs.StageParse)
+	defer span.End()
 	stmt, err := sql.Parse(query)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("core: %s: parse: %w", e.queryID(qt, query), err)
 	}
 	sel, ok := stmt.(*sql.Select)
 	if !ok {
-		return nil, nil, fmt.Errorf("core: only single SELECT statements are accepted at the API (UNION ALL is an internal rewrite)")
+		return nil, nil, fmt.Errorf("core: %s: only single SELECT statements are accepted at the API (UNION ALL is an internal rewrite)", e.queryID(qt, query))
 	}
 	def, err := plan.Analyze(sel, e.isUDF)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("core: %s: analyze: %w", e.queryID(qt, query), err)
 	}
 	rt, ok := e.tables[def.Table]
 	if !ok {
-		return nil, nil, fmt.Errorf("core: unknown table %q", def.Table)
+		return nil, nil, fmt.Errorf("core: %s: unknown table %q", e.queryID(qt, query), def.Table)
 	}
+	span.SetAttr("table", def.Table)
+	span.AddInt("aggregates", int64(len(def.Aggs)))
 	return def, rt, nil
 }

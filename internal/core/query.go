@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/estimator"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -17,21 +18,23 @@ import (
 // with error bars and a diagnostic verdict per aggregate. Tables without
 // samples are answered exactly. Aggregates whose diagnostic rejects error
 // estimation fall back to exact execution (unless disabled).
-func (e *Engine) Query(query string) (*Answer, error) {
-	def, rt, err := e.analyze(query)
+func (e *Engine) Query(query string) (ans *Answer, err error) {
+	qt := e.obs.StartQuery(query)
+	defer func() { qt.Finish(err) }()
+	def, rt, err := e.analyze(qt, query)
 	if err != nil {
 		return nil, err
 	}
 	st := e.pickSample(def, rt)
 	if st == nil {
-		return e.runExact(query, def, rt)
+		return e.runExact(qt, qt.Root(), query, def, rt)
 	}
-	ans, err := e.runApproximate(query, def, rt, st)
+	ans, err = e.runApproximate(qt, query, def, rt, st)
 	if err != nil {
 		return nil, err
 	}
 	if !e.cfg.DisableFallback {
-		if err := e.applyFallback(ans, def, rt); err != nil {
+		if err := e.applyFallback(qt, ans, def, rt); err != nil {
 			return nil, err
 		}
 	}
@@ -43,16 +46,18 @@ func (e *Engine) Query(query string) (*Answer, error) {
 // level (BlinkDB's error-constrained queries). It escalates through the
 // sample catalog and finally to exact execution when the bound cannot be
 // met approximately or the diagnostic rejects error estimation.
-func (e *Engine) QueryWithErrorBound(query string, relErr float64) (*Answer, error) {
+func (e *Engine) QueryWithErrorBound(query string, relErr float64) (out *Answer, err error) {
 	if relErr <= 0 {
 		return nil, fmt.Errorf("core: relative error bound must be positive")
 	}
-	def, rt, err := e.analyze(query)
+	qt := e.obs.StartQuery(query)
+	defer func() { qt.Finish(err) }()
+	def, rt, err := e.analyze(qt, query)
 	if err != nil {
 		return nil, err
 	}
 	if len(rt.samples) == 0 {
-		return e.runExact(query, def, rt)
+		return e.runExact(qt, qt.Root(), query, def, rt)
 	}
 	var last *Answer
 	minRows := 0 // samples smaller than this are provably insufficient
@@ -60,7 +65,7 @@ func (e *Engine) QueryWithErrorBound(query string, relErr float64) (*Answer, err
 		if st.Data.NumRows() < minRows {
 			continue
 		}
-		ans, err := e.runApproximate(query, def, rt, st)
+		ans, err := e.runApproximate(qt, query, def, rt, st)
 		if err != nil {
 			return nil, err
 		}
@@ -91,7 +96,7 @@ func (e *Engine) QueryWithErrorBound(query string, relErr float64) (*Answer, err
 	if e.cfg.DisableFallback {
 		return last, nil
 	}
-	return e.runExact(query, def, rt)
+	return e.fallbackExact(qt, query, def, rt, "error bound unmet on all samples")
 }
 
 // pickSample chooses the sample for an unconstrained query: a stratified
@@ -121,26 +126,33 @@ func scaleInvariant(def *plan.QueryDef) bool {
 }
 
 // QueryExact answers the query exactly on the full dataset.
-func (e *Engine) QueryExact(query string) (*Answer, error) {
-	def, rt, err := e.analyze(query)
+func (e *Engine) QueryExact(query string) (ans *Answer, err error) {
+	qt := e.obs.StartQuery(query)
+	defer func() { qt.Finish(err) }()
+	def, rt, err := e.analyze(qt, query)
 	if err != nil {
 		return nil, err
 	}
-	return e.runExact(query, def, rt)
+	return e.runExact(qt, qt.Root(), query, def, rt)
 }
 
 // runExact executes the query on the full table with no sampling pipeline.
-func (e *Engine) runExact(query string, def *plan.QueryDef, rt *registeredTable) (*Answer, error) {
+// Stage spans attach under parent so fallback executions nest inside their
+// fallback span rather than appearing as a second top-level pipeline.
+func (e *Engine) runExact(qt *obs.QueryTrace, parent *obs.Span, query string, def *plan.QueryDef, rt *registeredTable) (*Answer, error) {
 	start := time.Now()
+	planSpan := parent.StartSpan(obs.StagePlan)
 	p, err := plan.Build(def, plan.Options{Alpha: e.cfg.alpha()})
+	planSpan.SetAttr("mode", "exact")
+	planSpan.End()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: %s: plan: %w", e.queryID(qt, query), err)
 	}
 	res, err := exec.Run(p, map[string]*exec.StoredTable{
 		def.Table: {Data: rt.full},
-	}, e.udfs, exec.Config{Workers: e.cfg.workers(), Seed: e.cfg.Seed})
+	}, e.udfs, exec.Config{Workers: e.cfg.workers(), Seed: e.cfg.Seed, Span: parent})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: %s: exact execution: %w", e.queryID(qt, query), err)
 	}
 	ans := &Answer{
 		SQL:      query,
@@ -167,18 +179,25 @@ func (e *Engine) runExact(query string, def *plan.QueryDef, rt *registeredTable)
 }
 
 // runApproximate executes the full §5 pipeline on the given sample.
-func (e *Engine) runApproximate(query string, def *plan.QueryDef, rt *registeredTable, st *exec.StoredTable) (*Answer, error) {
+func (e *Engine) runApproximate(qt *obs.QueryTrace, query string, def *plan.QueryDef, rt *registeredTable, st *exec.StoredTable) (*Answer, error) {
 	start := time.Now()
 	n := st.Data.NumRows()
 	opt := e.planOptions(n, !def.ClosedFormOK())
+	planSpan := qt.StartSpan(obs.StagePlan)
 	p, err := plan.Build(def, opt)
+	planSpan.SetAttr("mode", "approximate")
+	planSpan.AddInt("sample_rows", int64(n))
+	planSpan.AddInt("bootstrap_k", int64(opt.BootstrapK))
+	planSpan.SetAttr("consolidated", opt.ScanConsolidation)
+	planSpan.SetAttr("diagnostics", opt.Diagnostics)
+	planSpan.End()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: %s: plan: %w", e.queryID(qt, query), err)
 	}
 	res, err := exec.Run(p, map[string]*exec.StoredTable{def.Table: st},
-		e.udfs, exec.Config{Workers: e.cfg.workers(), Seed: e.cfg.Seed})
+		e.udfs, exec.Config{Workers: e.cfg.workers(), Seed: e.cfg.Seed, Span: qt.Root()})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: %s: approximate execution: %w", e.queryID(qt, query), err)
 	}
 	ans := &Answer{
 		SQL:        query,
@@ -187,6 +206,8 @@ func (e *Engine) runApproximate(query string, def *plan.QueryDef, rt *registered
 		Counters:   res.Counters,
 	}
 	alpha := e.cfg.alpha()
+	estSpan := qt.StartSpan(obs.StageEstimate)
+	maxRel := 0.0
 	for _, g := range res.Groups {
 		ga := GroupAnswer{Key: g.Key}
 		for _, out := range g.Aggs {
@@ -197,11 +218,17 @@ func (e *Engine) runApproximate(query string, def *plan.QueryDef, rt *registered
 			}
 			iv, technique, err := e.errorBar(out, alpha)
 			if err != nil {
-				return nil, err
+				estSpan.End()
+				return nil, fmt.Errorf("core: %s: error bar for %s: %w",
+					e.queryID(qt, query), out.Spec.Alias, err)
 			}
 			aa.ErrorBar = iv
 			aa.Technique = technique
 			aa.RelErr = iv.RelativeError()
+			if !math.IsNaN(aa.RelErr) && aa.RelErr > maxRel {
+				maxRel = aa.RelErr
+			}
+			estSpan.AddInt("technique_"+technique, 1)
 			if out.Diag != nil {
 				aa.DiagnosticOK = out.Diag.OK
 				aa.DiagnosticReason = out.Diag.Reason
@@ -210,9 +237,11 @@ func (e *Engine) runApproximate(query string, def *plan.QueryDef, rt *registered
 		}
 		ans.Groups = append(ans.Groups, ga)
 	}
+	estSpan.SetAttr("max_rel_err", maxRel)
+	estSpan.End()
 	ans.Elapsed = time.Since(start)
 	if e.cfg.Cluster != nil {
-		b := e.simulate(def, opt, res, st)
+		b := e.simulate(qt, def, opt, res, st)
 		ans.Simulated = &b
 	}
 	return ans, nil
@@ -268,9 +297,22 @@ func closedFormScaledSum(out exec.AggOutput, alpha float64) (estimator.Interval,
 	return estimator.Interval{Center: out.Value, HalfWidth: half}, nil
 }
 
+// fallbackExact runs the query exactly under a fallback span, recording the
+// fallback in the metrics registry.
+func (e *Engine) fallbackExact(qt *obs.QueryTrace, query string, def *plan.QueryDef, rt *registeredTable, reason string) (*Answer, error) {
+	span := qt.StartSpan(obs.StageFallback)
+	span.SetAttr("reason", reason)
+	qt.Metrics().Counter("aqp_fallbacks_total",
+		"Queries (or aggregates) re-answered exactly after the approximate path failed.",
+		"reason", reason).Inc()
+	ans, err := e.runExact(qt, span, query, def, rt)
+	span.End()
+	return ans, err
+}
+
 // applyFallback re-answers exactly any aggregate whose diagnostic rejected
 // error estimation, replacing its entry in the answer.
-func (e *Engine) applyFallback(ans *Answer, def *plan.QueryDef, rt *registeredTable) error {
+func (e *Engine) applyFallback(qt *obs.QueryTrace, ans *Answer, def *plan.QueryDef, rt *registeredTable) error {
 	needed := false
 	for _, g := range ans.Groups {
 		for _, a := range g.Aggs {
@@ -282,7 +324,7 @@ func (e *Engine) applyFallback(ans *Answer, def *plan.QueryDef, rt *registeredTa
 	if !needed {
 		return nil
 	}
-	exact, err := e.runExact(ans.SQL, def, rt)
+	exact, err := e.fallbackExact(qt, ans.SQL, def, rt, "diagnostic rejected")
 	if err != nil {
 		return err
 	}
@@ -315,7 +357,10 @@ func (e *Engine) applyFallback(ans *Answer, def *plan.QueryDef, rt *registeredTa
 
 // simulate derives the production-scale latency breakdown for the executed
 // pipeline from the measured counters.
-func (e *Engine) simulate(def *plan.QueryDef, opt plan.Options, res *exec.Result, st *exec.StoredTable) cluster.Breakdown {
+func (e *Engine) simulate(qt *obs.QueryTrace, def *plan.QueryDef, opt plan.Options, res *exec.Result, st *exec.StoredTable) cluster.Breakdown {
+	span := qt.StartSpan(obs.StageClusterSim)
+	simStart := time.Now()
+	defer span.End()
 	actualMB := float64(st.Data.SizeBytes()) / 1e6
 	logicalMB := actualMB
 	if e.cfg.LogicalSampleMB > 0 {
@@ -359,5 +404,11 @@ func (e *Engine) simulate(def *plan.QueryDef, opt plan.Options, res *exec.Result
 		shape.DiagP = 0
 	}
 	src := rng.NewWithStream(e.cfg.Seed, 0xC105)
-	return e.cfg.Cluster.SimulateBreakdown(src, shape)
+	b := e.cfg.Cluster.SimulateBreakdown(src, shape)
+	span.SetAttr("sim_query_sec", b.QuerySec)
+	span.SetAttr("sim_error_sec", b.ErrorSec)
+	span.SetAttr("sim_diag_sec", b.DiagSec)
+	span.SetAttr("sim_total_sec", b.Total())
+	b.Observe(qt.Metrics(), time.Since(simStart))
+	return b
 }

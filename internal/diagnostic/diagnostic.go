@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"repro/internal/estimator"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sample"
 	"repro/internal/stats"
@@ -60,6 +61,12 @@ type Config struct {
 	// its own RNG stream, so the verdict and every per-size statistic are
 	// identical at any worker count.
 	Workers int
+	// Span, when non-nil, receives the verdict, rejection reason,
+	// subsample-query count and per-size ladder statistics as span
+	// attributes, and counts the verdict into the span's metrics registry
+	// (aqp_diagnostic_verdicts_total). Nil disables telemetry; the
+	// verdict is unaffected either way.
+	Span *obs.Span
 }
 
 func (c Config) workers() int {
@@ -161,6 +168,39 @@ type Result struct {
 // draw off src, so the verdict and every per-size statistic are
 // bit-identical at any worker count.
 func Run(src *rng.Source, values []float64, q estimator.Query, est estimator.Estimator, cfg Config) (Result, error) {
+	res, err := run(src, values, q, est, cfg)
+	if err == nil {
+		cfg.record(&res)
+	}
+	return res, err
+}
+
+// record publishes the verdict and ladder evidence to the configured span
+// and metrics registry.
+func (cfg Config) record(res *Result) {
+	s := cfg.Span
+	if s == nil {
+		return
+	}
+	verdict := "accept"
+	if !res.OK {
+		verdict = "reject"
+	}
+	s.SetAttr("verdict", verdict)
+	if res.Reason != "" {
+		s.SetAttr("reason", res.Reason)
+	}
+	s.AddInt("subsample_queries", int64(res.SubsampleQueries))
+	for _, st := range res.PerSize {
+		s.SetAttr(fmt.Sprintf("delta_b%d", st.Size), st.Delta)
+		s.SetAttr(fmt.Sprintf("sigma_b%d", st.Size), st.Sigma)
+		s.SetAttr(fmt.Sprintf("pi_b%d", st.Size), st.Pi)
+	}
+	s.Metrics().Counter("aqp_diagnostic_verdicts_total",
+		"Diagnostic verdicts, by outcome.", "verdict", verdict).Inc()
+}
+
+func run(src *rng.Source, values []float64, q estimator.Query, est estimator.Estimator, cfg Config) (Result, error) {
 	if err := cfg.Validate(len(values)); err != nil {
 		return Result{}, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -22,6 +23,9 @@ type AdaptiveBootstrap struct {
 	// Tolerance is the acceptable relative half-width change per doubling
 	// (0 = 0.05).
 	Tolerance float64
+	// Obs, when non-nil, counts drawn resamples exactly as Bootstrap.Obs
+	// does; the adaptive schedule makes the counter reflect the savings.
+	Obs *obs.Registry
 }
 
 func (ab AdaptiveBootstrap) minK() int {
@@ -68,7 +72,7 @@ func (ab AdaptiveBootstrap) IntervalK(src *rng.Source, values []float64, q Query
 	center := q.Eval(values)
 	var ests []float64
 	draw := func(k int) {
-		b := Bootstrap{K: k}
+		b := Bootstrap{K: k, Obs: ab.Obs}
 		ests = append(ests, b.Distribution(src, values, q)...)
 	}
 	// The stopping rule tracks the pooled bootstrap standard deviation

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/resample"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -57,6 +58,11 @@ type Bootstrap struct {
 	// Method selects the interval construction; the zero value is the
 	// paper's symmetric centered interval.
 	Method IntervalMethod
+	// Obs, when non-nil, counts the resample estimates this estimator
+	// draws (aqp_bootstrap_resamples_total) — the quantity the paper's
+	// systems optimizations exist to make cheap. Nil disables accounting;
+	// intervals are identical either way.
+	Obs *obs.Registry
 }
 
 // Name implements Estimator.
@@ -115,6 +121,8 @@ func (b Bootstrap) Distribution(src *rng.Source, values []float64, q Query) []fl
 // the same two draws from src and the same per-(resample, block) streams,
 // so fused and generic agree on identical weights for identical queries.
 func (b Bootstrap) estimates(src *rng.Source, values []float64, q Query, k int) []float64 {
+	b.Obs.Counter("aqp_bootstrap_resamples_total",
+		"Bootstrap resample estimates drawn by ξ.").Add(int64(k))
 	if b.Strategy != resample.Poissonized || !q.FusedApplicable() {
 		return resample.Estimates(src, values, k, q.EvalWeighted, b.Strategy)
 	}

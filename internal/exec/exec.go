@@ -5,10 +5,12 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/diagnostic"
 	"repro/internal/estimator"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/rng"
 	"repro/internal/sql"
@@ -42,6 +44,13 @@ type Config struct {
 	Workers int
 	// Seed drives all randomness (resampling weights, diagnostics).
 	Seed uint64
+	// Span, when non-nil, receives per-stage child spans (scan,
+	// bootstrap-kernel, diagnostic) carrying the stage's share of the
+	// work counters as attributes, and feeds Counters plus kernel
+	// throughput into the span's metrics registry. Nil disables telemetry
+	// at the cost of one branch; execution results are identical either
+	// way (tracing consumes no randomness).
+	Span *obs.Span
 }
 
 func (c Config) workers() int {
@@ -144,43 +153,69 @@ func Run(p *plan.Plan, tables map[string]*StoredTable, udfs Registry, cfg Config
 	tbl := st.Data
 
 	res := &Result{SampleRows: tbl.NumRows()}
+	traced := cfg.Span != nil
 
 	// --- Scan, filter, project (one physical pass, parallel). ---
+	scanSpan := cfg.Span.StartSpan(obs.StageScan)
 	base, err := scanFilterProject(nodes, tbl, st, cfg)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exec: scan of table %q: %w", nodes.scan.Table, err)
 	}
+	scanSpan.End()
+	addCounterAttrs(scanSpan, base.counters)
 	res.Counters.add(base.counters)
 
 	// --- Group partitioning. ---
 	groups, err := splitGroups(nodes.agg, tbl, base)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exec: grouping on table %q: %w", nodes.scan.Table, err)
 	}
 
 	k := 0
 	if nodes.boot != nil {
 		k = nodes.boot.K
 	}
+	var bootSpan, diagSpan *obs.Span
+	if traced {
+		if k > 0 {
+			bootSpan = cfg.Span.StartSpan(obs.StageBootstrap)
+			bootSpan.SetAttr("k", k)
+			bootSpan.SetAttr("consolidated",
+				nodes.resample != nil && nodes.resample.Consolidated)
+		}
+		if nodes.diag != nil {
+			diagSpan = cfg.Span.StartSpan(obs.StageDiagnostic)
+		}
+	}
 
 	// The naive (§5.2) plan executes each bootstrap resample as its own
 	// subquery: physically re-run scan → filter → project once per
 	// resample. The per-resample weights themselves are drawn in
 	// bootstrapEstimates below; this loop performs (and meters) the
-	// repeated scans the UNION ALL rewrite pays for.
+	// repeated scans the UNION ALL rewrite pays for. The rescans belong
+	// to the bootstrap stage — they are error-estimation cost, not base
+	// answer cost.
 	if k > 0 && (nodes.resample == nil || !nodes.resample.Consolidated) {
+		start := now(traced)
+		var naive Counters
 		for r := 0; r < k; r++ {
 			rescan, err := scanFilterProject(nodes, tbl, st, cfg)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("exec: naive resample scan %d of table %q: %w",
+					r, nodes.scan.Table, err)
 			}
-			res.Counters.add(Counters{
+			naive.add(Counters{
 				Subqueries:   1,
 				Scans:        1,
 				RowsScanned:  rescan.counters.RowsScanned,
 				BytesScanned: rescan.counters.BytesScanned,
 				Tasks:        rescan.counters.Tasks,
 			})
+		}
+		res.Counters.add(naive)
+		if traced {
+			bootSpan.AddDuration(time.Since(start))
+			addCounterAttrs(bootSpan, naive)
 		}
 	}
 
@@ -189,14 +224,14 @@ func Run(p *plan.Plan, tables map[string]*StoredTable, udfs Registry, cfg Config
 		for ai, spec := range nodes.agg.Aggs {
 			q, err := queryFor(spec, st, tbl.NumRows(), len(nodes.agg.GroupBy) > 0, udfs)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("exec: group %q aggregate %d: %w", g.key, ai, err)
 			}
 			values := g.values[ai]
 			out := AggOutput{Spec: spec, Query: q, Value: q.Eval(values), Values: values}
 			if nodes.resample != nil && nodes.resample.UserRate > 0 {
 				// Explicit TABLESAMPLE POISSONIZED (rate): the base
 				// answer itself is one Poissonized resample (§5.2's SQL
-				// building block).
+				// building block). Its weight draws are base-scan work.
 				src := rng.NewWithStream(cfg.Seed,
 					hashStream("usersample", g.key, ai, 0))
 				w := make([]float64, len(values))
@@ -205,27 +240,90 @@ func Run(p *plan.Plan, tables map[string]*StoredTable, udfs Registry, cfg Config
 				}
 				out.Value = q.EvalWeighted(values, w)
 				res.Counters.WeightDraws += int64(len(values))
+				scanSpan.AddInt("weight_draws", int64(len(values)))
 			}
 
 			if k > 0 {
+				start := now(traced)
 				ests, c := bootstrapEstimates(nodes, values, q, k, cfg,
 					tbl.NumRows(), g.key, ai)
 				out.Bootstrap = ests
 				res.Counters.add(c)
+				if traced {
+					d := time.Since(start)
+					bootSpan.AddDuration(d)
+					addCounterAttrs(bootSpan, c)
+					bootSpan.AddInt("resamples", int64(k))
+					if secs := d.Seconds(); secs > 0 {
+						cfg.Span.Metrics().Histogram("aqp_kernel_rows_per_second",
+							"Multi-resample kernel throughput (resamples × rows / wall time).",
+							obs.ThroughputBuckets).
+							Observe(float64(k) * float64(len(values)) / secs)
+					}
+				}
 			}
 			if nodes.diag != nil {
-				dres, c, err := runDiagnostic(nodes, values, q, k, cfg, g.key, ai)
+				start := now(traced)
+				dres, c, err := runDiagnostic(nodes, values, q, k, cfg, diagSpan, g.key, ai)
 				if err != nil {
-					return nil, err
+					return nil, fmt.Errorf("exec: diagnostic for group %q aggregate %d: %w",
+						g.key, ai, err)
 				}
 				out.Diag = dres
 				res.Counters.add(c)
+				if traced {
+					diagSpan.AddDuration(time.Since(start))
+					addCounterAttrs(diagSpan, c)
+					if dres.OK {
+						diagSpan.AddInt("accepted", 1)
+					} else {
+						diagSpan.AddInt("rejected", 1)
+					}
+				}
 			}
 			gout.Aggs = append(gout.Aggs, out)
 		}
 		res.Groups = append(res.Groups, gout)
 	}
+	if traced {
+		recordCounters(cfg.Span.Metrics(), res.Counters)
+	}
 	return res, nil
+}
+
+// now avoids the clock syscall on untraced hot paths.
+func now(traced bool) time.Time {
+	if !traced {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// addCounterAttrs attaches a stage's counter share as additive span
+// attributes. Summing each key over every span of a trace reproduces the
+// run's Result.Counters (asserted by TestSpanCountersMatchResultCounters).
+func addCounterAttrs(s *obs.Span, c Counters) {
+	s.AddInt("subqueries", int64(c.Subqueries))
+	s.AddInt("scans", int64(c.Scans))
+	s.AddInt("rows_scanned", c.RowsScanned)
+	s.AddInt("bytes_scanned", c.BytesScanned)
+	s.AddInt("rows_after_filter", c.RowsAfterFilter)
+	s.AddInt("weight_draws", c.WeightDraws)
+	s.AddInt("diag_subqueries", int64(c.DiagSubqueries))
+	s.AddInt("tasks", int64(c.Tasks))
+}
+
+// recordCounters feeds one execution's counters into the metrics registry,
+// so aggregate work accounting no longer relies on hand-merging Counters
+// structs alone.
+func recordCounters(reg *obs.Registry, c Counters) {
+	reg.Counter("aqp_exec_subqueries_total", "Logical subqueries executed.").Add(int64(c.Subqueries))
+	reg.Counter("aqp_exec_scans_total", "Physical passes over stored samples.").Add(int64(c.Scans))
+	reg.Counter("aqp_exec_rows_scanned_total", "Base-table rows read.").Add(c.RowsScanned)
+	reg.Counter("aqp_exec_bytes_scanned_total", "Base-table bytes read.").Add(c.BytesScanned)
+	reg.Counter("aqp_exec_weight_draws_total", "Poisson resampling weight draws.").Add(c.WeightDraws)
+	reg.Counter("aqp_exec_diag_subqueries_total", "Diagnostic subsample query executions.").Add(int64(c.DiagSubqueries))
+	reg.Counter("aqp_exec_tasks_total", "Parallel tasks launched locally.").Add(int64(c.Tasks))
 }
 
 // nodeSet is the flattened plan chain.
@@ -537,9 +635,19 @@ func bootstrapEstimates(nodes nodeSet, values []float64, q estimator.Query, k in
 	return ests, c
 }
 
-// runDiagnostic executes the diagnostic operator for one aggregate.
-func runDiagnostic(nodes nodeSet, values []float64, q estimator.Query, k int, cfg Config, groupKey string, aggIdx int) (*diagnostic.Result, Counters, error) {
+// runDiagnostic executes the diagnostic operator for one aggregate. Under
+// tracing, each (group, aggregate) verdict becomes a child span of the
+// diagnostic stage span, and ξ's resample draws are counted through the
+// estimator's own accounting hook.
+func runDiagnostic(nodes nodeSet, values []float64, q estimator.Query, k int, cfg Config, diagSpan *obs.Span, groupKey string, aggIdx int) (*diagnostic.Result, Counters, error) {
 	var c Counters
+	verdictSpan := diagSpan.StartSpan("verdict")
+	if verdictSpan != nil {
+		if groupKey != "" {
+			verdictSpan.SetAttr("group", groupKey)
+		}
+		verdictSpan.SetAttr("agg", aggIdx)
+	}
 	dcfg := diagnostic.Config{
 		SubsampleSizes: nodes.diag.Sizes,
 		P:              nodes.diag.P,
@@ -550,6 +658,7 @@ func runDiagnostic(nodes nodeSet, values []float64, q estimator.Query, k int, cf
 		// Fan the per-size subsample queries across the executor's worker
 		// pool; verdicts are worker-count-invariant (per-subsample streams).
 		Workers: cfg.workers(),
+		Span:    verdictSpan,
 	}
 	if dcfg.SubsampleSizes[len(dcfg.SubsampleSizes)-1]*dcfg.P > len(values) {
 		// Not enough filtered rows for the configured ladder: shrink it.
@@ -557,10 +666,18 @@ func runDiagnostic(nodes nodeSet, values []float64, q estimator.Query, k int, cf
 		// so reject conservatively instead.
 		b3 := len(values) / (2 * dcfg.P)
 		if b3 < 16 {
-			return &diagnostic.Result{
+			res := &diagnostic.Result{
 				OK:     false,
 				Reason: "too few rows after filtering for a meaningful diagnosis",
-			}, c, nil
+			}
+			if verdictSpan != nil {
+				verdictSpan.SetAttr("verdict", "reject")
+				verdictSpan.SetAttr("reason", res.Reason)
+				verdictSpan.End()
+				verdictSpan.Metrics().Counter("aqp_diagnostic_verdicts_total",
+					"Diagnostic verdicts, by outcome.", "verdict", "reject").Inc()
+			}
+			return res, c, nil
 		}
 		dcfg.SubsampleSizes = []int{b3 / 4, b3 / 2, b3}
 	}
@@ -575,10 +692,11 @@ func runDiagnostic(nodes nodeSet, values []float64, q estimator.Query, k int, cf
 		if kk <= 0 {
 			kk = estimator.DefaultBootstrapK
 		}
-		xi = estimator.Bootstrap{K: kk}
+		xi = estimator.Bootstrap{K: kk, Obs: verdictSpan.Metrics()}
 	}
 	src := rng.NewWithStream(cfg.Seed, hashStream("diag", groupKey, aggIdx, 0))
 	dres, err := diagnostic.Run(src, values, q, xi, dcfg)
+	verdictSpan.End()
 	if err != nil {
 		return nil, c, err
 	}

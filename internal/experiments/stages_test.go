@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// tinyStagesConfig keeps the stages run fast: small population, few
+// resamples, two queries.
+func tinyStagesConfig() Config {
+	cfg := Quick()
+	cfg.PopulationSize = 50000
+	cfg.QueriesPerSet = 2
+	cfg.Workers = 2
+	return cfg
+}
+
+func TestStagesJSONRoundTrip(t *testing.T) {
+	res := Stages(tinyStagesConfig())
+	if len(res.Queries) != 2 {
+		t.Fatalf("got %d queries, want 2 (QueriesPerSet truncation)", len(res.Queries))
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back StagesResult
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("JSON round trip: %v", err)
+	}
+	for _, q := range back.Queries {
+		if len(q.Spans) == 0 {
+			t.Fatalf("%s: no spans survived JSON", q.SQL)
+		}
+		found := false
+		for _, s := range q.Spans {
+			if s.Stage == "scan" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s: trace lacks a scan stage", q.SQL)
+		}
+	}
+	if res.JSONName() != "BENCH_stages.json" {
+		t.Fatalf("JSONName = %q", res.JSONName())
+	}
+	var out bytes.Buffer
+	res.Render(&out)
+	if !strings.Contains(out.String(), "SELECT AVG(X) FROM T") {
+		t.Fatal("Render missing query text")
+	}
+	var csv bytes.Buffer
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "sql,stage,ms\n") {
+		t.Fatalf("CSV header wrong: %q", csv.String()[:20])
+	}
+}
+
+// TestStagesStructureDeterminism: two same-seed runs agree on every span
+// stage sequence (durations differ, structure does not).
+func TestStagesStructureDeterminism(t *testing.T) {
+	shape := func(r *StagesResult) string {
+		var b strings.Builder
+		for _, q := range r.Queries {
+			b.WriteString(q.SQL)
+			for _, s := range q.Spans {
+				b.WriteByte(' ')
+				b.WriteString(s.Stage)
+			}
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	a, b := Stages(tinyStagesConfig()), Stages(tinyStagesConfig())
+	if shape(a) != shape(b) {
+		t.Fatalf("stage sequences differ:\n%s\nvs\n%s", shape(a), shape(b))
+	}
+}

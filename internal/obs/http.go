@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+)
+
+// Handler returns the tracer's HTTP surface:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/debug/queries  recent query traces as JSON, newest first (?n= limits)
+func (t *Tracer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		t.Registry().WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, r *http.Request) {
+		traces := t.Recent()
+		if s := r.URL.Query().Get("n"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n >= 0 && n < len(traces) {
+				traces = traces[:n]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(traces); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+// Server is a live metrics endpoint.
+type Server struct {
+	// Addr is the bound address (useful with a ":0" listen request).
+	Addr string
+	srv  *http.Server
+}
+
+// Serve starts an HTTP server for the tracer's Handler on addr. The
+// returned Server reports the bound address and must be Closed by the
+// caller.
+func Serve(addr string, t *Tracer) (*Server, error) {
+	if t == nil {
+		return nil, fmt.Errorf("obs: cannot serve a nil tracer")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listener on %q: %w", addr, err)
+	}
+	srv := &http.Server{Handler: t.Handler()}
+	go srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return &Server{Addr: ln.Addr().String(), srv: srv}, nil
+}
+
+// Close stops the server and its listener.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
