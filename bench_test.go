@@ -10,6 +10,7 @@ package repro
 // output.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -259,7 +260,7 @@ func BenchmarkAblationPlanRewrites(b *testing.B) {
 				b.Fatal(err)
 			}
 			for i := 0; i < b.N; i++ {
-				if _, err := exec.Run(p, tables, nil, exec.Config{Workers: 8, Seed: 1}); err != nil {
+				if _, err := exec.Run(context.Background(), p, tables, nil, exec.Config{Workers: 8, Seed: 1}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -284,7 +285,7 @@ func BenchmarkAblationDiagnosticP(b *testing.B) {
 			b3 := len(s) / (2 * p)
 			cfg.SubsampleSizes = []int{b3 / 4, b3 / 2, b3}
 			for i := 0; i < b.N; i++ {
-				if _, err := diagnostic.Run(rng.New(uint64(i)), s, q,
+				if _, err := diagnostic.Run(context.Background(), rng.New(uint64(i)), s, q,
 					estimator.ClosedForm{}, cfg); err != nil {
 					b.Fatal(err)
 				}
@@ -351,7 +352,7 @@ func BenchmarkBootstrapKernel(b *testing.B) {
 	b.Run("blocked-fused", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			sums := kernel.FusedSums(values, k, uint64(i), 1, 1)
+			sums := kernel.FusedSums(context.Background(), values, k, uint64(i), 1, 1)
 			var sink float64
 			for r := 0; r < k; r++ {
 				sink += q.FinalizeFused(sums.WX[r], sums.W[r], n)
@@ -364,7 +365,7 @@ func BenchmarkBootstrapKernel(b *testing.B) {
 	b.Run("blocked-fused-parallel", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			sums := kernel.FusedSums(values, k, uint64(i), 1, 4)
+			sums := kernel.FusedSums(context.Background(), values, k, uint64(i), 1, 4)
 			if sums.WX[0] == 0 {
 				b.Fatal("degenerate estimates")
 			}
@@ -373,7 +374,7 @@ func BenchmarkBootstrapKernel(b *testing.B) {
 	b.Run("blocked-generic", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			ests, _ := kernel.Generic(values, k, uint64(i), 1, 1, q.EvalWeighted)
+			ests, _ := kernel.Generic(context.Background(), values, k, uint64(i), 1, 1, q.EvalWeighted)
 			if ests[0] == 0 {
 				b.Fatal("degenerate estimates")
 			}
@@ -396,7 +397,7 @@ func BenchmarkDiagnosticParallel(b *testing.B) {
 			cfg := diagnostic.DefaultConfig(len(s))
 			cfg.Workers = workers
 			for i := 0; i < b.N; i++ {
-				res, err := diagnostic.Run(rng.New(uint64(i)), s, q,
+				res, err := diagnostic.Run(context.Background(), rng.New(uint64(i)), s, q,
 					estimator.Bootstrap{K: 100}, cfg)
 				if err != nil {
 					b.Fatal(err)

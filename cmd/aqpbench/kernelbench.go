@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -71,13 +72,13 @@ func kernelBench(n, k, iters, seed int) *kernelBenchResult {
 		}
 	})
 	fused := timeOp(iters, func(i int) {
-		sums := kernel.FusedSums(values, k, uint64(i), 1, 1)
+		sums := kernel.FusedSums(context.Background(), values, k, uint64(i), 1, 1)
 		for r := 0; r < k; r++ {
 			sink += q.FinalizeFused(sums.WX[r], sums.W[r], n)
 		}
 	})
 	generic := timeOp(iters, func(i int) {
-		ests, _ := kernel.Generic(values, k, uint64(i), 1, 1, q.EvalWeighted)
+		ests, _ := kernel.Generic(context.Background(), values, k, uint64(i), 1, 1, q.EvalWeighted)
 		sink += ests[0]
 	})
 	if sink == 0 {
@@ -95,7 +96,7 @@ func kernelBench(n, k, iters, seed int) *kernelBenchResult {
 		cfg.Workers = workers
 		w := workers
 		ns := timeOp(iters, func(i int) {
-			out, err := diagnostic.Run(rng.New(uint64(i)), values, q,
+			out, err := diagnostic.Run(context.Background(), rng.New(uint64(i)), values, q,
 				estimator.Bootstrap{K: k}, cfg)
 			if err != nil {
 				panic("aqpbench: " + err.Error())

@@ -10,7 +10,9 @@
 // Figures: 1, 3 (includes the §3 table), 4b, 4c, 7, 8ab, 8c, 8d, 8ef, 9,
 // ablation, stages (the traced per-stage latency breakdown, which writes
 // machine-readable BENCH_stages.json), kernel (the §5.3.1 loop-order
-// ablation, which also writes machine-readable BENCH_kernel.json).
+// ablation, which also writes machine-readable BENCH_kernel.json), and
+// concurrency (serving throughput vs client count through the admission
+// layer, which writes machine-readable BENCH_concurrency.json).
 package main
 
 import (
@@ -33,7 +35,7 @@ type result interface {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 3, 4b, 4c, 7, 8ab, 8c, 8d, 8ef, 9, ablation, stages, kernel, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 3, 4b, 4c, 7, 8ab, 8c, 8d, 8ef, 9, ablation, stages, kernel, concurrency, all")
 	full := flag.Bool("full", false, "run at paper-faithful scale (slow)")
 	seed := flag.Uint64("seed", 2014, "random seed")
 	queries := flag.Int("queries", 0, "override queries per set")
@@ -74,8 +76,18 @@ func main() {
 			}
 			return kernelBench(n, 100, iters, int(cfg.Seed))
 		},
+		"concurrency": func() result {
+			rows, sample, per := 100000, 10000, 32
+			if *full {
+				rows, sample, per = 1000000, 100000, 256
+			}
+			if *queries > 0 {
+				per = *queries
+			}
+			return concBench(rows, sample, per, int(cfg.Seed))
+		},
 	}
-	order := []string{"1", "3", "4b", "4c", "7", "8ab", "8c", "8d", "8ef", "9", "ablation", "stages", "kernel"}
+	order := []string{"1", "3", "4b", "4c", "7", "8ab", "8c", "8d", "8ef", "9", "ablation", "stages", "kernel", "concurrency"}
 
 	var selected []string
 	switch strings.ToLower(*fig) {

@@ -21,6 +21,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -99,6 +100,8 @@ func main() {
 		"print the per-stage trace (span tree and counters) after each query")
 	metricsAddr := flag.String("metrics", "",
 		"serve /metrics and /debug/queries on this address (e.g. 127.0.0.1:9090)")
+	timeout := flag.Duration("timeout", 0,
+		"per-query deadline (e.g. 500ms); past it the query is cancelled mid-pipeline and reports a deadline error")
 	flag.Parse()
 
 	fmt.Println("aqpshell — approximate query processing with reliable error bars")
@@ -118,6 +121,13 @@ func main() {
 		fmt.Printf("metrics: http://%s/metrics  traces: http://%s/debug/queries\n", addr, addr)
 	}
 
+	// queryCtx applies the -timeout deadline to one query's execution.
+	queryCtx := func() (context.Context, context.CancelFunc) {
+		if *timeout > 0 {
+			return context.WithTimeout(context.Background(), *timeout)
+		}
+		return context.Background(), func() {}
+	}
 	// show prints an answer and, under -explain, the recorded span tree.
 	show := func(ans *core.Answer, err error) {
 		printAnswer(ans, err)
@@ -170,7 +180,9 @@ func main() {
 			out, err := engine.Explain(strings.TrimPrefix(line, `\explain `))
 			report(out, err)
 		case strings.HasPrefix(line, `\exact `):
-			ans, err := engine.QueryExact(strings.TrimPrefix(line, `\exact `))
+			ctx, cancel := queryCtx()
+			ans, err := engine.RunExact(ctx, strings.TrimPrefix(line, `\exact `))
+			cancel()
 			show(ans, err)
 		case strings.HasPrefix(line, `\time `):
 			rest := strings.TrimPrefix(line, `\time `)
@@ -184,8 +196,10 @@ func main() {
 				fmt.Println("bad time budget:", fields[0])
 				continue
 			}
-			ans, err := engine.QueryWithTimeBudget(fields[1],
+			ctx, cancel := queryCtx()
+			ans, err := engine.RunWithTimeBudget(ctx, fields[1],
 				time.Duration(secs*float64(time.Second)))
+			cancel()
 			show(ans, err)
 		case strings.HasPrefix(line, `\bound `):
 			rest := strings.TrimPrefix(line, `\bound `)
@@ -199,10 +213,14 @@ func main() {
 				fmt.Println("bad bound:", err)
 				continue
 			}
-			ans, err := engine.QueryWithErrorBound(fields[1], bound)
+			ctx, cancel := queryCtx()
+			ans, err := engine.RunWithErrorBound(ctx, fields[1], bound)
+			cancel()
 			show(ans, err)
 		default:
-			ans, err := engine.Query(line)
+			ctx, cancel := queryCtx()
+			ans, err := engine.Run(ctx, line)
+			cancel()
 			show(ans, err)
 		}
 	}

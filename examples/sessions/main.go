@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/diagnostic"
@@ -59,7 +60,7 @@ func main() {
 			fmt.Printf("  %-28s %s  δ=%+.2f  %s\n", est.Name(), iv, delta, verdict)
 
 			// Would the runtime diagnostic have caught this?
-			dres, err := diagnostic.Run(src, s, q, est, diagnostic.DefaultConfig(n))
+			dres, err := diagnostic.Run(context.Background(), src, s, q, est, diagnostic.DefaultConfig(n))
 			if err == nil {
 				mark := "diagnostic: TRUSTED"
 				if !dres.OK {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -29,7 +30,7 @@ func (e *Engine) EstimateRequiredRows(query string, relErr float64) (int, error)
 		return 0, fmt.Errorf("core: required-rows estimation needs a single closed-form aggregate")
 	}
 	pilot := rt.samples[0]
-	ans, err := e.runApproximate(nil, query, def, rt, pilot)
+	ans, err := e.runApproximate(context.Background(), nil, query, def, rt, pilot, 0)
 	if err != nil {
 		return 0, fmt.Errorf("core: pilot for required-rows estimate: %w", err)
 	}
@@ -53,7 +54,12 @@ func (e *Engine) EstimateRequiredRows(query string, relErr float64) (int, error)
 // constrained queries). Prediction calibrates per-row cost on the
 // smallest sample, so the first budgeted query on a table pays one pilot
 // execution.
-func (e *Engine) QueryWithTimeBudget(query string, budget time.Duration) (ans *Answer, err error) {
+func (e *Engine) QueryWithTimeBudget(query string, budget time.Duration) (*Answer, error) {
+	return e.RunWithTimeBudget(context.Background(), query, budget)
+}
+
+// RunWithTimeBudget is QueryWithTimeBudget honouring cancellation.
+func (e *Engine) RunWithTimeBudget(ctx context.Context, query string, budget time.Duration) (ans *Answer, err error) {
 	if budget <= 0 {
 		return nil, fmt.Errorf("core: time budget must be positive")
 	}
@@ -64,10 +70,10 @@ func (e *Engine) QueryWithTimeBudget(query string, budget time.Duration) (ans *A
 		return nil, err
 	}
 	if len(rt.samples) == 0 {
-		return e.runExact(qt, qt.Root(), query, def, rt)
+		return e.runExact(ctx, qt, qt.Root(), query, def, rt)
 	}
 	pilot := rt.samples[0]
-	pilotAns, err := e.runApproximate(qt, query, def, rt, pilot)
+	pilotAns, err := e.runApproximate(ctx, qt, query, def, rt, pilot, 0)
 	if err != nil {
 		return nil, fmt.Errorf("core: budget pilot: %w", err)
 	}
@@ -87,7 +93,7 @@ func (e *Engine) QueryWithTimeBudget(query string, budget time.Duration) (ans *A
 	if best == pilot {
 		return pilotAns, nil
 	}
-	return e.runApproximate(qt, query, def, rt, best)
+	return e.runApproximate(ctx, qt, query, def, rt, best, 0)
 }
 
 // RequiredSampleSizeForError is a convenience re-export of the Fig. 1

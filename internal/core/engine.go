@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -99,8 +100,24 @@ type registeredTable struct {
 }
 
 // Engine is an approximate query processing engine.
+//
+// An Engine is safe for concurrent use: any number of goroutines may call
+// the query methods (Run, Query, QueryExact, ...) simultaneously, and each
+// call's answer is bit-identical to what a serial execution of the same
+// query would produce — all randomness derives from (Config.Seed, query
+// content), never from shared mutable state or execution order.
+// Registration methods (RegisterTable, RegisterUDF, BuildSamples,
+// BuildStratifiedSample) may also run concurrently with queries: catalogs
+// are replaced copy-on-write under the engine mutex, so in-flight queries
+// keep the snapshot they started with.
 type Engine struct {
-	cfg    Config
+	cfg Config
+
+	// mu guards the catalog state below. Query paths take a read-locked
+	// snapshot once per query (snapshotTable, udfRegistry); registration
+	// replaces slices and maps copy-on-write under the write lock, so
+	// readers never observe in-place mutation.
+	mu     sync.RWMutex
 	tables map[string]*registeredTable
 	udfs   exec.Registry
 	src    *rng.Source
@@ -160,6 +177,8 @@ func (e *Engine) RegisterTable(name string, t *table.Table) error {
 	if name == "" || t == nil {
 		return fmt.Errorf("core: table registration needs a name and data")
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if _, dup := e.tables[name]; dup {
 		return fmt.Errorf("core: table %q already registered", name)
 	}
@@ -168,9 +187,40 @@ func (e *Engine) RegisterTable(name string, t *table.Table) error {
 }
 
 // RegisterUDF registers a user-defined aggregate. Names are matched
-// case-insensitively in SQL (stored upper-cased).
+// case-insensitively in SQL (stored upper-cased). The registry is replaced
+// copy-on-write so queries already executing keep their snapshot.
 func (e *Engine) RegisterUDF(name string, fn exec.UDF) {
-	e.udfs[upper(name)] = fn
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	next := make(exec.Registry, len(e.udfs)+1)
+	for k, v := range e.udfs {
+		next[k] = v
+	}
+	next[upper(name)] = fn
+	e.udfs = next
+}
+
+// udfRegistry returns the current UDF snapshot. The returned map is never
+// mutated after publication, so callers may read it without locks.
+func (e *Engine) udfRegistry() exec.Registry {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.udfs
+}
+
+// snapshotTable returns a point-in-time copy of one table's catalog entry:
+// the slice headers are copied under the read lock, and registration only
+// ever replaces (never mutates) the underlying arrays, so the snapshot
+// stays consistent for the rest of the query.
+func (e *Engine) snapshotTable(name string) (*registeredTable, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	rt, ok := e.tables[name]
+	if !ok {
+		return nil, false
+	}
+	cp := *rt
+	return &cp, true
 }
 
 func upper(s string) string {
@@ -185,27 +235,33 @@ func upper(s string) string {
 
 // BuildSamples draws uniform random samples (without replacement) of the
 // given row counts from the named table and adds them to its catalog,
-// shuffled so that any contiguous subset is itself a random sample.
+// shuffled so that any contiguous subset is itself a random sample. The
+// catalog slice is rebuilt copy-on-write: queries snapshotted before the
+// call keep seeing the old catalog.
 func (e *Engine) BuildSamples(name string, rowCounts ...int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	rt, ok := e.tables[name]
 	if !ok {
 		return fmt.Errorf("core: unknown table %q", name)
 	}
+	samples := append([]*exec.StoredTable(nil), rt.samples...)
 	for _, n := range rowCounts {
 		if n <= 0 || n > rt.full.NumRows() {
 			return fmt.Errorf("core: sample size %d invalid for table %q (%d rows)",
 				n, name, rt.full.NumRows())
 		}
 		s := sample.TableWithoutReplacement(e.src.Split(), rt.full, n)
-		rt.samples = append(rt.samples, &exec.StoredTable{
+		samples = append(samples, &exec.StoredTable{
 			Data:    s,
 			PopRows: rt.full.NumRows(),
 			Cached:  true,
 		})
 	}
-	sort.Slice(rt.samples, func(i, j int) bool {
-		return rt.samples[i].Data.NumRows() < rt.samples[j].Data.NumRows()
+	sort.Slice(samples, func(i, j int) bool {
+		return samples[i].Data.NumRows() < samples[j].Data.NumRows()
 	})
+	rt.samples = samples
 	return nil
 }
 
@@ -269,11 +325,15 @@ func (a *Answer) FellBack() bool {
 }
 
 // planOptions assembles plan.Options from the engine config for a sample
-// of n rows.
-func (e *Engine) planOptions(n int, needBootstrap bool) plan.Options {
+// of n rows. kCap, when positive, caps the bootstrap resample count below
+// the engine default (the serving layer's per-query resample budget).
+func (e *Engine) planOptions(n int, needBootstrap bool, kCap int) plan.Options {
 	opt := plan.DefaultOptions(n)
 	opt.Alpha = e.cfg.alpha()
 	opt.BootstrapK = e.cfg.bootstrapK()
+	if kCap > 0 && kCap < opt.BootstrapK {
+		opt.BootstrapK = kCap
+	}
 	if !needBootstrap {
 		// Closed-form-only queries need no resamples: error bars and the
 		// diagnostic's ξ both come from closed forms (QSet-1 behaviour).
@@ -296,25 +356,18 @@ func (e *Engine) planOptions(n int, needBootstrap bool) plan.Options {
 	return opt
 }
 
-// isUDF reports whether name is a registered UDF (for the analyzer).
-func (e *Engine) isUDF(name string) bool {
-	_, ok := e.udfs[name]
-	return ok
-}
-
 // Explain parses and plans the query and returns the plan tree rendering.
 func (e *Engine) Explain(query string) (string, error) {
-	def, _, err := e.analyze(nil, query)
+	def, rt, err := e.analyze(nil, query)
 	if err != nil {
 		return "", err
 	}
-	rt := e.tables[def.Table]
 	n := rt.full.NumRows()
 	needBootstrap := !def.ClosedFormOK()
 	if len(rt.samples) > 0 {
 		n = rt.samples[len(rt.samples)-1].Data.NumRows()
 	}
-	p, err := plan.Build(def, e.planOptions(n, needBootstrap))
+	p, err := plan.Build(def, e.planOptions(n, needBootstrap, 0))
 	if err != nil {
 		return "", err
 	}
@@ -335,6 +388,9 @@ func (e *Engine) queryID(qt *obs.QueryTrace, query string) string {
 	return fmt.Sprintf("q%d (%s)", id, query)
 }
 
+// analyze parses and resolves the query against a point-in-time catalog
+// snapshot: the returned *registeredTable is a private copy whose slices
+// are never mutated, so the rest of the query runs lock-free.
 func (e *Engine) analyze(qt *obs.QueryTrace, query string) (*plan.QueryDef, *registeredTable, error) {
 	span := qt.StartSpan(obs.StageParse)
 	defer span.End()
@@ -346,11 +402,15 @@ func (e *Engine) analyze(qt *obs.QueryTrace, query string) (*plan.QueryDef, *reg
 	if !ok {
 		return nil, nil, fmt.Errorf("core: %s: only single SELECT statements are accepted at the API (UNION ALL is an internal rewrite)", e.queryID(qt, query))
 	}
-	def, err := plan.Analyze(sel, e.isUDF)
+	udfs := e.udfRegistry()
+	def, err := plan.Analyze(sel, func(name string) bool {
+		_, ok := udfs[name]
+		return ok
+	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: %s: analyze: %w", e.queryID(qt, query), err)
 	}
-	rt, ok := e.tables[def.Table]
+	rt, ok := e.snapshotTable(def.Table)
 	if !ok {
 		return nil, nil, fmt.Errorf("core: %s: unknown table %q", e.queryID(qt, query), def.Table)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -14,27 +15,58 @@ import (
 	"repro/internal/stats"
 )
 
+// RunOptions tunes a single Run call without mutating engine configuration,
+// so a serving layer can cap per-query work while other queries run
+// concurrently with the engine defaults.
+type RunOptions struct {
+	// BootstrapK, when positive, caps the resample count for this query
+	// below the engine's configured K (it never raises it). The serving
+	// layer uses it as a per-query resample budget.
+	BootstrapK int
+}
+
 // Query answers the SQL query approximately on the table's largest sample,
 // with error bars and a diagnostic verdict per aggregate. Tables without
 // samples are answered exactly. Aggregates whose diagnostic rejects error
 // estimation fall back to exact execution (unless disabled).
-func (e *Engine) Query(query string) (ans *Answer, err error) {
+func (e *Engine) Query(query string) (*Answer, error) {
+	return e.Run(context.Background(), query)
+}
+
+// Run is Query honouring cancellation: ctx is threaded through planning,
+// scan, bootstrap resampling (checked once per 8 KiB kernel block), the
+// adaptive-K loop, and the diagnostic worker pool. A cancelled query
+// returns an error wrapping ctx.Err() (so errors.Is(err, context.Canceled)
+// and errors.Is(err, context.DeadlineExceeded) hold) that carries the qN
+// query identifier, and all goroutines it spawned exit before Run returns.
+// Engines are safe for concurrent Run calls; answers are bit-identical to
+// serial execution because all randomness derives from (seed, stream) pairs
+// owned by the query, never from shared mutable state.
+func (e *Engine) Run(ctx context.Context, query string) (*Answer, error) {
+	return e.RunWithOptions(ctx, query, RunOptions{})
+}
+
+// RunWithOptions is Run with per-query overrides.
+func (e *Engine) RunWithOptions(ctx context.Context, query string, opts RunOptions) (ans *Answer, err error) {
 	qt := e.obs.StartQuery(query)
 	defer func() { qt.Finish(err) }()
 	def, rt, err := e.analyze(qt, query)
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", e.queryID(qt, query), err)
+	}
 	st := e.pickSample(def, rt)
 	if st == nil {
-		return e.runExact(qt, qt.Root(), query, def, rt)
+		return e.runExact(ctx, qt, qt.Root(), query, def, rt)
 	}
-	ans, err = e.runApproximate(qt, query, def, rt, st)
+	ans, err = e.runApproximate(ctx, qt, query, def, rt, st, opts.BootstrapK)
 	if err != nil {
 		return nil, err
 	}
 	if !e.cfg.DisableFallback {
-		if err := e.applyFallback(qt, ans, def, rt); err != nil {
+		if err := e.applyFallback(ctx, qt, ans, def, rt); err != nil {
 			return nil, err
 		}
 	}
@@ -46,7 +78,13 @@ func (e *Engine) Query(query string) (ans *Answer, err error) {
 // level (BlinkDB's error-constrained queries). It escalates through the
 // sample catalog and finally to exact execution when the bound cannot be
 // met approximately or the diagnostic rejects error estimation.
-func (e *Engine) QueryWithErrorBound(query string, relErr float64) (out *Answer, err error) {
+func (e *Engine) QueryWithErrorBound(query string, relErr float64) (*Answer, error) {
+	return e.RunWithErrorBound(context.Background(), query, relErr)
+}
+
+// RunWithErrorBound is QueryWithErrorBound honouring cancellation; ctx is
+// checked between sample escalations and inside each execution.
+func (e *Engine) RunWithErrorBound(ctx context.Context, query string, relErr float64) (out *Answer, err error) {
 	if relErr <= 0 {
 		return nil, fmt.Errorf("core: relative error bound must be positive")
 	}
@@ -57,7 +95,7 @@ func (e *Engine) QueryWithErrorBound(query string, relErr float64) (out *Answer,
 		return nil, err
 	}
 	if len(rt.samples) == 0 {
-		return e.runExact(qt, qt.Root(), query, def, rt)
+		return e.runExact(ctx, qt, qt.Root(), query, def, rt)
 	}
 	var last *Answer
 	minRows := 0 // samples smaller than this are provably insufficient
@@ -65,7 +103,10 @@ func (e *Engine) QueryWithErrorBound(query string, relErr float64) (out *Answer,
 		if st.Data.NumRows() < minRows {
 			continue
 		}
-		ans, err := e.runApproximate(qt, query, def, rt, st)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: %s: %w", e.queryID(qt, query), err)
+		}
+		ans, err := e.runApproximate(ctx, qt, query, def, rt, st, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -96,7 +137,7 @@ func (e *Engine) QueryWithErrorBound(query string, relErr float64) (out *Answer,
 	if e.cfg.DisableFallback {
 		return last, nil
 	}
-	return e.fallbackExact(qt, query, def, rt, "error bound unmet on all samples")
+	return e.fallbackExact(ctx, qt, query, def, rt, "error bound unmet on all samples")
 }
 
 // pickSample chooses the sample for an unconstrained query: a stratified
@@ -126,20 +167,25 @@ func scaleInvariant(def *plan.QueryDef) bool {
 }
 
 // QueryExact answers the query exactly on the full dataset.
-func (e *Engine) QueryExact(query string) (ans *Answer, err error) {
+func (e *Engine) QueryExact(query string) (*Answer, error) {
+	return e.RunExact(context.Background(), query)
+}
+
+// RunExact is QueryExact honouring cancellation.
+func (e *Engine) RunExact(ctx context.Context, query string) (ans *Answer, err error) {
 	qt := e.obs.StartQuery(query)
 	defer func() { qt.Finish(err) }()
 	def, rt, err := e.analyze(qt, query)
 	if err != nil {
 		return nil, err
 	}
-	return e.runExact(qt, qt.Root(), query, def, rt)
+	return e.runExact(ctx, qt, qt.Root(), query, def, rt)
 }
 
 // runExact executes the query on the full table with no sampling pipeline.
 // Stage spans attach under parent so fallback executions nest inside their
 // fallback span rather than appearing as a second top-level pipeline.
-func (e *Engine) runExact(qt *obs.QueryTrace, parent *obs.Span, query string, def *plan.QueryDef, rt *registeredTable) (*Answer, error) {
+func (e *Engine) runExact(ctx context.Context, qt *obs.QueryTrace, parent *obs.Span, query string, def *plan.QueryDef, rt *registeredTable) (*Answer, error) {
 	start := time.Now()
 	planSpan := parent.StartSpan(obs.StagePlan)
 	p, err := plan.Build(def, plan.Options{Alpha: e.cfg.alpha()})
@@ -148,9 +194,9 @@ func (e *Engine) runExact(qt *obs.QueryTrace, parent *obs.Span, query string, de
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: plan: %w", e.queryID(qt, query), err)
 	}
-	res, err := exec.Run(p, map[string]*exec.StoredTable{
+	res, err := exec.Run(ctx, p, map[string]*exec.StoredTable{
 		def.Table: {Data: rt.full},
-	}, e.udfs, exec.Config{Workers: e.cfg.workers(), Seed: e.cfg.Seed, Span: parent})
+	}, e.udfRegistry(), exec.Config{Workers: e.cfg.workers(), Seed: e.cfg.Seed, Span: parent})
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: exact execution: %w", e.queryID(qt, query), err)
 	}
@@ -178,11 +224,12 @@ func (e *Engine) runExact(qt *obs.QueryTrace, parent *obs.Span, query string, de
 	return ans, nil
 }
 
-// runApproximate executes the full §5 pipeline on the given sample.
-func (e *Engine) runApproximate(qt *obs.QueryTrace, query string, def *plan.QueryDef, rt *registeredTable, st *exec.StoredTable) (*Answer, error) {
+// runApproximate executes the full §5 pipeline on the given sample. kCap,
+// when positive, bounds the resample count for this query only.
+func (e *Engine) runApproximate(ctx context.Context, qt *obs.QueryTrace, query string, def *plan.QueryDef, rt *registeredTable, st *exec.StoredTable, kCap int) (*Answer, error) {
 	start := time.Now()
 	n := st.Data.NumRows()
-	opt := e.planOptions(n, !def.ClosedFormOK())
+	opt := e.planOptions(n, !def.ClosedFormOK(), kCap)
 	planSpan := qt.StartSpan(obs.StagePlan)
 	p, err := plan.Build(def, opt)
 	planSpan.SetAttr("mode", "approximate")
@@ -194,8 +241,8 @@ func (e *Engine) runApproximate(qt *obs.QueryTrace, query string, def *plan.Quer
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: plan: %w", e.queryID(qt, query), err)
 	}
-	res, err := exec.Run(p, map[string]*exec.StoredTable{def.Table: st},
-		e.udfs, exec.Config{Workers: e.cfg.workers(), Seed: e.cfg.Seed, Span: qt.Root()})
+	res, err := exec.Run(ctx, p, map[string]*exec.StoredTable{def.Table: st},
+		e.udfRegistry(), exec.Config{Workers: e.cfg.workers(), Seed: e.cfg.Seed, Span: qt.Root()})
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: approximate execution: %w", e.queryID(qt, query), err)
 	}
@@ -299,20 +346,20 @@ func closedFormScaledSum(out exec.AggOutput, alpha float64) (estimator.Interval,
 
 // fallbackExact runs the query exactly under a fallback span, recording the
 // fallback in the metrics registry.
-func (e *Engine) fallbackExact(qt *obs.QueryTrace, query string, def *plan.QueryDef, rt *registeredTable, reason string) (*Answer, error) {
+func (e *Engine) fallbackExact(ctx context.Context, qt *obs.QueryTrace, query string, def *plan.QueryDef, rt *registeredTable, reason string) (*Answer, error) {
 	span := qt.StartSpan(obs.StageFallback)
 	span.SetAttr("reason", reason)
 	qt.Metrics().Counter("aqp_fallbacks_total",
 		"Queries (or aggregates) re-answered exactly after the approximate path failed.",
 		"reason", reason).Inc()
-	ans, err := e.runExact(qt, span, query, def, rt)
+	ans, err := e.runExact(ctx, qt, span, query, def, rt)
 	span.End()
 	return ans, err
 }
 
 // applyFallback re-answers exactly any aggregate whose diagnostic rejected
 // error estimation, replacing its entry in the answer.
-func (e *Engine) applyFallback(qt *obs.QueryTrace, ans *Answer, def *plan.QueryDef, rt *registeredTable) error {
+func (e *Engine) applyFallback(ctx context.Context, qt *obs.QueryTrace, ans *Answer, def *plan.QueryDef, rt *registeredTable) error {
 	needed := false
 	for _, g := range ans.Groups {
 		for _, a := range g.Aggs {
@@ -324,7 +371,7 @@ func (e *Engine) applyFallback(qt *obs.QueryTrace, ans *Answer, def *plan.QueryD
 	if !needed {
 		return nil
 	}
-	exact, err := e.fallbackExact(qt, ans.SQL, def, rt, "diagnostic rejected")
+	exact, err := e.fallbackExact(ctx, qt, ans.SQL, def, rt, "diagnostic rejected")
 	if err != nil {
 		return err
 	}

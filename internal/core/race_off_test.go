@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race; wall-clock latency bounds are scaled by the detector's ~10x
+// instrumentation slowdown.
+const raceDetectorEnabled = false

@@ -24,7 +24,11 @@ type stratifiedSample struct {
 // BuildStratifiedSample builds a stratified sample over the named key
 // column with at most capPerGroup rows per distinct key. The engine
 // prefers it over uniform samples for queries grouping by that column.
+// Like BuildSamples, the catalog slice is replaced copy-on-write under the
+// engine lock so concurrent queries keep their snapshot.
 func (e *Engine) BuildStratifiedSample(name, keyColumn string, capPerGroup int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	rt, ok := e.tables[name]
 	if !ok {
 		return fmt.Errorf("core: unknown table %q", name)
@@ -69,15 +73,16 @@ func (e *Engine) BuildStratifiedSample(name, keyColumn string, capPerGroup int) 
 	// within strata interleaving.
 	src.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 
-	rt.stratified = append(rt.stratified, &stratifiedSample{
-		keyColumn: keyColumn,
-		st: &exec.StoredTable{
-			Data:    rt.full.Gather(idx),
-			PopRows: rt.full.NumRows(),
-			Cached:  true,
-		},
-		groupFraction: fractions,
-	})
+	rt.stratified = append(append([]*stratifiedSample(nil), rt.stratified...),
+		&stratifiedSample{
+			keyColumn: keyColumn,
+			st: &exec.StoredTable{
+				Data:    rt.full.Gather(idx),
+				PopRows: rt.full.NumRows(),
+				Cached:  true,
+			},
+			groupFraction: fractions,
+		})
 	return nil
 }
 

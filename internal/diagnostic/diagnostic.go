@@ -14,6 +14,7 @@
 package diagnostic
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -167,8 +168,13 @@ type Result struct {
 // Each (size, subsample) pair owns an RNG stream derived from a single
 // draw off src, so the verdict and every per-size statistic are
 // bit-identical at any worker count.
-func Run(src *rng.Source, values []float64, q estimator.Query, est estimator.Estimator, cfg Config) (Result, error) {
-	res, err := run(src, values, q, est, cfg)
+//
+// Cancellation is checked before every subsample evaluation, and ξ itself
+// is cancelled mid-resampling when it implements estimator.ContextEstimator
+// (the bootstrap family does). A cancelled run returns ctx's error; all
+// worker goroutines exit before Run returns.
+func Run(ctx context.Context, src *rng.Source, values []float64, q estimator.Query, est estimator.Estimator, cfg Config) (Result, error) {
+	res, err := run(ctx, src, values, q, est, cfg)
 	if err == nil {
 		cfg.record(&res)
 	}
@@ -200,13 +206,15 @@ func (cfg Config) record(res *Result) {
 		"Diagnostic verdicts, by outcome.", "verdict", verdict).Inc()
 }
 
-func run(src *rng.Source, values []float64, q estimator.Query, est estimator.Estimator, cfg Config) (Result, error) {
+func run(ctx context.Context, src *rng.Source, values []float64, q estimator.Query, est estimator.Estimator, cfg Config) (Result, error) {
 	if err := cfg.Validate(len(values)); err != nil {
 		return Result{}, err
 	}
 	if !est.AppliesTo(q) {
 		return Result{OK: false, Reason: "estimator not applicable"}, nil
 	}
+	ce, _ := est.(estimator.ContextEstimator)
+	done := ctx.Done()
 
 	s := values
 	if cfg.Shuffle {
@@ -230,10 +238,23 @@ func run(src *rng.Source, values []float64, q estimator.Query, est estimator.Est
 		errs := make([]error, cfg.P)
 		evalRange := func(lo, hi int) {
 			for j := lo; j < hi; j++ {
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
 				sub := subs[j]
 				ests[j] = q.Eval(sub)
-				iv, err := est.Interval(rng.NewWithStream(base, subStream(si, j)),
-					sub, q, cfg.Alpha)
+				sr := rng.NewWithStream(base, subStream(si, j))
+				var iv estimator.Interval
+				var err error
+				if ce != nil {
+					iv, err = ce.IntervalContext(ctx, sr, sub, q, cfg.Alpha)
+				} else {
+					iv, err = est.Interval(sr, sub, q, cfg.Alpha)
+				}
 				if err != nil {
 					errs[j] = err
 					continue
@@ -265,6 +286,9 @@ func run(src *rng.Source, values []float64, q estimator.Query, est estimator.Est
 				}(lo, hi)
 			}
 			wg.Wait()
+		}
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
 		}
 		for _, err := range errs {
 			if err != nil {

@@ -1,6 +1,7 @@
 package diagnostic
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"strings"
@@ -69,7 +70,7 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 func TestDiagnosticAcceptsClosedFormOnGaussianAvg(t *testing.T) {
 	s := gaussianSample(1, 40000, 100, 15)
 	cfg := smallConfig(len(s))
-	res, err := Run(rng.New(2), s, estimator.Query{Kind: estimator.Avg},
+	res, err := Run(context.Background(), rng.New(2), s, estimator.Query{Kind: estimator.Avg},
 		estimator.ClosedForm{}, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -88,7 +89,7 @@ func TestDiagnosticAcceptsClosedFormOnGaussianAvg(t *testing.T) {
 func TestDiagnosticAcceptsBootstrapOnGaussianAvg(t *testing.T) {
 	s := gaussianSample(3, 40000, 100, 15)
 	cfg := smallConfig(len(s))
-	res, err := Run(rng.New(4), s, estimator.Query{Kind: estimator.Avg},
+	res, err := Run(context.Background(), rng.New(4), s, estimator.Query{Kind: estimator.Avg},
 		estimator.Bootstrap{K: 50}, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -103,7 +104,7 @@ func TestDiagnosticRejectsBootstrapOnHeavyTailMax(t *testing.T) {
 	// small subsample sizes neither converge nor concentrate.
 	s := paretoSample(5, 40000, 1.1)
 	cfg := smallConfig(len(s))
-	res, err := Run(rng.New(6), s, estimator.Query{Kind: estimator.Max},
+	res, err := Run(context.Background(), rng.New(6), s, estimator.Query{Kind: estimator.Max},
 		estimator.Bootstrap{K: 50}, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -119,7 +120,7 @@ func TestDiagnosticRejectsBootstrapOnHeavyTailMax(t *testing.T) {
 func TestDiagnosticRejectsNotApplicableEstimator(t *testing.T) {
 	s := gaussianSample(7, 40000, 0, 1)
 	cfg := smallConfig(len(s))
-	res, err := Run(rng.New(8), s, estimator.Query{Kind: estimator.Max},
+	res, err := Run(context.Background(), rng.New(8), s, estimator.Query{Kind: estimator.Max},
 		estimator.ClosedForm{}, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -135,12 +136,12 @@ func TestDiagnosticRejectsNotApplicableEstimator(t *testing.T) {
 func TestDiagnosticDeterministicUnderSeed(t *testing.T) {
 	s := gaussianSample(9, 20000, 5, 2)
 	cfg := smallConfig(len(s))
-	a, err := Run(rng.New(10), s, estimator.Query{Kind: estimator.Avg},
+	a, err := Run(context.Background(), rng.New(10), s, estimator.Query{Kind: estimator.Avg},
 		estimator.ClosedForm{}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(rng.New(10), s, estimator.Query{Kind: estimator.Avg},
+	b, err := Run(context.Background(), rng.New(10), s, estimator.Query{Kind: estimator.Avg},
 		estimator.ClosedForm{}, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -164,7 +165,7 @@ func TestDiagnosticWorkerCountInvariance(t *testing.T) {
 	run := func(workers int) Result {
 		cfg := smallConfig(len(s))
 		cfg.Workers = workers
-		res, err := Run(rng.New(41), s, q, estimator.Bootstrap{K: 50}, cfg)
+		res, err := Run(context.Background(), rng.New(41), s, q, estimator.Bootstrap{K: 50}, cfg)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -185,7 +186,7 @@ func TestDiagnosticWorkerCountInvariance(t *testing.T) {
 func TestDiagnosticPerSizeStatsShrinkOnNiceData(t *testing.T) {
 	s := gaussianSample(11, 80000, 50, 5)
 	cfg := smallConfig(len(s))
-	res, err := Run(rng.New(12), s, estimator.Query{Kind: estimator.Avg},
+	res, err := Run(context.Background(), rng.New(12), s, estimator.Query{Kind: estimator.Avg},
 		estimator.ClosedForm{}, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -208,7 +209,7 @@ func TestDiagnosticPerSizeStatsShrinkOnNiceData(t *testing.T) {
 func TestDiagnosticValidatesConfig(t *testing.T) {
 	s := gaussianSample(13, 100, 0, 1)
 	cfg := DefaultConfig(1000000) // far too big for 100 rows
-	if _, err := Run(rng.New(14), s, estimator.Query{Kind: estimator.Avg},
+	if _, err := Run(context.Background(), rng.New(14), s, estimator.Query{Kind: estimator.Avg},
 		estimator.ClosedForm{}, cfg); err == nil {
 		t.Error("oversized config not rejected")
 	}
@@ -226,7 +227,7 @@ func TestDiagnosticNoShuffleUsesGivenOrder(t *testing.T) {
 	_ = src
 	cfg := smallConfig(len(s))
 	cfg.Shuffle = false
-	resSorted, err := Run(rng.New(16), s, estimator.Query{Kind: estimator.Avg},
+	resSorted, err := Run(context.Background(), rng.New(16), s, estimator.Query{Kind: estimator.Avg},
 		estimator.ClosedForm{}, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -235,7 +236,7 @@ func TestDiagnosticNoShuffleUsesGivenOrder(t *testing.T) {
 		t.Error("diagnostic accepted estimation on adversarially ordered subsamples")
 	}
 	cfg.Shuffle = true
-	resShuffled, err := Run(rng.New(18), s, estimator.Query{Kind: estimator.Avg},
+	resShuffled, err := Run(context.Background(), rng.New(18), s, estimator.Query{Kind: estimator.Avg},
 		estimator.ClosedForm{}, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -315,7 +316,7 @@ func TestDiagnosticAccuracySmoke(t *testing.T) {
 	src := rng.New(25)
 	for i, c := range cases {
 		cfg := smallConfig(len(c.data))
-		res, err := Run(src, c.data, c.q, c.est, cfg)
+		res, err := Run(context.Background(), src, c.data, c.q, c.est, cfg)
 		if err != nil {
 			t.Fatalf("case %d: %v", i, err)
 		}
@@ -339,7 +340,7 @@ func BenchmarkDiagnosticClosedForm(b *testing.B) {
 	src := rng.New(31)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(src, s, q, estimator.ClosedForm{}, cfg); err != nil {
+		if _, err := Run(context.Background(), src, s, q, estimator.ClosedForm{}, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -352,7 +353,7 @@ func BenchmarkDiagnosticBootstrap(b *testing.B) {
 	src := rng.New(33)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(src, s, q, estimator.Bootstrap{K: 100}, cfg); err != nil {
+		if _, err := Run(context.Background(), src, s, q, estimator.Bootstrap{K: 100}, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

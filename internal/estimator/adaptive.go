@@ -1,6 +1,7 @@
 package estimator
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -61,8 +62,22 @@ func (ab AdaptiveBootstrap) Interval(src *rng.Source, values []float64, q Query,
 	return iv, err
 }
 
+// IntervalContext implements ContextEstimator: the adaptive doubling loop
+// checks ctx between batches, so a cancelled query stops growing K.
+func (ab AdaptiveBootstrap) IntervalContext(ctx context.Context, src *rng.Source, values []float64, q Query, alpha float64) (Interval, error) {
+	iv, _, err := ab.IntervalKContext(ctx, src, values, q, alpha)
+	return iv, err
+}
+
 // IntervalK is Interval but also reports the number of resamples drawn.
 func (ab AdaptiveBootstrap) IntervalK(src *rng.Source, values []float64, q Query, alpha float64) (Interval, int, error) {
+	return ab.IntervalKContext(context.Background(), src, values, q, alpha)
+}
+
+// IntervalKContext is IntervalK honouring cancellation: ctx is checked
+// before every resample batch (and inside the kernel per block), so the
+// abort latency is bounded by one batch of the smallest size MinK.
+func (ab AdaptiveBootstrap) IntervalKContext(ctx context.Context, src *rng.Source, values []float64, q Query, alpha float64) (Interval, int, error) {
 	if len(values) == 0 {
 		return Interval{}, 0, fmt.Errorf("estimator: empty sample")
 	}
@@ -73,7 +88,10 @@ func (ab AdaptiveBootstrap) IntervalK(src *rng.Source, values []float64, q Query
 	var ests []float64
 	draw := func(k int) {
 		b := Bootstrap{K: k, Obs: ab.Obs}
-		ests = append(ests, b.Distribution(src, values, q)...)
+		ests = append(ests, b.estimatesContext(ctx, src, values, q, k)...)
+	}
+	if err := ctx.Err(); err != nil {
+		return Interval{}, 0, err
 	}
 	// The stopping rule tracks the pooled bootstrap standard deviation
 	// rather than the reported half-width: the symmetric centered
@@ -85,17 +103,26 @@ func (ab AdaptiveBootstrap) IntervalK(src *rng.Source, values []float64, q Query
 	draw(ab.minK())
 	prev := stats.Stddev(ests)
 	for len(ests) < ab.maxK() {
+		if err := ctx.Err(); err != nil {
+			return Interval{}, len(ests), err
+		}
 		grow := len(ests)
 		if len(ests)+grow > ab.maxK() {
 			grow = ab.maxK() - len(ests)
 		}
 		draw(grow)
+		if err := ctx.Err(); err != nil {
+			return Interval{}, len(ests), err
+		}
 		cur := stats.Stddev(ests)
 		if prev > 0 && math.Abs(cur-prev)/prev < ab.tolerance() {
 			half := stats.SymmetricHalfWidth(ests, center, alpha)
 			return Interval{Center: center, HalfWidth: half}, len(ests), nil
 		}
 		prev = cur
+	}
+	if err := ctx.Err(); err != nil {
+		return Interval{}, len(ests), err
 	}
 	half := stats.SymmetricHalfWidth(ests, center, alpha)
 	return Interval{Center: center, HalfWidth: half}, len(ests), nil

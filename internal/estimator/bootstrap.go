@@ -1,6 +1,7 @@
 package estimator
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/kernel"
@@ -77,6 +78,13 @@ func (Bootstrap) AppliesTo(q Query) bool {
 // half-width chosen as the smallest symmetric radius covering α of the
 // bootstrap distribution (§2.2's symmetric centered construction).
 func (b Bootstrap) Interval(src *rng.Source, values []float64, q Query, alpha float64) (Interval, error) {
+	return b.IntervalContext(context.Background(), src, values, q, alpha)
+}
+
+// IntervalContext implements ContextEstimator: Interval, aborting the
+// resampling kernel when ctx is cancelled. The cancellation latency is one
+// kernel block (fused path) or one resample (generic path).
+func (b Bootstrap) IntervalContext(ctx context.Context, src *rng.Source, values []float64, q Query, alpha float64) (Interval, error) {
 	if len(values) == 0 {
 		return Interval{}, fmt.Errorf("estimator: empty sample")
 	}
@@ -88,7 +96,10 @@ func (b Bootstrap) Interval(src *rng.Source, values []float64, q Query, alpha fl
 		k = DefaultBootstrapK
 	}
 	center := q.Eval(values)
-	ests := b.estimates(src, values, q, k)
+	ests := b.estimatesContext(ctx, src, values, q, k)
+	if err := ctx.Err(); err != nil {
+		return Interval{}, err
+	}
 	var half float64
 	switch b.Method {
 	case NormalApprox:
@@ -111,23 +122,30 @@ func (b Bootstrap) Distribution(src *rng.Source, values []float64, q Query) []fl
 	if k <= 0 {
 		k = DefaultBootstrapK
 	}
-	return b.estimates(src, values, q, k)
+	return b.estimatesContext(context.Background(), src, values, q, k)
 }
 
-// estimates produces the K resample estimates. The Poissonized production
-// path runs on the blocked multi-resample kernel: fused Σw·x / Σw
-// accumulators for the closed-form family (no weight vectors
+// estimatesContext produces the K resample estimates. The Poissonized
+// production path runs on the blocked multi-resample kernel: fused
+// Σw·x / Σw accumulators for the closed-form family (no weight vectors
 // materialized), the generic weighted-θ fallback otherwise. Both consume
 // the same two draws from src and the same per-(resample, block) streams,
 // so fused and generic agree on identical weights for identical queries.
-func (b Bootstrap) estimates(src *rng.Source, values []float64, q Query, k int) []float64 {
+// Cancellation aborts the kernel mid-column; the partial estimates are
+// meaningless and callers must check ctx.Err() before using them.
+func (b Bootstrap) estimatesContext(ctx context.Context, src *rng.Source, values []float64, q Query, k int) []float64 {
 	b.Obs.Counter("aqp_bootstrap_resamples_total",
 		"Bootstrap resample estimates drawn by ξ.").Add(int64(k))
-	if b.Strategy != resample.Poissonized || !q.FusedApplicable() {
+	if b.Strategy != resample.Poissonized {
 		return resample.Estimates(src, values, k, q.EvalWeighted, b.Strategy)
 	}
+	if !q.FusedApplicable() {
+		seed, stream := src.Uint64(), src.Uint64()
+		out, _ := kernel.Generic(ctx, values, k, seed, stream, 1, q.EvalWeighted)
+		return out
+	}
 	seed, stream := src.Uint64(), src.Uint64()
-	sums := kernel.FusedSums(values, k, seed, stream, 1)
+	sums := kernel.FusedSums(ctx, values, k, seed, stream, 1)
 	out := make([]float64, k)
 	for r := range out {
 		out[r] = q.FinalizeFused(sums.WX[r], sums.W[r], len(values))

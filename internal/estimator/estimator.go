@@ -1,6 +1,7 @@
 package estimator
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/rng"
@@ -22,4 +23,17 @@ type Estimator interface {
 	// θ(D) given sample values. Implementations that need randomness
 	// (the bootstrap) draw from src; deterministic ones ignore it.
 	Interval(src *rng.Source, values []float64, q Query, alpha float64) (Interval, error)
+}
+
+// ContextEstimator is implemented by estimators whose Interval computation
+// is long enough to warrant cooperative cancellation (the bootstrap family;
+// closed forms finish in microseconds and have no need). Callers that hold
+// a context — the diagnostic's subsample loop, the engine's serving layer —
+// probe for this interface and prefer IntervalContext so a cancelled query
+// aborts resampling mid-flight instead of running it to completion.
+type ContextEstimator interface {
+	Estimator
+	// IntervalContext is Interval honouring ctx: a cancelled context makes
+	// it return ctx's error promptly (within one resample's work).
+	IntervalContext(ctx context.Context, src *rng.Source, values []float64, q Query, alpha float64) (Interval, error)
 }

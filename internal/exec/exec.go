@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -141,7 +142,14 @@ type Result struct {
 //     while the subsample mathematics is computed once — physically
 //     re-scanning tens of thousands of times would only reproduce, slowly,
 //     the same per-subsample inputs.
-func Run(p *plan.Plan, tables map[string]*StoredTable, udfs Registry, cfg Config) (*Result, error) {
+//
+// Execution honours ctx: cancellation is checked at every stage boundary,
+// between naive rescans, between (group, aggregate) work units, inside the
+// diagnostic's subsample loop and inside the kernel's block loop, so a
+// cancelled query aborts within one block (8 KiB of values) of resampling
+// work. A cancelled Run returns an error wrapping ctx.Err() after all its
+// worker goroutines have exited.
+func Run(ctx context.Context, p *plan.Plan, tables map[string]*StoredTable, udfs Registry, cfg Config) (*Result, error) {
 	nodes := collect(p.Root)
 	if nodes.scan == nil || nodes.agg == nil {
 		return nil, fmt.Errorf("exec: plan lacks scan or aggregate")
@@ -154,10 +162,13 @@ func Run(p *plan.Plan, tables map[string]*StoredTable, udfs Registry, cfg Config
 
 	res := &Result{SampleRows: tbl.NumRows()}
 	traced := cfg.Span != nil
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("exec: before scan: %w", err)
+	}
 
 	// --- Scan, filter, project (one physical pass, parallel). ---
 	scanSpan := cfg.Span.StartSpan(obs.StageScan)
-	base, err := scanFilterProject(nodes, tbl, st, cfg)
+	base, err := scanFilterProject(ctx, nodes, tbl, st, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("exec: scan of table %q: %w", nodes.scan.Table, err)
 	}
@@ -199,7 +210,11 @@ func Run(p *plan.Plan, tables map[string]*StoredTable, udfs Registry, cfg Config
 		start := now(traced)
 		var naive Counters
 		for r := 0; r < k; r++ {
-			rescan, err := scanFilterProject(nodes, tbl, st, cfg)
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("exec: naive resample scan %d of table %q: %w",
+					r, nodes.scan.Table, err)
+			}
+			rescan, err := scanFilterProject(ctx, nodes, tbl, st, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("exec: naive resample scan %d of table %q: %w",
 					r, nodes.scan.Table, err)
@@ -222,6 +237,9 @@ func Run(p *plan.Plan, tables map[string]*StoredTable, udfs Registry, cfg Config
 	for _, g := range groups {
 		gout := GroupOutput{Key: g.key}
 		for ai, spec := range nodes.agg.Aggs {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("exec: group %q aggregate %d: %w", g.key, ai, err)
+			}
 			q, err := queryFor(spec, st, tbl.NumRows(), len(nodes.agg.GroupBy) > 0, udfs)
 			if err != nil {
 				return nil, fmt.Errorf("exec: group %q aggregate %d: %w", g.key, ai, err)
@@ -245,8 +263,12 @@ func Run(p *plan.Plan, tables map[string]*StoredTable, udfs Registry, cfg Config
 
 			if k > 0 {
 				start := now(traced)
-				ests, c := bootstrapEstimates(nodes, values, q, k, cfg,
+				ests, c, err := bootstrapEstimates(ctx, nodes, values, q, k, cfg,
 					tbl.NumRows(), g.key, ai)
+				if err != nil {
+					return nil, fmt.Errorf("exec: bootstrap for group %q aggregate %d: %w",
+						g.key, ai, err)
+				}
 				out.Bootstrap = ests
 				res.Counters.add(c)
 				if traced {
@@ -264,7 +286,7 @@ func Run(p *plan.Plan, tables map[string]*StoredTable, udfs Registry, cfg Config
 			}
 			if nodes.diag != nil {
 				start := now(traced)
-				dres, c, err := runDiagnostic(nodes, values, q, k, cfg, diagSpan, g.key, ai)
+				dres, c, err := runDiagnostic(ctx, nodes, values, q, k, cfg, diagSpan, g.key, ai)
 				if err != nil {
 					return nil, fmt.Errorf("exec: diagnostic for group %q aggregate %d: %w",
 						g.key, ai, err)
@@ -369,7 +391,11 @@ type scanResult struct {
 
 // scanFilterProject performs the single physical pass: partition the table
 // across workers, filter, and evaluate every aggregate's input expression.
-func scanFilterProject(nodes nodeSet, tbl *table.Table, st *StoredTable, cfg Config) (*scanResult, error) {
+// Cancellation is checked once per partition: a cancelled scan lets every
+// partition goroutine exit (those not yet started bail immediately) and
+// reports ctx's error.
+func scanFilterProject(ctx context.Context, nodes nodeSet, tbl *table.Table, st *StoredTable, cfg Config) (*scanResult, error) {
+	done := ctx.Done()
 	w := cfg.workers()
 	parts := tbl.Partition(w)
 	type partOut struct {
@@ -389,6 +415,14 @@ func scanFilterProject(nodes nodeSet, tbl *table.Table, st *StoredTable, cfg Con
 		wg.Add(1)
 		go func(i int, part *table.Table) {
 			defer wg.Done()
+			if done != nil {
+				select {
+				case <-done:
+					outs[i].err = ctx.Err()
+					return
+				default:
+				}
+			}
 			var sel []int
 			if nodes.filter != nil {
 				local, err := EvalPredicate(nodes.filter.Pred, part)
@@ -610,12 +644,15 @@ func queryFor(spec plan.AggSpec, st *StoredTable, sampleRows int, grouped bool, 
 // bit-identical at every worker count. Naive mode charges one full
 // subquery per resample elsewhere; scannedRows is the pre-filter row
 // count, charged for weight draws when pushdown is off.
-func bootstrapEstimates(nodes nodeSet, values []float64, q estimator.Query, k int, cfg Config, scannedRows int, groupKey string, aggIdx int) ([]float64, Counters) {
+func bootstrapEstimates(ctx context.Context, nodes nodeSet, values []float64, q estimator.Query, k int, cfg Config, scannedRows int, groupKey string, aggIdx int) ([]float64, Counters, error) {
 	var c Counters
 	stream := hashStream("boot", groupKey, aggIdx, 0)
 	var ests []float64
 	if q.FusedApplicable() {
-		sums := kernel.FusedSums(values, k, cfg.Seed, stream, cfg.workers())
+		sums := kernel.FusedSums(ctx, values, k, cfg.Seed, stream, cfg.workers())
+		if err := ctx.Err(); err != nil {
+			return nil, c, err
+		}
 		ests = make([]float64, k)
 		for r := range ests {
 			ests[r] = q.FinalizeFused(sums.WX[r], sums.W[r], len(values))
@@ -623,7 +660,10 @@ func bootstrapEstimates(nodes nodeSet, values []float64, q estimator.Query, k in
 		c.Tasks += sums.Tasks
 	} else {
 		var tasks int
-		ests, tasks = kernel.Generic(values, k, cfg.Seed, stream, cfg.workers(), q.EvalWeighted)
+		ests, tasks = kernel.Generic(ctx, values, k, cfg.Seed, stream, cfg.workers(), q.EvalWeighted)
+		if err := ctx.Err(); err != nil {
+			return nil, c, err
+		}
 		c.Tasks += tasks
 	}
 	pushed := nodes.resample == nil || nodes.resample.Pushed
@@ -632,14 +672,14 @@ func bootstrapEstimates(nodes nodeSet, values []float64, q estimator.Query, k in
 	} else {
 		c.WeightDraws += int64(k) * int64(scannedRows)
 	}
-	return ests, c
+	return ests, c, nil
 }
 
 // runDiagnostic executes the diagnostic operator for one aggregate. Under
 // tracing, each (group, aggregate) verdict becomes a child span of the
 // diagnostic stage span, and ξ's resample draws are counted through the
 // estimator's own accounting hook.
-func runDiagnostic(nodes nodeSet, values []float64, q estimator.Query, k int, cfg Config, diagSpan *obs.Span, groupKey string, aggIdx int) (*diagnostic.Result, Counters, error) {
+func runDiagnostic(ctx context.Context, nodes nodeSet, values []float64, q estimator.Query, k int, cfg Config, diagSpan *obs.Span, groupKey string, aggIdx int) (*diagnostic.Result, Counters, error) {
 	var c Counters
 	verdictSpan := diagSpan.StartSpan("verdict")
 	if verdictSpan != nil {
@@ -695,7 +735,7 @@ func runDiagnostic(nodes nodeSet, values []float64, q estimator.Query, k int, cf
 		xi = estimator.Bootstrap{K: kk, Obs: verdictSpan.Metrics()}
 	}
 	src := rng.NewWithStream(cfg.Seed, hashStream("diag", groupKey, aggIdx, 0))
-	dres, err := diagnostic.Run(src, values, q, xi, dcfg)
+	dres, err := diagnostic.Run(ctx, src, values, q, xi, dcfg)
 	verdictSpan.End()
 	if err != nil {
 		return nil, c, err

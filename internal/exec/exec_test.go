@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -179,7 +180,7 @@ func TestEvalPredicateErrors(t *testing.T) {
 func TestRunPlainAggregate(t *testing.T) {
 	tables := storedSessions(10000, 5)
 	p := mustPlan(t, "SELECT AVG(Time) FROM Sessions", plan.Options{})
-	res, err := Run(p, tables, nil, Config{Workers: 4, Seed: 1})
+	res, err := Run(context.Background(), p, tables, nil, Config{Workers: 4, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestRunPlainAggregate(t *testing.T) {
 func TestRunFilteredAggregateMatchesManual(t *testing.T) {
 	tables := storedSessions(20000, 6)
 	p := mustPlan(t, "SELECT AVG(Time) FROM Sessions WHERE City = 'NYC'", plan.Options{})
-	res, err := Run(p, tables, nil, Config{Workers: 3, Seed: 2})
+	res, err := Run(context.Background(), p, tables, nil, Config{Workers: 3, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func TestRunWorkerCountInvariance(t *testing.T) {
 	var ref *Result
 	for _, workers := range []int{1, 2, 4, 8} {
 		p := mustPlan(t, q, plan.Options{})
-		res, err := Run(p, tables, nil, Config{Workers: workers, Seed: 3})
+		res, err := Run(context.Background(), p, tables, nil, Config{Workers: workers, Seed: 3})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -253,7 +254,7 @@ func TestRunScaledSumAndCount(t *testing.T) {
 	// SUM must estimate ~10x the sample sum.
 	tables := storedSessions(5000, 8)
 	p := mustPlan(t, "SELECT COUNT(*), SUM(Time) FROM Sessions", plan.Options{})
-	res, err := Run(p, tables, nil, Config{Workers: 2, Seed: 4})
+	res, err := Run(context.Background(), p, tables, nil, Config{Workers: 2, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +272,7 @@ func TestRunScaledSumAndCount(t *testing.T) {
 func TestRunGroupBy(t *testing.T) {
 	tables := storedSessions(8000, 9)
 	p := mustPlan(t, "SELECT City, AVG(Time) FROM Sessions GROUP BY City", plan.Options{})
-	res, err := Run(p, tables, nil, Config{Workers: 4, Seed: 5})
+	res, err := Run(context.Background(), p, tables, nil, Config{Workers: 4, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +301,7 @@ func TestRunBootstrapProducesSaneDistribution(t *testing.T) {
 	opt := plan.Options{BootstrapK: 80, Alpha: 0.95,
 		ScanConsolidation: true, OperatorPushdown: true}
 	p := mustPlan(t, "SELECT AVG(Time) FROM Sessions", opt)
-	res, err := Run(p, tables, nil, Config{Workers: 4, Seed: 6})
+	res, err := Run(context.Background(), p, tables, nil, Config{Workers: 4, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +332,7 @@ func TestRunBootstrapDeterministicAcrossWorkerCounts(t *testing.T) {
 	var ref []float64
 	for _, workers := range []int{1, 3, 7} {
 		p := mustPlan(t, "SELECT AVG(Time) FROM Sessions", opt)
-		res, err := Run(p, tables, nil, Config{Workers: workers, Seed: 7})
+		res, err := Run(context.Background(), p, tables, nil, Config{Workers: workers, Seed: 7})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -354,7 +355,7 @@ func TestRunNaiveCountersChargeSubqueries(t *testing.T) {
 	naive := plan.Options{BootstrapK: 50, Alpha: 0.95,
 		ScanConsolidation: false, OperatorPushdown: false}
 	p := mustPlan(t, "SELECT AVG(Time) FROM Sessions WHERE City = 'NYC'", naive)
-	res, err := Run(p, tables, nil, Config{Workers: 4, Seed: 8})
+	res, err := Run(context.Background(), p, tables, nil, Config{Workers: 4, Seed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,7 +374,7 @@ func TestRunNaiveCountersChargeSubqueries(t *testing.T) {
 	pushed := plan.Options{BootstrapK: 50, Alpha: 0.95,
 		ScanConsolidation: true, OperatorPushdown: true}
 	p2 := mustPlan(t, "SELECT AVG(Time) FROM Sessions WHERE City = 'NYC'", pushed)
-	res2, err := Run(p2, tables, nil, Config{Workers: 4, Seed: 8})
+	res2, err := Run(context.Background(), p2, tables, nil, Config{Workers: 4, Seed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -393,7 +394,7 @@ func TestRunDiagnosticOperator(t *testing.T) {
 	opt := plan.DefaultOptions(60000)
 	opt.BootstrapK = 40
 	p := mustPlan(t, "SELECT AVG(Time) FROM Sessions", opt)
-	res, err := Run(p, tables, nil, Config{Workers: 4, Seed: 9})
+	res, err := Run(context.Background(), p, tables, nil, Config{Workers: 4, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -419,7 +420,7 @@ func TestRunNaiveDiagnosticCost(t *testing.T) {
 	opt.BootstrapK = 20
 	opt.ScanConsolidation = false
 	p := mustPlan(t, "SELECT AVG(Time) FROM Sessions", opt)
-	res, err := Run(p, tables, nil, Config{Workers: 4, Seed: 10})
+	res, err := Run(context.Background(), p, tables, nil, Config{Workers: 4, Seed: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -438,7 +439,7 @@ func TestRunDiagnosticShrinksLadderWhenFilterTight(t *testing.T) {
 	// ~25% of rows are NYC, so the configured ladder cannot fit and the
 	// executor must shrink it rather than fail.
 	p := mustPlan(t, "SELECT AVG(Time) FROM Sessions WHERE City = 'NYC'", opt)
-	res, err := Run(p, tables, nil, Config{Workers: 2, Seed: 11})
+	res, err := Run(context.Background(), p, tables, nil, Config{Workers: 2, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -466,7 +467,7 @@ func TestRunUDF(t *testing.T) {
 	opt := plan.Options{BootstrapK: 30, Alpha: 0.95,
 		ScanConsolidation: true, OperatorPushdown: true}
 	p := mustPlan(t, "SELECT CLAMPEDMEAN(Time) FROM Sessions", opt, "CLAMPEDMEAN")
-	res, err := Run(p, tables, udfs, Config{Workers: 2, Seed: 12})
+	res, err := Run(context.Background(), p, tables, udfs, Config{Workers: 2, Seed: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -482,15 +483,15 @@ func TestRunUDF(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	tables := storedSessions(100, 17)
 	p := mustPlan(t, "SELECT AVG(Time) FROM NoSuchTable", plan.Options{})
-	if _, err := Run(p, tables, nil, Config{}); err == nil {
+	if _, err := Run(context.Background(), p, tables, nil, Config{}); err == nil {
 		t.Error("unknown table accepted")
 	}
 	p2 := mustPlan(t, "SELECT MYUDF(Time) FROM Sessions", plan.Options{}, "MYUDF")
-	if _, err := Run(p2, tables, nil, Config{}); err == nil {
+	if _, err := Run(context.Background(), p2, tables, nil, Config{}); err == nil {
 		t.Error("unregistered UDF accepted")
 	}
 	p3 := mustPlan(t, "SELECT AVG(nope) FROM Sessions", plan.Options{})
-	if _, err := Run(p3, tables, nil, Config{}); err == nil {
+	if _, err := Run(context.Background(), p3, tables, nil, Config{}); err == nil {
 		t.Error("unknown aggregation column accepted")
 	}
 }
@@ -498,7 +499,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunPercentile(t *testing.T) {
 	tables := storedSessions(10000, 18)
 	p := mustPlan(t, "SELECT PERCENTILE(Time, 0.5) FROM Sessions", plan.Options{})
-	res, err := Run(p, tables, nil, Config{Workers: 2, Seed: 13})
+	res, err := Run(context.Background(), p, tables, nil, Config{Workers: 2, Seed: 13})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -546,7 +547,7 @@ func BenchmarkRunConsolidatedPipeline(b *testing.B) {
 	p, _ := plan.Build(def, opt)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(p, tables, nil, Config{Workers: 8, Seed: 1}); err != nil {
+		if _, err := Run(context.Background(), p, tables, nil, Config{Workers: 8, Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -562,7 +563,7 @@ func BenchmarkRunNaivePipeline(b *testing.B) {
 	p, _ := plan.Build(def, opt)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(p, tables, nil, Config{Workers: 8, Seed: 1}); err != nil {
+		if _, err := Run(context.Background(), p, tables, nil, Config{Workers: 8, Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -572,7 +573,7 @@ func TestRunUserTableSample(t *testing.T) {
 	tables := storedSessions(20000, 30)
 	p := mustPlan(t, "SELECT AVG(Time) FROM Sessions TABLESAMPLE POISSONIZED (100)",
 		plan.Options{})
-	res, err := Run(p, tables, nil, Config{Workers: 2, Seed: 14})
+	res, err := Run(context.Background(), p, tables, nil, Config{Workers: 2, Seed: 14})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -594,7 +595,7 @@ func TestRunUserTableSample(t *testing.T) {
 	// A rate of 400 (Poisson(4) weights) still estimates the same mean.
 	p4 := mustPlan(t, "SELECT AVG(Time) FROM Sessions TABLESAMPLE POISSONIZED (400)",
 		plan.Options{})
-	res4, err := Run(p4, tables, nil, Config{Workers: 2, Seed: 15})
+	res4, err := Run(context.Background(), p4, tables, nil, Config{Workers: 2, Seed: 15})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -607,11 +608,11 @@ func TestRunUserTableSampleDeterministic(t *testing.T) {
 	tables := storedSessions(5000, 31)
 	p := mustPlan(t, "SELECT SUM(Time) FROM Sessions TABLESAMPLE POISSONIZED (100)",
 		plan.Options{})
-	a, err := Run(p, tables, nil, Config{Workers: 3, Seed: 16})
+	a, err := Run(context.Background(), p, tables, nil, Config{Workers: 3, Seed: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(p, tables, nil, Config{Workers: 1, Seed: 16})
+	b, err := Run(context.Background(), p, tables, nil, Config{Workers: 1, Seed: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -652,7 +653,7 @@ func TestNaiveUnionRewriteExecutes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Run(p, tables, nil, Config{Workers: 2, Seed: uint64(100 + i)})
+		res, err := Run(context.Background(), p, tables, nil, Config{Workers: 2, Seed: uint64(100 + i)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -662,7 +663,7 @@ func TestNaiveUnionRewriteExecutes(t *testing.T) {
 	opt := plan.Options{BootstrapK: k, Alpha: 0.95,
 		ScanConsolidation: true, OperatorPushdown: true}
 	p, _ := plan.Build(def, opt)
-	res, err := Run(p, tables, nil, Config{Workers: 2, Seed: 7})
+	res, err := Run(context.Background(), p, tables, nil, Config{Workers: 2, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -683,7 +684,7 @@ func TestRunEmptyFilterResult(t *testing.T) {
 	p := mustPlan(t, "SELECT AVG(Time) FROM Sessions WHERE City = 'NOWHERE'",
 		plan.Options{BootstrapK: 10, Alpha: 0.95,
 			ScanConsolidation: true, OperatorPushdown: true})
-	res, err := Run(p, tables, nil, Config{Workers: 2, Seed: 17})
+	res, err := Run(context.Background(), p, tables, nil, Config{Workers: 2, Seed: 17})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -697,7 +698,7 @@ func TestRunEmptyFilterResult(t *testing.T) {
 	// zeros, scaled).
 	p2 := mustPlan(t, "SELECT COUNT(*) FROM Sessions WHERE City = 'NOWHERE'",
 		plan.Options{})
-	res2, err := Run(p2, tables, nil, Config{Workers: 2, Seed: 18})
+	res2, err := Run(context.Background(), p2, tables, nil, Config{Workers: 2, Seed: 18})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -710,7 +711,7 @@ func TestRunEmptyGroupByResult(t *testing.T) {
 	tables := storedSessions(1000, 34)
 	p := mustPlan(t, "SELECT City, AVG(Time) FROM Sessions WHERE Time > 1e12 GROUP BY City",
 		plan.Options{})
-	res, err := Run(p, tables, nil, Config{Workers: 2, Seed: 19})
+	res, err := Run(context.Background(), p, tables, nil, Config{Workers: 2, Seed: 19})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -833,7 +834,7 @@ func TestRunDiagnosticTooFewRows(t *testing.T) {
 	// for any diagnostic ladder; the operator must report an explicit
 	// rejection rather than failing.
 	p := mustPlan(t, "SELECT AVG(Time) FROM Sessions WHERE Time > 1e9", opt)
-	res, err := Run(p, tables, nil, Config{Workers: 2, Seed: 20})
+	res, err := Run(context.Background(), p, tables, nil, Config{Workers: 2, Seed: 20})
 	if err != nil {
 		t.Fatal(err)
 	}

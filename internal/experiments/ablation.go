@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 	"sync"
 
@@ -100,7 +101,7 @@ func DiagnosticAblation(cfg Config) *DiagAblationResult {
 				continue
 			}
 			dcfg.SubsampleSizes = []int{b3 / 4, b3 / 2, b3}
-			dres, err := diagnostic.Run(src, s, spec.Query, truths[qi].xi, dcfg)
+			dres, err := diagnostic.Run(context.Background(), src, s, spec.Query, truths[qi].xi, dcfg)
 			if err != nil {
 				continue
 			}

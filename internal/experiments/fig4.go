@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 	"sync"
 
@@ -94,7 +95,7 @@ func assessQueries(cfg Config, kind workload.Kind, queries []workload.QuerySpec,
 				dcfg.P = cfg.DiagP
 				b3 := len(s) / (2 * dcfg.P)
 				dcfg.SubsampleSizes = []int{b3 / 4, b3 / 2, b3}
-				dres, err := diagnostic.Run(src, s, spec.Query, xi, dcfg)
+				dres, err := diagnostic.Run(context.Background(), src, s, spec.Query, xi, dcfg)
 				if err != nil {
 					continue
 				}

@@ -31,6 +31,7 @@
 package kernel
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/rng"
@@ -96,13 +97,20 @@ type Sums struct {
 // for K Poissonized resamples. Parallelism is over contiguous block
 // ranges; per-block partials are merged serially in block order afterwards,
 // so the result is bit-identical at every worker count.
-func FusedSums(values []float64, k int, seed, stream uint64, workers int) Sums {
+//
+// Cancellation is checked once per block, so the latency of an abort is one
+// block's work (8 KiB of values × K resamples), not the whole column. A
+// cancelled call returns early with partial sums; callers must check
+// ctx.Err() and discard the result. context.Background() (whose Done
+// channel is nil) adds no per-block cost.
+func FusedSums(ctx context.Context, values []float64, k int, seed, stream uint64, workers int) Sums {
 	out := Sums{WX: make([]float64, k), W: make([]float64, k), Tasks: 1}
 	n := len(values)
 	nb := (n + BlockSize - 1) / BlockSize
 	if k == 0 || nb == 0 {
 		return out
 	}
+	done := ctx.Done()
 	partWX := getBuf(nb * k)
 	partW := getBuf(nb * k)
 
@@ -135,11 +143,26 @@ func FusedSums(values []float64, k int, seed, stream uint64, workers int) Sums {
 		}
 	}
 
+	cancelled := func() bool {
+		if done == nil {
+			return false
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+
 	if workers > nb {
 		workers = nb
 	}
 	if workers <= 1 {
 		for b := 0; b < nb; b++ {
+			if cancelled() {
+				break
+			}
 			process(b)
 		}
 	} else {
@@ -159,6 +182,9 @@ func FusedSums(values []float64, k int, seed, stream uint64, workers int) Sums {
 			go func(lo, hi int) {
 				defer wg.Done()
 				for b := lo; b < hi; b++ {
+					if cancelled() {
+						return
+					}
 					process(b)
 				}
 			}(lo, hi)
@@ -219,14 +245,27 @@ func FillWeights(w []float64, seed, stream uint64, r int) {
 // returned int counts the parallel tasks that actually ran (goroutines
 // launched, or 1 inline). theta may be called concurrently and must be
 // safe for that, as estimator.Query.EvalWeighted is.
-func Generic(values []float64, k int, seed, stream uint64, workers int, theta func(values, weights []float64) float64) ([]float64, int) {
+//
+// Cancellation is checked once per resample (one weight fill plus one θ
+// evaluation); a cancelled call returns early with partial estimates, which
+// callers must discard after checking ctx.Err().
+func Generic(ctx context.Context, values []float64, k int, seed, stream uint64, workers int, theta func(values, weights []float64) float64) ([]float64, int) {
 	ests := make([]float64, k)
 	if k == 0 {
 		return ests, 0
 	}
+	done := ctx.Done()
 	run := func(lo, hi int) {
 		buf := getBuf(len(values))
 		for r := lo; r < hi; r++ {
+			if done != nil {
+				select {
+				case <-done:
+					putBuf(buf)
+					return
+				default:
+				}
+			}
 			FillWeights(buf, seed, stream, r)
 			ests[r] = theta(values, buf)
 		}

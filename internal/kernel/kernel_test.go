@@ -1,6 +1,7 @@
 package kernel_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -44,8 +45,8 @@ func TestFusedMatchesGenericWeightedTheta(t *testing.T) {
 		if !q.FusedApplicable() {
 			t.Fatalf("%s: expected fused applicability", q.Name())
 		}
-		sums := kernel.FusedSums(xs, k, seed, stream, 1)
-		ests, _ := kernel.Generic(xs, k, seed, stream, 1, q.EvalWeighted)
+		sums := kernel.FusedSums(context.Background(), xs, k, seed, stream, 1)
+		ests, _ := kernel.Generic(context.Background(), xs, k, seed, stream, 1, q.EvalWeighted)
 		for r := 0; r < k; r++ {
 			fused := q.FinalizeFused(sums.WX[r], sums.W[r], len(xs))
 			if d := relDiff(fused, ests[r]); d > 1e-12 {
@@ -62,9 +63,9 @@ func TestFusedMatchesGenericWeightedTheta(t *testing.T) {
 func TestFusedSumsWorkerInvariance(t *testing.T) {
 	xs := testData(2, 20000) // 20 blocks
 	const k = 32
-	base := kernel.FusedSums(xs, k, 9, 11, 1)
+	base := kernel.FusedSums(context.Background(), xs, k, 9, 11, 1)
 	for _, workers := range []int{2, 4, 8, 64} {
-		got := kernel.FusedSums(xs, k, 9, 11, workers)
+		got := kernel.FusedSums(context.Background(), xs, k, 9, 11, workers)
 		for r := 0; r < k; r++ {
 			if got.WX[r] != base.WX[r] || got.W[r] != base.W[r] {
 				t.Fatalf("workers=%d resample %d: (%v, %v) != serial (%v, %v)",
@@ -80,12 +81,12 @@ func TestGenericWorkerInvariance(t *testing.T) {
 	xs := testData(3, 8000)
 	const k = 37 // deliberately not a multiple of any worker count
 	q := estimator.Query{Kind: estimator.Percentile, Pct: 0.9}
-	base, tasks := kernel.Generic(xs, k, 13, 17, 1, q.EvalWeighted)
+	base, tasks := kernel.Generic(context.Background(), xs, k, 13, 17, 1, q.EvalWeighted)
 	if tasks != 1 {
 		t.Errorf("serial path reported %d tasks, want 1", tasks)
 	}
 	for _, workers := range []int{2, 4, 8} {
-		got, tasks := kernel.Generic(xs, k, 13, 17, workers, q.EvalWeighted)
+		got, tasks := kernel.Generic(context.Background(), xs, k, 13, 17, workers, q.EvalWeighted)
 		if tasks != workers {
 			t.Errorf("workers=%d launched %d tasks", workers, tasks)
 		}
@@ -106,7 +107,7 @@ func TestFillWeightsMatchesFusedSums(t *testing.T) {
 	xs := testData(4, 3000) // 3 blocks, last one partial
 	const k = 8
 	const seed, stream = 5, 6
-	sums := kernel.FusedSums(xs, k, seed, stream, 1)
+	sums := kernel.FusedSums(context.Background(), xs, k, seed, stream, 1)
 	w := make([]float64, len(xs))
 	for r := 0; r < k; r++ {
 		kernel.FillWeights(w, seed, stream, r)
@@ -160,12 +161,12 @@ func TestFillWeightsPoissonMoments(t *testing.T) {
 
 func TestKernelEdgeCases(t *testing.T) {
 	// k = 0: empty accumulators, no work.
-	s := kernel.FusedSums([]float64{1, 2, 3}, 0, 1, 2, 4)
+	s := kernel.FusedSums(context.Background(), []float64{1, 2, 3}, 0, 1, 2, 4)
 	if len(s.WX) != 0 || len(s.W) != 0 {
 		t.Errorf("k=0 returned non-empty sums")
 	}
 	// Empty input: zero-valued accumulators for every resample.
-	s = kernel.FusedSums(nil, 4, 1, 2, 4)
+	s = kernel.FusedSums(context.Background(), nil, 4, 1, 2, 4)
 	if len(s.WX) != 4 {
 		t.Fatalf("empty input: got %d accumulators, want 4", len(s.WX))
 	}
@@ -174,7 +175,7 @@ func TestKernelEdgeCases(t *testing.T) {
 			t.Errorf("empty input resample %d: nonzero sums", r)
 		}
 	}
-	ests, tasks := kernel.Generic(nil, 0, 1, 2, 4, func(_, _ []float64) float64 { return 0 })
+	ests, tasks := kernel.Generic(context.Background(), nil, 0, 1, 2, 4, func(_, _ []float64) float64 { return 0 })
 	if len(ests) != 0 || tasks != 0 {
 		t.Errorf("k=0 generic: ests=%v tasks=%d", ests, tasks)
 	}

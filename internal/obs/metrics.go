@@ -37,6 +37,42 @@ func (c *Counter) Value() int64 {
 	return c.v.Load()
 }
 
+// Gauge is an atomic instantaneous value (in-flight queries, queue depth).
+// Unlike Counter it may go down. A nil *Gauge is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Inc increments the gauge by one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec decrements the gauge by one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Set overwrites the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
 // Histogram is a fixed-bucket latency/throughput histogram with atomic
 // buckets. Bounds are upper bucket boundaries in ascending order; an
 // implicit +Inf bucket catches the tail. A nil *Histogram is a no-op.
@@ -110,9 +146,9 @@ var (
 type family struct {
 	name   string
 	help   string
-	typ    string // "counter" | "histogram"
+	typ    string // "counter" | "gauge" | "histogram"
 	bounds []float64
-	series map[string]any // label string -> *Counter | *Histogram
+	series map[string]any // label string -> *Counter | *Gauge | *Histogram
 	order  []string       // label strings in registration order
 }
 
@@ -143,6 +179,17 @@ func (r *Registry) Counter(name, help string, labels ...string) *Counter {
 	return c
 }
 
+// Gauge returns (registering on first use) the gauge with the given name
+// and label pairs.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m := r.metric(name, help, "gauge", nil, labels)
+	g, _ := m.(*Gauge)
+	return g
+}
+
 // Histogram returns (registering on first use) the histogram with the
 // given name, bucket bounds and label pairs. Bounds are fixed at first
 // registration of the family.
@@ -171,9 +218,12 @@ func (r *Registry) metric(name, help, typ string, bounds []float64, labels []str
 	}
 	s, ok := f.series[key]
 	if !ok {
-		if typ == "counter" {
+		switch typ {
+		case "counter":
 			s = &Counter{}
-		} else {
+		case "gauge":
+			s = &Gauge{}
+		default:
 			s = newHistogram(f.bounds)
 		}
 		f.series[key] = s
@@ -242,6 +292,8 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		for _, key := range f.order {
 			switch m := f.series[key].(type) {
 			case *Counter:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, wrapLabels(key), m.Value())
+			case *Gauge:
 				fmt.Fprintf(w, "%s%s %d\n", f.name, wrapLabels(key), m.Value())
 			case *Histogram:
 				cum := int64(0)

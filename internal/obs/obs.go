@@ -14,6 +14,8 @@
 package obs
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -160,11 +162,13 @@ func (q *QueryTrace) Finish(err error) {
 	}
 	q.done = true
 	q.root.dur = time.Since(q.start)
+	outcome := Outcome(err)
 	snap := TraceSnapshot{
 		ID:      q.id,
 		SQL:     q.sql,
 		Start:   q.start,
 		TotalMs: float64(q.root.dur) / float64(time.Millisecond),
+		Outcome: outcome,
 	}
 	if err != nil {
 		snap.Err = err.Error()
@@ -176,10 +180,6 @@ func (q *QueryTrace) Finish(err error) {
 
 	q.tr.ring.push(snap)
 	reg := q.tr.Registry()
-	outcome := "ok"
-	if err != nil {
-		outcome = "error"
-	}
 	reg.Counter("aqp_queries_total",
 		"Queries answered, by outcome.", "outcome", outcome).Inc()
 	reg.Histogram("aqp_query_duration_seconds",
@@ -322,12 +322,28 @@ func (s *Span) snapshotLocked() SpanSnapshot {
 	return out
 }
 
+// Outcome classifies a query's final error into the label used by
+// aqp_queries_total and TraceSnapshot.Outcome: "ok", "cancelled" (the error
+// wraps context.Canceled or context.DeadlineExceeded — an abandoned query,
+// not an engine failure), or "error".
+func Outcome(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "cancelled"
+	default:
+		return "error"
+	}
+}
+
 // TraceSnapshot is a finished query trace, as served by /debug/queries.
 type TraceSnapshot struct {
 	ID      uint64         `json:"id"`
 	SQL     string         `json:"sql"`
 	Start   time.Time      `json:"start"`
 	TotalMs float64        `json:"total_ms"`
+	Outcome string         `json:"outcome,omitempty"`
 	Err     string         `json:"error,omitempty"`
 	Spans   []SpanSnapshot `json:"spans"`
 }

@@ -15,6 +15,7 @@
 package resample
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/kernel"
@@ -140,7 +141,7 @@ func Estimates(src *rng.Source, values []float64, k int, theta WeightedTheta, st
 	switch strategy {
 	case Poissonized:
 		seed, stream := src.Uint64(), src.Uint64()
-		out, _ := kernel.Generic(values, k, seed, stream, 1, theta)
+		out, _ := kernel.Generic(context.Background(), values, k, seed, stream, 1, theta)
 		return out
 	}
 	out := make([]float64, k)

@@ -1,0 +1,258 @@
+// Package serve is the admission-controlled front end for a concurrent AQP
+// engine: a bounded number of queries execute at once, excess arrivals wait
+// in a strict-FIFO queue (or are rejected when the queue is full), every
+// admitted query gets a deadline and a resample budget, and shutdown drains
+// in-flight work before returning. The paper's premise — approximations
+// with error bars exist to keep interactive latency predictable — only
+// holds if the serving layer also bounds queueing and per-query work; this
+// package is that bound.
+//
+// Concurrency-safety rests on the engine invariants proven by the core
+// tests: Engine.Run is safe for concurrent use and produces bit-identical
+// answers regardless of interleaving, because all randomness derives from
+// (seed, stream) pairs owned by the query.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Rejection and lifecycle errors. Both are permanent for the submitted
+// query; callers distinguish them from cancellation via errors.Is.
+var (
+	// ErrQueueFull reports that the wait queue was at capacity on arrival.
+	ErrQueueFull = errors.New("serve: queue full")
+	// ErrShuttingDown reports that the server no longer admits queries.
+	ErrShuttingDown = errors.New("serve: shutting down")
+)
+
+// Config tunes a Server.
+type Config struct {
+	// MaxInFlight bounds concurrently executing queries (0 = 4).
+	MaxInFlight int
+	// MaxQueue bounds queries waiting for an execution slot (0 = 16;
+	// negative = no queue, reject immediately when saturated).
+	MaxQueue int
+	// Timeout is the per-query deadline applied on admission, layered
+	// under whatever deadline the caller's context already carries
+	// (0 = none).
+	Timeout time.Duration
+	// MaxBootstrapK caps each query's resample count below the engine
+	// default — the per-query work budget (0 = engine default).
+	MaxBootstrapK int
+	// Metrics, when non-nil, receives the serving gauges and counters.
+	Metrics *obs.Registry
+}
+
+func (c Config) maxInFlight() int {
+	if c.MaxInFlight <= 0 {
+		return 4
+	}
+	return c.MaxInFlight
+}
+
+func (c Config) maxQueue() int {
+	if c.MaxQueue == 0 {
+		return 16
+	}
+	if c.MaxQueue < 0 {
+		return 0
+	}
+	return c.MaxQueue
+}
+
+// Server serializes admission to a shared engine. The zero value is not
+// usable; construct with New.
+type Server struct {
+	eng *core.Engine
+	cfg Config
+
+	mu       sync.Mutex
+	inflight int
+	queue    []chan error // FIFO waiters; receive nil (slot granted) or a rejection
+	draining bool
+	drained  chan struct{} // closed when draining and inflight hits zero
+
+	gInflight *obs.Gauge
+	gQueued   *obs.Gauge
+	admitted  *obs.Counter
+	cancelled *obs.Counter
+}
+
+// New returns a server fronting the engine.
+func New(eng *core.Engine, cfg Config) *Server {
+	reg := cfg.Metrics
+	return &Server{
+		eng:     eng,
+		cfg:     cfg,
+		drained: make(chan struct{}),
+		gInflight: reg.Gauge("aqp_serve_inflight",
+			"Queries currently executing."),
+		gQueued: reg.Gauge("aqp_serve_queued",
+			"Queries waiting for an execution slot."),
+		admitted: reg.Counter("aqp_serve_admitted_total",
+			"Queries granted an execution slot."),
+		cancelled: reg.Counter("aqp_serve_cancelled_total",
+			"Admitted queries that ended cancelled or past deadline."),
+	}
+}
+
+func (s *Server) reject(reason string) {
+	s.cfg.Metrics.Counter("aqp_serve_rejected_total",
+		"Queries refused admission, by reason.", "reason", reason).Inc()
+}
+
+// Submit answers one query under admission control: it waits for an
+// execution slot (strict FIFO among waiters), applies the configured
+// deadline and resample budget, and runs the query on the shared engine.
+// The caller's ctx governs both the wait and the execution; a query
+// cancelled while queued leaves the queue without consuming a slot.
+func (s *Server) Submit(ctx context.Context, query string) (*core.Answer, error) {
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	s.admitted.Inc()
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+	ans, err := s.eng.RunWithOptions(ctx, query, core.RunOptions{BootstrapK: s.cfg.MaxBootstrapK})
+	if obs.Outcome(err) == "cancelled" {
+		s.cancelled.Inc()
+	}
+	return ans, err
+}
+
+// acquire blocks until an execution slot is free, the queue overflows, ctx
+// is done, or the server drains. On nil return the caller holds a slot and
+// must release it.
+func (s *Server) acquire(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.reject("shutting_down")
+		return ErrShuttingDown
+	}
+	if err := ctx.Err(); err != nil {
+		s.mu.Unlock()
+		s.reject("cancelled")
+		return fmt.Errorf("serve: while admitting: %w", err)
+	}
+	if s.inflight < s.cfg.maxInFlight() {
+		s.inflight++
+		s.gInflight.Set(int64(s.inflight))
+		s.mu.Unlock()
+		return nil
+	}
+	if len(s.queue) >= s.cfg.maxQueue() {
+		s.mu.Unlock()
+		s.reject("queue_full")
+		return ErrQueueFull
+	}
+	// Buffered so release/Shutdown never block handing us the verdict even
+	// if we have already given up on ctx.Done.
+	w := make(chan error, 1)
+	s.queue = append(s.queue, w)
+	s.gQueued.Set(int64(len(s.queue)))
+	s.mu.Unlock()
+
+	select {
+	case err := <-w:
+		if err != nil {
+			s.reject("shutting_down")
+		}
+		return err
+	case <-ctx.Done():
+		s.mu.Lock()
+		for i, q := range s.queue {
+			if q == w {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				s.gQueued.Set(int64(len(s.queue)))
+				s.mu.Unlock()
+				s.reject("cancelled")
+				return fmt.Errorf("serve: while queued: %w", ctx.Err())
+			}
+		}
+		s.mu.Unlock()
+		// Not in the queue anymore: a verdict is already in w.
+		if err := <-w; err != nil {
+			s.reject("shutting_down")
+			return err
+		}
+		// The slot was granted in the same instant the caller gave up;
+		// hand it back and report the cancellation.
+		s.release()
+		s.reject("cancelled")
+		return fmt.Errorf("serve: while queued: %w", ctx.Err())
+	}
+}
+
+// release frees a slot: the oldest waiter inherits it directly (no
+// decrement/increment window another arrival could steal through, which
+// would break FIFO), otherwise in-flight drops and a drain may complete.
+func (s *Server) release() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.draining && len(s.queue) > 0 {
+		w := s.queue[0]
+		s.queue = s.queue[1:]
+		s.gQueued.Set(int64(len(s.queue)))
+		w <- nil
+		return
+	}
+	s.inflight--
+	s.gInflight.Set(int64(s.inflight))
+	if s.draining && s.inflight == 0 {
+		close(s.drained)
+	}
+}
+
+// Shutdown stops admitting queries, fails all waiters with
+// ErrShuttingDown, and waits for in-flight queries to finish. It returns
+// ctx.Err() if the drain outlives ctx; in-flight queries keep their own
+// contexts and are not force-cancelled — pair Shutdown with a per-query
+// Timeout to bound the drain. Shutdown is idempotent only in effect; call
+// it once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	for _, w := range s.queue {
+		w <- ErrShuttingDown
+	}
+	s.queue = nil
+	s.gQueued.Set(0)
+	idle := s.inflight == 0
+	s.mu.Unlock()
+	if idle {
+		return nil
+	}
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %w", ctx.Err())
+	}
+}
+
+// InFlight returns the number of currently executing queries.
+func (s *Server) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight
+}
+
+// Queued returns the number of queries waiting for a slot.
+func (s *Server) Queued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}

@@ -137,7 +137,9 @@ func (l *Literal) String() string {
 	if l.IsStr {
 		return "'" + strings.ReplaceAll(l.Str, "'", "''") + "'"
 	}
-	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%g", l.Num), "0"), ".")
+	// %g never emits trailing fractional zeros, so the value round-trips
+	// as-is; trimming zeros here would corrupt integers (100 -> "1").
+	return fmt.Sprintf("%g", l.Num)
 }
 
 // ColumnRef names a column.
