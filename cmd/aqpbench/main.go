@@ -9,7 +9,9 @@
 //
 // Figures: 1, 3 (includes the §3 table), 4b, 4c, 7, 8ab, 8c, 8d, 8ef, 9,
 // ablation, stages (the traced per-stage latency breakdown, which writes
-// machine-readable BENCH_stages.json), kernel (the §5.3.1 loop-order
+// machine-readable BENCH_stages.json), obs-overhead (per-query latency
+// with telemetry off vs spans vs spans+event-log vs spans+watchdog, which
+// writes BENCH_obs_overhead.json), kernel (the §5.3.1 loop-order
 // ablation, which also writes machine-readable BENCH_kernel.json), and
 // concurrency (serving throughput vs client count through the admission
 // layer, which writes machine-readable BENCH_concurrency.json).
@@ -67,8 +69,9 @@ func main() {
 		"8d":       func() result { return experiments.Fig8d(cfg) },
 		"8ef":      func() result { return experiments.Fig8ef(cfg) },
 		"9":        func() result { return experiments.Fig9(cfg) },
-		"ablation": func() result { return experiments.DiagnosticAblation(cfg) },
-		"stages":   func() result { return experiments.Stages(cfg) },
+		"ablation":     func() result { return experiments.DiagnosticAblation(cfg) },
+		"stages":       func() result { return experiments.Stages(cfg) },
+		"obs-overhead": func() result { return experiments.ObsOverhead(cfg) },
 		"kernel": func() result {
 			n, iters := 100000, 3
 			if *full {
@@ -87,7 +90,7 @@ func main() {
 			return concBench(rows, sample, per, int(cfg.Seed))
 		},
 	}
-	order := []string{"1", "3", "4b", "4c", "7", "8ab", "8c", "8d", "8ef", "9", "ablation", "stages", "kernel", "concurrency"}
+	order := []string{"1", "3", "4b", "4c", "7", "8ab", "8c", "8d", "8ef", "9", "ablation", "stages", "obs-overhead", "kernel", "concurrency"}
 
 	var selected []string
 	switch strings.ToLower(*fig) {

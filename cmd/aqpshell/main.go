@@ -34,11 +34,12 @@ import (
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/table"
+	"repro/internal/watchdog"
 )
 
 const demoRows = 1000000
 
-func buildDemo(metricsAddr string) (*core.Engine, error) {
+func buildDemo(metricsAddr string, elog *obs.EventLog, audit float64) (*core.Engine, *watchdog.Watchdog, error) {
 	src := rng.New(42)
 	times := make(table.Float64Col, demoRows)
 	cities := make(table.StringCol, demoRows)
@@ -56,14 +57,24 @@ func buildDemo(metricsAddr string) (*core.Engine, error) {
 		{Name: "KB", Type: table.Float64},
 	}, times, cities, bytes)
 
+	tracer := obs.NewTracer(obs.Options{})
+	var wd *watchdog.Watchdog
+	if audit > 0 {
+		wd = watchdog.New(watchdog.Config{
+			AuditFraction: audit,
+			Metrics:       tracer.Registry(),
+		})
+	}
 	e := core.New(core.Config{
 		Seed:        42,
 		Workers:     8,
-		Obs:         obs.NewTracer(obs.Options{}),
+		Obs:         tracer,
 		MetricsAddr: metricsAddr,
+		EventLog:    elog,
+		Watchdog:    wd,
 	})
 	if err := e.RegisterTable("Sessions", tbl); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	e.RegisterUDF("TRIMMEDMEAN", func(values, weights []float64) float64 {
 		var m stats.Moments
@@ -90,9 +101,9 @@ func buildDemo(metricsAddr string) (*core.Engine, error) {
 		return c.Mean()
 	})
 	if err := e.BuildSamples("Sessions", 10000, 100000); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return e, nil
+	return e, wd, nil
 }
 
 func main() {
@@ -102,23 +113,41 @@ func main() {
 		"serve /metrics and /debug/queries on this address (e.g. 127.0.0.1:9090)")
 	timeout := flag.Duration("timeout", 0,
 		"per-query deadline (e.g. 500ms); past it the query is cancelled mid-pipeline and reports a deadline error")
+	logFormat := flag.String("log", "",
+		"structured query event log: 'json' writes one JSON record per query to stderr")
+	audit := flag.Float64("audit", 0,
+		"calibration watchdog: audit this fraction of queries exactly (e.g. 0.1; with -metrics, serves /debug/calibration)")
 	flag.Parse()
+
+	var elog *obs.EventLog
+	switch *logFormat {
+	case "":
+	case "json":
+		elog = obs.NewEventLog(os.Stderr, obs.EventLogOptions{})
+	default:
+		fmt.Fprintf(os.Stderr, "aqpshell: unknown -log format %q (only 'json')\n", *logFormat)
+		os.Exit(2)
+	}
 
 	fmt.Println("aqpshell — approximate query processing with reliable error bars")
 	fmt.Println("demo table: Sessions(Time FLOAT64, City STRING, KB FLOAT64),",
 		demoRows, "rows; samples: 10k, 100k")
 	fmt.Println(`type \help for commands`)
-	engine, err := buildDemo(*metricsAddr)
+	engine, wd, err := buildDemo(*metricsAddr, elog, *audit)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aqpshell:", err)
 		os.Exit(1)
 	}
 	defer engine.Close()
+	defer wd.Close()
 	if addr, err := engine.MetricsEndpoint(); err != nil {
 		fmt.Fprintln(os.Stderr, "aqpshell: metrics endpoint:", err)
 		os.Exit(1)
 	} else if addr != "" {
 		fmt.Printf("metrics: http://%s/metrics  traces: http://%s/debug/queries\n", addr, addr)
+		if wd != nil {
+			fmt.Printf("calibration: http://%s/debug/calibration\n", addr)
+		}
 	}
 
 	// queryCtx applies the -timeout deadline to one query's execution.
@@ -128,7 +157,9 @@ func main() {
 		}
 		return context.Background(), func() {}
 	}
-	// show prints an answer and, under -explain, the recorded span tree.
+	// show prints an answer and, under -explain, the recorded span tree —
+	// which includes the query's outcome and admission queue wait — plus
+	// the final diagnostic verdict per aggregate.
 	show := func(ans *core.Answer, err error) {
 		printAnswer(ans, err)
 		if !*explain {
@@ -136,6 +167,9 @@ func main() {
 		}
 		if t, ok := engine.Tracer().Last(); ok {
 			fmt.Print(obs.FormatTrace(t))
+		}
+		if ans != nil {
+			fmt.Println(verdictSummary(ans))
 		}
 	}
 
@@ -308,6 +342,33 @@ func printAnswer(ans *core.Answer, err error) {
 	} else {
 		fmt.Printf("[full data, %v]\n", ans.Elapsed.Round(1000))
 	}
+}
+
+// verdictSummary renders the final per-aggregate diagnostic verdicts for
+// the -explain footer: "verdicts: AVG(Time)=accept, MAX(KB)=reject(exact)".
+func verdictSummary(ans *core.Answer) string {
+	var b strings.Builder
+	b.WriteString("verdicts:")
+	for _, g := range ans.Groups {
+		for _, a := range g.Aggs {
+			b.WriteByte(' ')
+			if g.Key != "" {
+				b.WriteString(g.Key)
+				b.WriteByte('/')
+			}
+			b.WriteString(a.Name)
+			b.WriteByte('=')
+			if a.DiagnosticOK {
+				b.WriteString("accept")
+			} else {
+				b.WriteString("reject")
+			}
+			if a.Exact {
+				b.WriteString("(exact)")
+			}
+		}
+	}
+	return b.String()
 }
 
 func describeFallback(a core.AggAnswer) string {

@@ -64,7 +64,7 @@ func (e *Engine) RunWithTimeBudget(ctx context.Context, query string, budget tim
 		return nil, fmt.Errorf("core: time budget must be positive")
 	}
 	qt := e.obs.StartQuery(query)
-	defer func() { qt.Finish(err) }()
+	defer func() { e.finishQuery(qt, query, ans, err, true) }()
 	def, rt, err := e.analyze(qt, query)
 	if err != nil {
 		return nil, err

@@ -29,6 +29,7 @@ import (
 	"repro/internal/sample"
 	"repro/internal/sql"
 	"repro/internal/table"
+	"repro/internal/watchdog"
 )
 
 // Config tunes the engine. Zero values select the paper's defaults.
@@ -69,6 +70,17 @@ type Config struct {
 	// ":0" picks a free port, see Engine.MetricsEndpoint). Setting it
 	// without Obs creates a default tracer.
 	MetricsAddr string
+	// EventLog, when set, receives one structured JSON record per query
+	// (and per watchdog audit). Like Obs it is provably inert: answers
+	// are bit-identical with logging on or off.
+	EventLog *obs.EventLog
+	// Watchdog, when set, receives every approximate query's calibration
+	// outcome and re-executes a configured fraction exactly to compare
+	// empirical coverage against nominal. New binds the engine's exact
+	// path as the watchdog's auditor; when MetricsAddr is also set, the
+	// watchdog's /debug/calibration page is mounted on the same server.
+	// The engine does not own the watchdog — Close it separately.
+	Watchdog *watchdog.Watchdog
 }
 
 func (c Config) workers() int {
@@ -125,6 +137,8 @@ type Engine struct {
 	obs    *obs.Tracer
 	obsSrv *obs.Server
 	obsErr error
+	elog   *obs.EventLog
+	wd     *watchdog.Watchdog
 	qid    atomic.Uint64 // untraced query ids for error wrapping
 }
 
@@ -136,12 +150,23 @@ func New(cfg Config) *Engine {
 		udfs:   exec.Registry{},
 		src:    rng.New(cfg.Seed),
 		obs:    cfg.Obs,
+		elog:   cfg.EventLog,
+		wd:     cfg.Watchdog,
+	}
+	if e.wd != nil {
+		e.wd.Bind(e.auditExact)
 	}
 	if cfg.MetricsAddr != "" {
 		if e.obs == nil {
 			e.obs = obs.NewTracer(obs.Options{})
 		}
-		e.obsSrv, e.obsErr = obs.Serve(cfg.MetricsAddr, e.obs)
+		var extra []obs.Route
+		if e.wd != nil {
+			extra = append(extra, obs.Route{
+				Pattern: "/debug/calibration", Handler: e.wd.Handler(),
+			})
+		}
+		e.obsSrv, e.obsErr = obs.Serve(cfg.MetricsAddr, e.obs, extra...)
 	}
 	return e
 }

@@ -23,6 +23,11 @@ type RunOptions struct {
 	// below the engine's configured K (it never raises it). The serving
 	// layer uses it as a per-query resample budget.
 	BootstrapK int
+	// QueueWait, when positive, records time the query spent waiting in
+	// an admission queue before the engine was invoked. It lands in the
+	// trace snapshot (queue_wait_ms), /debug/queries, the event log and
+	// aqpshell -explain; it does not affect execution.
+	QueueWait time.Duration
 }
 
 // Query answers the SQL query approximately on the table's largest sample,
@@ -49,7 +54,10 @@ func (e *Engine) Run(ctx context.Context, query string) (*Answer, error) {
 // RunWithOptions is Run with per-query overrides.
 func (e *Engine) RunWithOptions(ctx context.Context, query string, opts RunOptions) (ans *Answer, err error) {
 	qt := e.obs.StartQuery(query)
-	defer func() { qt.Finish(err) }()
+	if opts.QueueWait > 0 {
+		qt.SetQueueWait(opts.QueueWait)
+	}
+	defer func() { e.finishQuery(qt, query, ans, err, true) }()
 	def, rt, err := e.analyze(qt, query)
 	if err != nil {
 		return nil, err
@@ -89,7 +97,7 @@ func (e *Engine) RunWithErrorBound(ctx context.Context, query string, relErr flo
 		return nil, fmt.Errorf("core: relative error bound must be positive")
 	}
 	qt := e.obs.StartQuery(query)
-	defer func() { qt.Finish(err) }()
+	defer func() { e.finishQuery(qt, query, out, err, true) }()
 	def, rt, err := e.analyze(qt, query)
 	if err != nil {
 		return nil, err
@@ -174,7 +182,7 @@ func (e *Engine) QueryExact(query string) (*Answer, error) {
 // RunExact is QueryExact honouring cancellation.
 func (e *Engine) RunExact(ctx context.Context, query string) (ans *Answer, err error) {
 	qt := e.obs.StartQuery(query)
-	defer func() { qt.Finish(err) }()
+	defer func() { e.finishQuery(qt, query, ans, err, false) }()
 	def, rt, err := e.analyze(qt, query)
 	if err != nil {
 		return nil, err

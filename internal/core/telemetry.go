@@ -1,0 +1,139 @@
+package core
+
+import (
+	"context"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/watchdog"
+)
+
+// finishQuery closes the trace and fans the finished query out to the
+// engine's passive observers: the structured event log (one JSON record
+// per query) and the calibration watchdog. Both consume only the finished
+// answer and trace snapshot — no engine randomness, no answer mutation —
+// so answers stay bit-identical with observers on or off (asserted by
+// TestTelemetryDoesNotPerturbAnswers).
+//
+// observeWatchdog is false on the exact paths: an exact answer carries no
+// estimated interval to hold to account, and the watchdog's own audits
+// run through runExact.
+func (e *Engine) finishQuery(qt *obs.QueryTrace, query string, ans *Answer, err error, observeWatchdog bool) {
+	qt.Finish(err)
+	watch := observeWatchdog && e.wd != nil && err == nil && ans != nil
+	if e.elog == nil && !watch {
+		return
+	}
+	snap, ok := qt.Snapshot()
+	if !ok {
+		// Tracer disabled but an observer is attached: synthesize the
+		// identity fields the observers need.
+		snap = obs.TraceSnapshot{SQL: query, Outcome: obs.Outcome(err)}
+		if err != nil {
+			snap.Err = err.Error()
+		}
+		if ans != nil {
+			snap.TotalMs = float64(ans.Elapsed) / float64(time.Millisecond)
+		}
+	}
+	if e.elog != nil {
+		ev := obs.QueryEvent{Trace: snap}
+		if ans != nil {
+			ev.SampleRows = ans.SampleRows
+			ev.FellBack = ans.FellBack()
+			if ans.Plan != nil {
+				ev.BootstrapK = ans.Plan.Opt.BootstrapK
+			}
+			for _, g := range ans.Groups {
+				for _, a := range g.Aggs {
+					ev.Aggs = append(ev.Aggs, obs.AggEvent{
+						Group:     g.Key,
+						Name:      a.Name,
+						Estimate:  a.Estimate,
+						Lo:        a.ErrorBar.Lo(),
+						Hi:        a.ErrorBar.Hi(),
+						RelErr:    a.RelErr,
+						Technique: a.Technique,
+						Verdict:   verdict(a.DiagnosticOK),
+						Exact:     a.Exact,
+					})
+				}
+			}
+		}
+		e.elog.Emit(ev)
+	}
+	if watch {
+		e.wd.Observe(watchdogRecord(snap.ID, ans))
+	}
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "accept"
+	}
+	return "reject"
+}
+
+// watchdogRecord converts a finished answer into the watchdog's view: one
+// AggRecord per aggregate output, keyed by the sample it was answered on.
+func watchdogRecord(qid uint64, ans *Answer) watchdog.Record {
+	rec := watchdog.Record{QID: qid, SQL: ans.SQL, Sample: sampleLabel(ans.SampleRows)}
+	for _, g := range ans.Groups {
+		for _, a := range g.Aggs {
+			rec.Aggs = append(rec.Aggs, watchdog.AggRecord{
+				Group:     g.Key,
+				Agg:       a.Name,
+				Interval:  a.ErrorBar,
+				Technique: a.Technique,
+				Rejected:  !a.DiagnosticOK,
+				Exact:     a.Exact,
+			})
+		}
+	}
+	return rec
+}
+
+// sampleLabel names the calibration population a query belongs to: the
+// sample's row count, or "exact" for full-data answers.
+func sampleLabel(rows int) string {
+	if rows <= 0 {
+		return "exact"
+	}
+	return strconv.Itoa(rows)
+}
+
+// auditExact is the watchdog's auditor: it re-executes the query exactly —
+// outside the trace ring and the watchdog's own observation loop, so
+// audits never feed back into the statistics they validate — and returns
+// the ground-truth value per aggregate output. Exact execution is
+// deterministic, so audits consume no engine randomness.
+func (e *Engine) auditExact(ctx context.Context, query string) (map[watchdog.AggInstance]float64, error) {
+	def, rt, err := e.analyze(nil, query)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	ans, err := e.runExact(ctx, nil, nil, query, def, rt)
+	if e.elog != nil {
+		snap := obs.TraceSnapshot{
+			SQL:     query,
+			Outcome: obs.Outcome(err),
+			TotalMs: float64(time.Since(start)) / float64(time.Millisecond),
+		}
+		if err != nil {
+			snap.Err = err.Error()
+		}
+		e.elog.Emit(obs.QueryEvent{Trace: snap, Kind: "audit"})
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[watchdog.AggInstance]float64)
+	for _, g := range ans.Groups {
+		for _, a := range g.Aggs {
+			out[watchdog.AggInstance{Group: g.Key, Agg: a.Name}] = a.Estimate
+		}
+	}
+	return out, nil
+}

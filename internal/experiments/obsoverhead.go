@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/table"
+	"repro/internal/watchdog"
+)
+
+// obsOverheadQueries is the mixed workload the overhead measurement
+// serves under each telemetry mode: closed-form, filtered scaled sum,
+// bootstrap percentile, and a GROUP BY fan-out.
+var obsOverheadQueries = []string{
+	"SELECT AVG(X) FROM T",
+	"SELECT SUM(X) FROM T WHERE G = 'a'",
+	"SELECT PERCENTILE(X, 0.9) FROM T",
+	"SELECT AVG(X) FROM T GROUP BY G",
+}
+
+// ObsOverheadMode is one telemetry configuration's measured cost.
+type ObsOverheadMode struct {
+	// Mode is "off", "spans", "spans+eventlog" or "spans+watchdog".
+	Mode string `json:"mode"`
+	// Queries is the number of timed queries.
+	Queries int `json:"queries"`
+	// TotalMs and MeanMs are wall-clock over the timed loop.
+	TotalMs float64 `json:"total_ms"`
+	MeanMs  float64 `json:"mean_ms"`
+	// OverheadPct is the mean-latency overhead relative to the "off"
+	// baseline; negative values are measurement noise.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// ObsOverheadResult quantifies the telemetry tax: the same workload on
+// the same data and seed, served with telemetry off, with trace spans,
+// with spans plus the structured event log, and with spans plus the
+// calibration watchdog (background audits enabled). The PR 2 invariant
+// makes answers bit-identical across modes, so any latency difference is
+// pure observability cost.
+type ObsOverheadResult struct {
+	Baseline string            `json:"baseline"`
+	Modes    []ObsOverheadMode `json:"modes"`
+}
+
+// ObsOverhead measures per-query latency under each telemetry mode.
+func ObsOverhead(cfg Config) *ObsOverheadResult {
+	src := cfg.stream("obs-overhead-data", 0)
+	n := cfg.PopulationSize
+	xs := make(table.Float64Col, n)
+	gs := make(table.StringCol, n)
+	names := []string{"a", "b", "c", "d"}
+	zipf := rng.NewZipf(src, len(names), 1.1)
+	for i := 0; i < n; i++ {
+		gs[i] = names[zipf.Next()]
+		xs[i] = src.LogNormal(4, 0.6)
+	}
+	tbl := table.MustNew(table.Schema{
+		{Name: "X", Type: table.Float64},
+		{Name: "G", Type: table.String},
+	}, xs, gs)
+
+	reps := cfg.QueriesPerSet
+	if reps < 16 {
+		reps = 16
+	}
+
+	run := func(mode string) ObsOverheadMode {
+		ecfg := core.Config{
+			Seed:       cfg.Seed,
+			Workers:    cfg.Workers,
+			BootstrapK: cfg.BootstrapK,
+		}
+		var wd *watchdog.Watchdog
+		switch mode {
+		case "off":
+		case "spans":
+			ecfg.Obs = obs.NewTracer(obs.Options{})
+		case "spans+eventlog":
+			ecfg.Obs = obs.NewTracer(obs.Options{})
+			ecfg.EventLog = obs.NewEventLog(io.Discard, obs.EventLogOptions{})
+		case "spans+watchdog":
+			ecfg.Obs = obs.NewTracer(obs.Options{})
+			wd = watchdog.New(watchdog.Config{
+				AuditFraction: 1.0 / 16,
+				Metrics:       ecfg.Obs.Registry(),
+			})
+			ecfg.Watchdog = wd
+		}
+		e := core.New(ecfg)
+		if err := e.RegisterTable("T", tbl); err != nil {
+			panic(err)
+		}
+		sampleRows := cfg.SampleSize
+		if sampleRows > n/2 {
+			sampleRows = n / 2
+		}
+		if err := e.BuildSamples("T", sampleRows); err != nil {
+			panic(err)
+		}
+		// One untimed pass warms caches and the sample catalog.
+		for _, q := range obsOverheadQueries {
+			if _, err := e.Query(q); err != nil {
+				panic(fmt.Sprintf("obs-overhead %s warmup: %v", mode, err))
+			}
+		}
+		count := 0
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			for _, q := range obsOverheadQueries {
+				if _, err := e.Query(q); err != nil {
+					panic(fmt.Sprintf("obs-overhead %s: %v", mode, err))
+				}
+				count++
+			}
+		}
+		total := time.Since(start)
+		wd.Close() // drain background audits outside the timed loop
+		totalMs := float64(total) / float64(time.Millisecond)
+		return ObsOverheadMode{
+			Mode:    mode,
+			Queries: count,
+			TotalMs: totalMs,
+			MeanMs:  totalMs / float64(count),
+		}
+	}
+
+	res := &ObsOverheadResult{Baseline: "off"}
+	var base float64
+	for _, mode := range []string{"off", "spans", "spans+eventlog", "spans+watchdog"} {
+		m := run(mode)
+		if mode == "off" {
+			base = m.MeanMs
+		}
+		if base > 0 {
+			m.OverheadPct = (m.MeanMs - base) / base * 100
+		}
+		res.Modes = append(res.Modes, m)
+	}
+	return res
+}
+
+// Render implements the aqpbench result interface.
+func (r *ObsOverheadResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Telemetry overhead (same workload, answers bit-identical)")
+	fmt.Fprintln(w, "=========================================================")
+	fmt.Fprintf(w, "%-16s %8s %10s %10s %10s\n",
+		"mode", "queries", "total_ms", "mean_ms", "overhead%")
+	for _, m := range r.Modes {
+		fmt.Fprintf(w, "%-16s %8d %10.1f %10.3f %+10.2f\n",
+			m.Mode, m.Queries, m.TotalMs, m.MeanMs, m.OverheadPct)
+	}
+}
+
+// WriteCSV emits one row per mode.
+func (r *ObsOverheadResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "mode,queries,total_ms,mean_ms,overhead_pct"); err != nil {
+		return err
+	}
+	for _, m := range r.Modes {
+		if _, err := fmt.Fprintf(w, "%s,%d,%.3f,%.4f,%.3f\n",
+			m.Mode, m.Queries, m.TotalMs, m.MeanMs, m.OverheadPct); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON emits the machine-readable results.
+func (r *ObsOverheadResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// JSONName routes aqpbench's JSON export to an overhead-specific file.
+func (r *ObsOverheadResult) JSONName() string { return "BENCH_obs_overhead.json" }

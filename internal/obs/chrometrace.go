@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" complete
+// events), as consumed by chrome://tracing and https://ui.perfetto.dev.
+// Timestamps and durations are microseconds; ts is relative to the
+// query's start so traces from different queries all begin at zero.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders a finished query trace in the Chrome
+// trace-event JSON format, one complete event per span (span attributes
+// become event args) plus a metadata event naming the process after the
+// query. Spans are recorded by the goroutine driving the pipeline, so
+// everything lands on one timeline track.
+func WriteChromeTrace(w io.Writer, t TraceSnapshot) error {
+	events := []chromeEvent{{
+		Name:  "process_name",
+		Phase: "M",
+		PID:   1,
+		TID:   1,
+		Args:  map[string]any{"name": t.SQL},
+	}, {
+		Name:  "query",
+		Cat:   "query",
+		Phase: "X",
+		Ts:    0,
+		Dur:   t.TotalMs * 1000,
+		PID:   1,
+		TID:   1,
+		Args: map[string]any{
+			"qid":           t.ID,
+			"sql":           t.SQL,
+			"outcome":       t.Outcome,
+			"queue_wait_ms": t.QueueWaitMs,
+		},
+	}}
+	for _, s := range t.Spans {
+		events = appendChromeSpan(events, s)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(map[string]any{"traceEvents": events, "displayTimeUnit": "ms"})
+}
+
+func appendChromeSpan(events []chromeEvent, s SpanSnapshot) []chromeEvent {
+	ev := chromeEvent{
+		Name:  s.Stage,
+		Cat:   "stage",
+		Phase: "X",
+		Ts:    s.StartMs * 1000,
+		Dur:   s.Ms * 1000,
+		PID:   1,
+		TID:   1,
+	}
+	if len(s.Attrs) > 0 {
+		ev.Args = s.Attrs
+	}
+	events = append(events, ev)
+	for _, c := range s.Children {
+		events = appendChromeSpan(events, c)
+	}
+	return events
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"sync"
+)
+
+// EventLogOptions tunes an EventLog.
+type EventLogOptions struct {
+	// SlowQueryMs is the latency threshold above which a query's event is
+	// emitted at Warn level with slow=true (0 = 1000).
+	SlowQueryMs float64
+	// MaxRelErr, when positive, marks queries whose worst aggregate
+	// relative error exceeds it as miscalibrated=true (Warn level), in
+	// addition to queries with a rejected diagnostic verdict.
+	MaxRelErr float64
+}
+
+func (o EventLogOptions) slowMs() float64 {
+	if o.SlowQueryMs <= 0 {
+		return 1000
+	}
+	return o.SlowQueryMs
+}
+
+// EventLog emits one structured JSON record per query — the flight
+// recorder next to the trace ring's flight deck: greppable, shippable to
+// a log pipeline, and carrying enough to answer "which queries were slow
+// or miscalibrated, and why" without scraping /debug/queries. Records are
+// written through log/slog, so the output is standard JSON lines.
+//
+// A nil *EventLog is a no-op, mirroring the rest of the obs package:
+// instrumented paths pay one pointer comparison when logging is off. The
+// log only reads finished answers and trace snapshots — it consumes no
+// engine randomness and cannot perturb results.
+type EventLog struct {
+	log *slog.Logger
+	opt EventLogOptions
+}
+
+// lockedWriter serializes Write calls: slog handlers issue one Write per
+// record, but concurrent queries share the destination.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+// NewEventLog returns an event log writing JSON lines to w.
+func NewEventLog(w io.Writer, opt EventLogOptions) *EventLog {
+	h := slog.NewJSONHandler(&lockedWriter{w: w}, nil)
+	return &EventLog{log: slog.New(h), opt: opt}
+}
+
+// AggEvent is one aggregate's outcome inside a query event.
+type AggEvent struct {
+	Group     string  `json:"group,omitempty"`
+	Name      string  `json:"name"`
+	Estimate  float64 `json:"estimate"`
+	Lo        float64 `json:"lo"`
+	Hi        float64 `json:"hi"`
+	RelErr    float64 `json:"rel_err"`
+	Technique string  `json:"technique"`
+	// Verdict is the runtime diagnostic's decision: "accept" or "reject".
+	Verdict string `json:"verdict"`
+	// Exact marks an answer computed on the full dataset (fallback or
+	// exact execution).
+	Exact bool `json:"exact,omitempty"`
+}
+
+// QueryEvent is the one-record-per-query payload handed to Emit. Trace
+// supplies identity, outcome, queue wait and per-stage latencies; the
+// rest comes from the answer.
+type QueryEvent struct {
+	Trace      TraceSnapshot
+	Kind       string // "query" (default) or "audit"
+	SampleRows int
+	BootstrapK int
+	FellBack   bool
+	Aggs       []AggEvent
+}
+
+// Emit writes one record. Slow queries (total latency past the threshold),
+// miscalibrated queries (a rejected verdict, or relative error past
+// MaxRelErr) and failed queries log at Warn; everything else at Info.
+func (l *EventLog) Emit(ev QueryEvent) {
+	if l == nil {
+		return
+	}
+	t := ev.Trace
+	slow := t.TotalMs >= l.opt.slowMs()
+	miscal := false
+	for _, a := range ev.Aggs {
+		if a.Verdict == "reject" {
+			miscal = true
+		}
+		if l.opt.MaxRelErr > 0 && a.RelErr > l.opt.MaxRelErr {
+			miscal = true
+		}
+	}
+	kind := ev.Kind
+	if kind == "" {
+		kind = "query"
+	}
+	attrs := []slog.Attr{
+		slog.String("kind", kind),
+		slog.Uint64("qid", t.ID),
+		slog.String("sql", t.SQL),
+		slog.String("outcome", t.Outcome),
+		slog.Float64("total_ms", t.TotalMs),
+	}
+	if t.QueueWaitMs > 0 {
+		attrs = append(attrs, slog.Float64("queue_wait_ms", t.QueueWaitMs))
+	}
+	if ev.SampleRows > 0 {
+		attrs = append(attrs, slog.Int("sample_rows", ev.SampleRows))
+	}
+	if ev.BootstrapK > 0 {
+		attrs = append(attrs, slog.Int("bootstrap_k", ev.BootstrapK))
+	}
+	if ev.FellBack {
+		attrs = append(attrs, slog.Bool("fell_back", true))
+	}
+	if slow {
+		attrs = append(attrs, slog.Bool("slow", true))
+	}
+	if miscal {
+		attrs = append(attrs, slog.Bool("miscalibrated", true))
+	}
+	if t.Err != "" {
+		attrs = append(attrs, slog.String("error", t.Err))
+	}
+	if stages := stageLatencies(t.Spans); len(stages) > 0 {
+		attrs = append(attrs, slog.Any("stages_ms", stages))
+	}
+	if len(ev.Aggs) > 0 {
+		attrs = append(attrs, slog.Any("aggs", ev.Aggs))
+	}
+	level := slog.LevelInfo
+	if slow || miscal || t.Outcome == "error" {
+		level = slog.LevelWarn
+	}
+	l.log.LogAttrs(context.Background(), level, "query", attrs...)
+}
+
+// stageLatencies flattens the top-level stage spans to a name→ms map;
+// repeated stages (e.g. two diagnostics in a GROUP BY fan-out) accumulate.
+func stageLatencies(spans []SpanSnapshot) map[string]float64 {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(spans))
+	for _, s := range spans {
+		out[s.Stage] += s.Ms
+	}
+	return out
+}

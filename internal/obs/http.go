@@ -5,18 +5,36 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 )
 
+// Route is an extra HTTP route mounted on the tracer's debug mux — the
+// hook the engine uses to attach surfaces owned by other subsystems (the
+// calibration watchdog's /debug/calibration page).
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // Handler returns the tracer's HTTP surface:
 //
-//	/metrics        Prometheus text exposition of the registry
-//	/debug/queries  recent query traces as JSON, newest first (?n= limits)
-func (t *Tracer) Handler() http.Handler {
+//	/metrics                   Prometheus text exposition: the registry
+//	                           plus Go runtime gauges (heap, GC, goroutines)
+//	/debug/queries             recent query traces as JSON, newest first
+//	                           (?n= limits; ordering matches Tracer.Recent)
+//	/debug/queries/{id}/trace  one query as Chrome trace-event JSON, for
+//	                           chrome://tracing or ui.perfetto.dev
+//	/debug/histograms          registered histograms with p50/p90/p99
+//	/debug/pprof/...           the standard net/http/pprof surface
+//
+// Extra routes are mounted verbatim after the built-ins.
+func (t *Tracer) Handler(extra ...Route) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		t.Registry().WritePrometheus(w)
+		WriteRuntimeMetrics(w)
 	})
 	mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, r *http.Request) {
 		traces := t.Recent()
@@ -32,6 +50,39 @@ func (t *Tracer) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/debug/queries/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad query id", http.StatusBadRequest)
+			return
+		}
+		for _, tr := range t.Recent() {
+			if tr.ID == id {
+				w.Header().Set("Content-Type", "application/json")
+				if err := WriteChromeTrace(w, tr); err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+				}
+				return
+			}
+		}
+		http.Error(w, fmt.Sprintf("query %d not in the trace ring", id), http.StatusNotFound)
+	})
+	mux.HandleFunc("/debug/histograms", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(t.Registry().HistogramStats()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, rt := range extra {
+		mux.Handle(rt.Pattern, rt.Handler)
+	}
 	return mux
 }
 
@@ -42,10 +93,10 @@ type Server struct {
 	srv  *http.Server
 }
 
-// Serve starts an HTTP server for the tracer's Handler on addr. The
-// returned Server reports the bound address and must be Closed by the
-// caller.
-func Serve(addr string, t *Tracer) (*Server, error) {
+// Serve starts an HTTP server for the tracer's Handler on addr, with any
+// extra routes mounted alongside the built-ins. The returned Server
+// reports the bound address and must be Closed by the caller.
+func Serve(addr string, t *Tracer, extra ...Route) (*Server, error) {
 	if t == nil {
 		return nil, fmt.Errorf("obs: cannot serve a nil tracer")
 	}
@@ -53,7 +104,7 @@ func Serve(addr string, t *Tracer) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: metrics listener on %q: %w", addr, err)
 	}
-	srv := &http.Server{Handler: t.Handler()}
+	srv := &http.Server{Handler: t.Handler(extra...)}
 	go srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
 	return &Server{Addr: ln.Addr().String(), srv: srv}, nil
 }

@@ -73,6 +73,29 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
+// GaugeF is an atomic float-valued gauge for ratio-scale instantaneous
+// values (empirical coverage, reject rates) that the integer Gauge cannot
+// represent. A nil *GaugeF is a no-op.
+type GaugeF struct {
+	v atomic.Uint64 // float64 bits
+}
+
+// Set overwrites the gauge value.
+func (g *GaugeF) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(math.Float64bits(v))
+}
+
+// Value returns the current value.
+func (g *GaugeF) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.v.Load())
+}
+
 // Histogram is a fixed-bucket latency/throughput histogram with atomic
 // buckets. Bounds are upper bucket boundaries in ascending order; an
 // implicit +Inf bucket catches the tail. A nil *Histogram is a no-op.
@@ -122,6 +145,44 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts
+// using Prometheus's histogram_quantile interpolation: linear within the
+// containing bucket, with the +Inf bucket reported as its lower bound.
+// Returns NaN for an empty histogram or q outside [0,1]. Concurrent
+// Observe calls may skew the estimate by the in-flight observations; the
+// buckets themselves are read atomically.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		c := h.counts[i].Load()
+		if float64(cum+c) >= rank && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (bound-lo)*frac
+		}
+		cum += c
+	}
+	// Tail bucket: no finite upper bound to interpolate toward.
+	if len(h.bounds) > 0 {
+		return h.bounds[len(h.bounds)-1]
+	}
+	return math.NaN()
+}
+
 // Default bucket layouts for the repo's metric families.
 var (
 	// LatencyBuckets spans 100µs local stages to minute-scale fallbacks.
@@ -146,9 +207,9 @@ var (
 type family struct {
 	name   string
 	help   string
-	typ    string // "counter" | "gauge" | "histogram"
+	typ    string // "counter" | "gauge" | "gaugef" | "histogram"
 	bounds []float64
-	series map[string]any // label string -> *Counter | *Gauge | *Histogram
+	series map[string]any // label string -> *Counter | *Gauge | *GaugeF | *Histogram
 	order  []string       // label strings in registration order
 }
 
@@ -190,6 +251,18 @@ func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
 	return g
 }
 
+// GaugeFloat returns (registering on first use) the float-valued gauge
+// with the given name and label pairs. It shares the Prometheus "gauge"
+// type with Gauge but holds a float64 — use it for ratios and rates.
+func (r *Registry) GaugeFloat(name, help string, labels ...string) *GaugeF {
+	if r == nil {
+		return nil
+	}
+	m := r.metric(name, help, "gaugef", nil, labels)
+	g, _ := m.(*GaugeF)
+	return g
+}
+
 // Histogram returns (registering on first use) the histogram with the
 // given name, bucket bounds and label pairs. Bounds are fixed at first
 // registration of the family.
@@ -223,6 +296,8 @@ func (r *Registry) metric(name, help, typ string, bounds []float64, labels []str
 			s = &Counter{}
 		case "gauge":
 			s = &Gauge{}
+		case "gaugef":
+			s = &GaugeF{}
 		default:
 			s = newHistogram(f.bounds)
 		}
@@ -288,13 +363,19 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			fmt.Fprintf(w, "# HELP %s %s\n", f.name,
 				strings.ReplaceAll(strings.ReplaceAll(f.help, `\`, `\\`), "\n", `\n`))
 		}
-		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		typ := f.typ
+		if typ == "gaugef" {
+			typ = "gauge" // the exposition format has no float/int split
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, typ)
 		for _, key := range f.order {
 			switch m := f.series[key].(type) {
 			case *Counter:
 				fmt.Fprintf(w, "%s%s %d\n", f.name, wrapLabels(key), m.Value())
 			case *Gauge:
 				fmt.Fprintf(w, "%s%s %d\n", f.name, wrapLabels(key), m.Value())
+			case *GaugeF:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, wrapLabels(key), formatFloat(m.Value()))
 			case *Histogram:
 				cum := int64(0)
 				for i, b := range m.bounds {
@@ -309,6 +390,58 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			}
 		}
 	}
+}
+
+// HistogramStat is one histogram series with its derived quantiles, as
+// rendered by /debug/histograms.
+type HistogramStat struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"`
+	Count  int64   `json:"count"`
+	Sum    float64 `json:"sum"`
+	P50    float64 `json:"p50"`
+	P90    float64 `json:"p90"`
+	P99    float64 `json:"p99"`
+}
+
+// HistogramStats snapshots every registered histogram series with
+// interpolated p50/p90/p99, sorted by name then label registration order.
+// Non-finite quantiles (empty series) are reported as zero so the result
+// always JSON-encodes.
+func (r *Registry) HistogramStats() []HistogramStat {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := append([]string(nil), r.order...)
+	sort.Strings(names)
+	var out []HistogramStat
+	finite := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return v
+	}
+	for _, name := range names {
+		f := r.fams[name]
+		for _, key := range f.order {
+			h, ok := f.series[key].(*Histogram)
+			if !ok {
+				continue
+			}
+			out = append(out, HistogramStat{
+				Name:   f.name,
+				Labels: key,
+				Count:  h.Count(),
+				Sum:    finite(h.Sum()),
+				P50:    finite(h.Quantile(0.50)),
+				P90:    finite(h.Quantile(0.90)),
+				P99:    finite(h.Quantile(0.99)),
+			})
+		}
+	}
+	return out
 }
 
 func wrapLabels(key string) string {

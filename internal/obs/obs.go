@@ -83,7 +83,10 @@ func (t *Tracer) StartQuery(sql string) *QueryTrace {
 	return qt
 }
 
-// Recent returns the ring's traces, newest first.
+// Recent returns the ring's traces ordered newest first: Recent()[0] is
+// the most recently finished query, Recent()[1] the one before it, and so
+// on. The ordering is part of the API contract — /debug/queries, Last and
+// the shell's -explain all rely on it — and is covered by tests.
 func (t *Tracer) Recent() []TraceSnapshot {
 	if t == nil {
 		return nil
@@ -110,9 +113,11 @@ type QueryTrace struct {
 	sql   string
 	start time.Time
 
-	mu   sync.Mutex
-	root *Span
-	done bool
+	mu        sync.Mutex
+	root      *Span
+	queueWait time.Duration
+	done      bool
+	snap      TraceSnapshot
 }
 
 // ID returns the tracer-scoped query id (0 for a nil trace).
@@ -148,6 +153,29 @@ func (q *QueryTrace) StartSpan(stage string) *Span {
 	return q.root.StartSpan(stage)
 }
 
+// SetQueueWait records the time the query spent waiting for an execution
+// slot before StartQuery — the admission layer's queue delay, which is
+// otherwise invisible to the span tree because the trace only opens once
+// the query starts executing.
+func (q *QueryTrace) SetQueueWait(d time.Duration) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	q.queueWait = d
+	q.mu.Unlock()
+}
+
+// Snapshot returns the finished trace. It reports false before Finish.
+func (q *QueryTrace) Snapshot() (TraceSnapshot, bool) {
+	if q == nil {
+		return TraceSnapshot{}, false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.snap, q.done
+}
+
 // Finish closes the trace: total duration is recorded, the snapshot is
 // pushed into the tracer's ring, and per-stage latency plus query outcome
 // metrics are observed. Finishing twice is a no-op.
@@ -164,11 +192,12 @@ func (q *QueryTrace) Finish(err error) {
 	q.root.dur = time.Since(q.start)
 	outcome := Outcome(err)
 	snap := TraceSnapshot{
-		ID:      q.id,
-		SQL:     q.sql,
-		Start:   q.start,
-		TotalMs: float64(q.root.dur) / float64(time.Millisecond),
-		Outcome: outcome,
+		ID:          q.id,
+		SQL:         q.sql,
+		Start:       q.start,
+		TotalMs:     float64(q.root.dur) / float64(time.Millisecond),
+		QueueWaitMs: float64(q.queueWait) / float64(time.Millisecond),
+		Outcome:     outcome,
 	}
 	if err != nil {
 		snap.Err = err.Error()
@@ -176,6 +205,7 @@ func (q *QueryTrace) Finish(err error) {
 	for _, c := range q.root.children {
 		snap.Spans = append(snap.Spans, c.snapshotLocked())
 	}
+	q.snap = snap
 	q.mu.Unlock()
 
 	q.tr.ring.push(snap)
@@ -307,8 +337,9 @@ func (s *Span) snapshotLocked() SpanSnapshot {
 		dur = time.Since(s.start)
 	}
 	out := SpanSnapshot{
-		Stage: s.stage,
-		Ms:    float64(dur) / float64(time.Millisecond),
+		Stage:   s.stage,
+		StartMs: float64(s.start.Sub(s.qt.start)) / float64(time.Millisecond),
+		Ms:      float64(dur) / float64(time.Millisecond),
 	}
 	if len(s.attrs) > 0 {
 		out.Attrs = make(map[string]any, len(s.attrs))
@@ -337,20 +368,28 @@ func Outcome(err error) string {
 	}
 }
 
-// TraceSnapshot is a finished query trace, as served by /debug/queries.
+// TraceSnapshot is a finished query trace, as served by /debug/queries
+// (newest first — the ring's Recent ordering is preserved in the JSON).
 type TraceSnapshot struct {
-	ID      uint64         `json:"id"`
-	SQL     string         `json:"sql"`
-	Start   time.Time      `json:"start"`
-	TotalMs float64        `json:"total_ms"`
-	Outcome string         `json:"outcome,omitempty"`
-	Err     string         `json:"error,omitempty"`
-	Spans   []SpanSnapshot `json:"spans"`
+	ID      uint64    `json:"id"`
+	SQL     string    `json:"sql"`
+	Start   time.Time `json:"start"`
+	TotalMs float64   `json:"total_ms"`
+	// QueueWaitMs is the admission-queue delay before execution began
+	// (zero for queries that bypassed a serving layer).
+	QueueWaitMs float64        `json:"queue_wait_ms,omitempty"`
+	Outcome     string         `json:"outcome,omitempty"`
+	Err         string         `json:"error,omitempty"`
+	Spans       []SpanSnapshot `json:"spans"`
 }
 
 // SpanSnapshot is one recorded span.
 type SpanSnapshot struct {
-	Stage    string         `json:"stage"`
+	Stage string `json:"stage"`
+	// StartMs is the span's start offset from the query's start — the
+	// field the Chrome trace-event export needs to lay spans on a
+	// timeline rather than just report durations.
+	StartMs  float64        `json:"start_ms"`
 	Ms       float64        `json:"ms"`
 	Attrs    map[string]any `json:"attrs,omitempty"`
 	Children []SpanSnapshot `json:"children,omitempty"`
@@ -393,10 +432,17 @@ func (s SpanSnapshot) structure(b *strings.Builder, depth int) {
 }
 
 // FormatTrace renders a human-readable span tree (the aqpshell -explain
-// output).
+// output): total latency, outcome, queue wait when the query waited for an
+// admission slot, and the error for failed queries.
 func FormatTrace(t TraceSnapshot) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "trace q%d: %.3fms total", t.ID, t.TotalMs)
+	if t.Outcome != "" {
+		fmt.Fprintf(&b, ", outcome=%s", t.Outcome)
+	}
+	if t.QueueWaitMs > 0 {
+		fmt.Fprintf(&b, ", queue_wait=%.3fms", t.QueueWaitMs)
+	}
 	if t.Err != "" {
 		fmt.Fprintf(&b, " (error: %s)", t.Err)
 	}

@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+)
+
+// WriteRuntimeMetrics appends Go runtime gauges — heap, GC and goroutine
+// state — to a Prometheus text exposition. The engine's own registry holds
+// only query-derived series; these come from runtime.ReadMemStats at
+// scrape time, so an operator watching /metrics sees memory pressure and
+// goroutine leaks next to query latency without a sidecar exporter.
+//
+// ReadMemStats stops the world for on the order of tens of microseconds;
+// at scrape cadence (seconds) that is noise.
+func WriteRuntimeMetrics(w io.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauge := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("go_goroutines", "Number of goroutines that currently exist.",
+		uint64(runtime.NumGoroutine()))
+	gauge("go_heap_alloc_bytes", "Bytes of allocated heap objects.", ms.HeapAlloc)
+	gauge("go_heap_sys_bytes", "Bytes of heap memory obtained from the OS.", ms.HeapSys)
+	gauge("go_heap_objects", "Number of allocated heap objects.", ms.HeapObjects)
+	gauge("go_next_gc_bytes", "Heap size target of the next GC cycle.", ms.NextGC)
+
+	fmt.Fprintf(w, "# HELP go_gc_cycles_total Completed GC cycles.\n"+
+		"# TYPE go_gc_cycles_total counter\ngo_gc_cycles_total %d\n", ms.NumGC)
+	fmt.Fprintf(w, "# HELP go_gc_pause_seconds_total Cumulative GC stop-the-world pause time.\n"+
+		"# TYPE go_gc_pause_seconds_total counter\ngo_gc_pause_seconds_total %s\n",
+		formatFloat(float64(ms.PauseTotalNs)/1e9))
+	fmt.Fprintf(w, "# HELP go_alloc_bytes_total Cumulative bytes allocated for heap objects.\n"+
+		"# TYPE go_alloc_bytes_total counter\ngo_alloc_bytes_total %d\n", ms.TotalAlloc)
+}

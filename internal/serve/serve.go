@@ -80,10 +80,11 @@ type Server struct {
 	draining bool
 	drained  chan struct{} // closed when draining and inflight hits zero
 
-	gInflight *obs.Gauge
-	gQueued   *obs.Gauge
-	admitted  *obs.Counter
-	cancelled *obs.Counter
+	gInflight  *obs.Gauge
+	gQueued    *obs.Gauge
+	admitted   *obs.Counter
+	cancelled  *obs.Counter
+	hQueueWait *obs.Histogram
 }
 
 // New returns a server fronting the engine.
@@ -101,6 +102,9 @@ func New(eng *core.Engine, cfg Config) *Server {
 			"Queries granted an execution slot."),
 		cancelled: reg.Counter("aqp_serve_cancelled_total",
 			"Admitted queries that ended cancelled or past deadline."),
+		hQueueWait: reg.Histogram("aqp_serve_queue_wait_seconds",
+			"Time admitted queries spent waiting for an execution slot.",
+			obs.LatencyBuckets),
 	}
 }
 
@@ -115,17 +119,23 @@ func (s *Server) reject(reason string) {
 // The caller's ctx governs both the wait and the execution; a query
 // cancelled while queued leaves the queue without consuming a slot.
 func (s *Server) Submit(ctx context.Context, query string) (*core.Answer, error) {
+	arrived := time.Now()
 	if err := s.acquire(ctx); err != nil {
 		return nil, err
 	}
 	defer s.release()
+	wait := time.Since(arrived)
+	s.hQueueWait.Observe(wait.Seconds())
 	s.admitted.Inc()
 	if s.cfg.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
 		defer cancel()
 	}
-	ans, err := s.eng.RunWithOptions(ctx, query, core.RunOptions{BootstrapK: s.cfg.MaxBootstrapK})
+	ans, err := s.eng.RunWithOptions(ctx, query, core.RunOptions{
+		BootstrapK: s.cfg.MaxBootstrapK,
+		QueueWait:  wait,
+	})
 	if obs.Outcome(err) == "cancelled" {
 		s.cancelled.Inc()
 	}

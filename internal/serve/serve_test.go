@@ -246,6 +246,54 @@ func TestSubmitTimeout(t *testing.T) {
 	}
 }
 
+// TestSubmitRecordsQueueWait pins the queue-wait plumbing end to end: a
+// query that had to wait for a slot carries the wait in its trace
+// snapshot (and so in /debug/queries and the event log), and the serving
+// histogram observes it.
+func TestSubmitRecordsQueueWait(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(obs.Options{})
+	eng := testEngine(t, core.Config{Seed: 13, Obs: tr})
+	s := New(eng, Config{MaxInFlight: 1, MaxQueue: 4, Metrics: reg})
+
+	// Hold the only slot so the submitted query must queue.
+	if err := s.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Submit(context.Background(), "SELECT AVG(Price) FROM Orders")
+		done <- err
+	}()
+	waitFor(t, "query queued", func() bool { return s.Queued() == 1 })
+	time.Sleep(10 * time.Millisecond) // accrue a measurable wait
+	s.release()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	last, ok := tr.Last()
+	if !ok {
+		t.Fatal("no trace recorded")
+	}
+	if last.Outcome != "ok" {
+		t.Fatalf("trace outcome = %q, want ok", last.Outcome)
+	}
+	if last.QueueWaitMs < 5 {
+		t.Fatalf("trace queue wait = %vms, want >= the 10ms hold", last.QueueWaitMs)
+	}
+	if out := obs.FormatTrace(last); !strings.Contains(out, "queue_wait=") {
+		t.Fatalf("FormatTrace missing queue wait:\n%s", out)
+	}
+	h := reg.Histogram("aqp_serve_queue_wait_seconds", "", obs.LatencyBuckets)
+	if h.Count() != 1 {
+		t.Fatalf("queue-wait histogram count = %d, want 1", h.Count())
+	}
+	if h.Sum() < 0.005 {
+		t.Fatalf("queue-wait histogram sum = %vs, want >= 0.005", h.Sum())
+	}
+}
+
 // TestConcurrentSubmit floods the server well past its queue bound and
 // checks the accounting: every query is admitted, rejected, or answered;
 // admissions respect MaxInFlight; the server is quiescent at the end.

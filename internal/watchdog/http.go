@@ -1,0 +1,114 @@
+package watchdog
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// KeyStatus is one (aggregate, sample) population's rolling summary as
+// rendered by /debug/calibration.
+type KeyStatus struct {
+	Key Key `json:"key"`
+	// Observations is the lifetime count of queries folded into this key.
+	Observations int64 `json:"observations"`
+	// RejectRate is the rolling diagnostic reject rate and RejectWindow
+	// the number of trials it covers.
+	RejectRate   float64 `json:"reject_rate"`
+	RejectWindow int     `json:"reject_window"`
+	// BaselineRejectRate is the frozen first-window reject rate drift is
+	// measured against; meaningful once BaselineSet.
+	BaselineRejectRate float64 `json:"baseline_reject_rate"`
+	BaselineSet        bool    `json:"baseline_set"`
+	// Coverage is the rolling empirical coverage over audited queries,
+	// CoverageWindow the audited-trial count, and CoverageLo/Hi the
+	// binomial tolerance band currently in force.
+	Coverage       float64 `json:"coverage"`
+	CoverageWindow int     `json:"coverage_window"`
+	CoverageLo     float64 `json:"coverage_lo"`
+	CoverageHi     float64 `json:"coverage_hi"`
+	// AuditsTotal counts lifetime audited trials for the key.
+	AuditsTotal int64 `json:"audits_total"`
+	// MeanRelWidth is the rolling mean relative CI half-width.
+	MeanRelWidth float64 `json:"mean_rel_width"`
+	// Techniques counts queries by error-estimation technique.
+	Techniques map[string]int64 `json:"techniques,omitempty"`
+}
+
+// Status is the full watchdog state snapshot behind /debug/calibration.
+type Status struct {
+	Nominal       float64     `json:"nominal"`
+	Tolerance     float64     `json:"tolerance"`
+	Window        int         `json:"window"`
+	MinAudits     int         `json:"min_audits"`
+	AuditFraction float64     `json:"audit_fraction"`
+	Observations  uint64      `json:"observations"`
+	Keys          []KeyStatus `json:"keys"`
+	ActiveAlerts  []Alert     `json:"active_alerts"`
+	History       []Alert     `json:"history"`
+}
+
+// Status snapshots the watchdog's rolling state: every key's coverage,
+// reject rate and band, plus active alerts and history.
+func (w *Watchdog) Status() Status {
+	if w == nil {
+		return Status{}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := Status{
+		Nominal:       w.cfg.nominal(),
+		Tolerance:     w.cfg.tolerance(),
+		Window:        w.cfg.window(),
+		MinAudits:     w.cfg.minAudits(),
+		AuditFraction: w.cfg.AuditFraction,
+		Observations:  w.seq,
+		Keys:          make([]KeyStatus, 0, len(w.keyOrder)),
+	}
+	for _, k := range w.keyOrder {
+		ks := w.keys[k]
+		rej, rejN := ks.verdicts.rate()
+		cov, covN := ks.coverage.rate()
+		lo, hi := Band(w.cfg.nominal(), covN, w.cfg.tolerance())
+		tech := make(map[string]int64, len(ks.techniques))
+		for t, n := range ks.techniques {
+			tech[t] = n
+		}
+		st.Keys = append(st.Keys, KeyStatus{
+			Key:                k,
+			Observations:       ks.verdicts.total,
+			RejectRate:         rej,
+			RejectWindow:       rejN,
+			BaselineRejectRate: ks.baselineRejects,
+			BaselineSet:        ks.baselineSet,
+			Coverage:           cov,
+			CoverageWindow:     covN,
+			CoverageLo:         lo,
+			CoverageHi:         hi,
+			AuditsTotal:        ks.coverage.total,
+			MeanRelWidth:       ks.relWidth.mean(),
+			Techniques:         tech,
+		})
+	}
+	for _, k := range w.keyOrder {
+		for _, kind := range []AlertKind{Undercoverage, Overcoverage, RejectDrift} {
+			if a, ok := w.active[alertID{kind, k}]; ok {
+				st.ActiveAlerts = append(st.ActiveAlerts, a)
+			}
+		}
+	}
+	st.History = append(st.History, w.history...)
+	return st
+}
+
+// Handler serves the watchdog's Status as indented JSON — mount it at
+// /debug/calibration via obs.Route.
+func (w *Watchdog) Handler() http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(rw)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(w.Status()); err != nil {
+			http.Error(rw, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

@@ -1,0 +1,660 @@
+// Package watchdog is the engine's online calibration monitor: the
+// production analogue of the paper's runtime diagnostic, lifted from one
+// query to the aggregate picture. The per-query diagnostic (§4) asks "can
+// this error estimate be trusted for this query?"; the watchdog asks the
+// operator's question — "are the 95% intervals we have been reporting
+// actually covering the truth 95% of the time, and is the reject rate
+// drifting?" — and answers it with ground truth, not extrapolation.
+//
+// It keeps rolling windows of diagnostic verdicts, relative CI widths and
+// estimator outcomes keyed by (aggregate, sample), re-executes a
+// configurable fraction of served queries exactly in the background (the
+// audit ladder: truth is affordable occasionally, so spend it where it
+// pays), and compares rolling empirical coverage against the nominal
+// level under a binomial tolerance band. Coverage outside the band, or a
+// reject rate drifting from its baseline, raises a typed Alert, bumps
+// aqp_calibration_* metrics, and appears on /debug/calibration.
+//
+// The watchdog consumes no engine randomness and never touches answers:
+// it observes finished queries and re-runs them through the engine's
+// exact path, whose results are deterministic. Telemetry-on and
+// telemetry-off answers are bit-identical (asserted by core's tests).
+package watchdog
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/estimator"
+	"repro/internal/obs"
+)
+
+// Key identifies one calibration population: an aggregate output (the
+// alias, e.g. "AVG(Time)") answered on one sample (the row count as a
+// string, or "exact" for full-data answers).
+type Key struct {
+	Agg    string `json:"agg"`
+	Sample string `json:"sample"`
+}
+
+func (k Key) String() string { return k.Agg + "@" + k.Sample }
+
+// AggRecord is one aggregate's calibration-relevant outcome in a served
+// query.
+type AggRecord struct {
+	// Group is the GROUP BY key ("" for ungrouped queries); audits match
+	// on (Group, Agg).
+	Group string
+	// Agg is the output alias.
+	Agg string
+	// Interval is the reported confidence interval.
+	Interval estimator.Interval
+	// Technique names the error-estimation method used.
+	Technique string
+	// Rejected reports a diagnostic rejection for this aggregate.
+	Rejected bool
+	// Exact marks an answer computed on the full dataset (fallback);
+	// exact answers are excluded from coverage audits — their intervals
+	// cover trivially.
+	Exact bool
+}
+
+// Record is one served query as the watchdog sees it.
+type Record struct {
+	QID    uint64
+	SQL    string
+	Sample string // sample label: row count, or "exact"
+	Aggs   []AggRecord
+}
+
+// AggInstance identifies one aggregate output within a query for audit
+// matching: the exact re-execution returns one truth value per instance.
+type AggInstance struct {
+	Group string
+	Agg   string
+}
+
+// AuditFunc re-executes sql exactly and returns the ground-truth value of
+// every aggregate output. The engine binds its exact execution path here;
+// tests bind synthetic truths.
+type AuditFunc func(ctx context.Context, sql string) (map[AggInstance]float64, error)
+
+// AlertKind types the watchdog's alerts.
+type AlertKind string
+
+// Alert kinds. Undercoverage is the dangerous direction — the paper's
+// "optimistic and incorrect" intervals (Fig. 1's closed-form-on-MIN/MAX
+// failure mode); overcoverage is waste (pessimism); reject-drift means
+// the diagnostic's behaviour changed for this key.
+const (
+	Undercoverage AlertKind = "undercoverage"
+	Overcoverage  AlertKind = "overcoverage"
+	RejectDrift   AlertKind = "reject-drift"
+)
+
+// Alert is one raised calibration alert.
+type Alert struct {
+	Kind AlertKind `json:"kind"`
+	Key  Key       `json:"key"`
+	// Observed is the offending windowed statistic (empirical coverage
+	// or reject rate), Expected its reference (nominal coverage or
+	// baseline reject rate), and Lo/Hi the tolerance band that Observed
+	// left.
+	Observed float64 `json:"observed"`
+	Expected float64 `json:"expected"`
+	Lo       float64 `json:"lo"`
+	Hi       float64 `json:"hi"`
+	// Window is the number of trials the statistic was computed over.
+	Window int `json:"window"`
+	// Seq is the watchdog's observation sequence number when the alert
+	// was raised — a deterministic clock for tests and ordering.
+	Seq     uint64 `json:"seq"`
+	Message string `json:"message"`
+}
+
+// Config tunes a Watchdog. Zero values select the defaults.
+type Config struct {
+	// Window is the rolling window length per key, in trials (0 = 200).
+	Window int
+	// MinAudits is the minimum audited trials in a key's window before
+	// coverage alerting engages (0 = 20) — below it the binomial band is
+	// too wide to mean anything.
+	MinAudits int
+	// AuditFraction is the fraction of served queries re-executed
+	// exactly: every ceil(1/fraction)-th observation is audited, a
+	// deterministic cadence that consumes no randomness (0 = no audits;
+	// cap 1 = every query).
+	AuditFraction float64
+	// Nominal is the confidence level the reported intervals claim
+	// (0 = 0.95). Empirical coverage is compared against it.
+	Nominal float64
+	// Tolerance is the z-multiplier of the binomial standard error that
+	// widths the acceptance band (0 = 3, a three-sigma band).
+	Tolerance float64
+	// Metrics, when non-nil, receives the aqp_calibration_* series.
+	Metrics *obs.Registry
+	// Synchronous runs audits inline inside Observe instead of on the
+	// background worker — deterministic for tests; production keeps the
+	// default background mode so audits never add latency to the serving
+	// path.
+	Synchronous bool
+	// AuditQueue bounds the background audit queue; audits beyond it are
+	// dropped and counted (0 = 64).
+	AuditQueue int
+	// AlertHistory bounds the retained alert history (0 = 64).
+	AlertHistory int
+}
+
+func (c Config) window() int {
+	if c.Window <= 0 {
+		return 200
+	}
+	return c.Window
+}
+
+func (c Config) minAudits() int {
+	if c.MinAudits <= 0 {
+		return 20
+	}
+	return c.MinAudits
+}
+
+func (c Config) nominal() float64 {
+	if c.Nominal <= 0 {
+		return 0.95
+	}
+	return c.Nominal
+}
+
+func (c Config) tolerance() float64 {
+	if c.Tolerance <= 0 {
+		return 3
+	}
+	return c.Tolerance
+}
+
+func (c Config) auditQueue() int {
+	if c.AuditQueue <= 0 {
+		return 64
+	}
+	return c.AuditQueue
+}
+
+func (c Config) alertHistory() int {
+	if c.AlertHistory <= 0 {
+		return 64
+	}
+	return c.AlertHistory
+}
+
+// stride converts the audit fraction to a deterministic cadence.
+func (c Config) stride() uint64 {
+	f := c.AuditFraction
+	if f <= 0 {
+		return 0
+	}
+	if f >= 1 {
+		return 1
+	}
+	return uint64(math.Ceil(1 / f))
+}
+
+// Band returns the binomial tolerance band around an expected proportion
+// p for n trials: p ± z·sqrt(p(1−p)/n), clamped to [0,1]. An observed
+// proportion strictly outside the band is out of tolerance; landing
+// exactly on an edge is within tolerance, so threshold tests at window
+// edges are not flaky.
+func Band(p float64, n int, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	half := z * math.Sqrt(p*(1-p)/float64(n))
+	lo, hi = p-half, p+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// driftHalfWidth is the tolerance half-width for reject-rate drift around
+// baseline rate r over a window of n trials: the binomial band plus a
+// floor of 5/n so a zero-variance baseline (no rejects ever seen) still
+// tolerates a handful of rejects per window before alerting.
+func driftHalfWidth(r float64, n int, z float64) float64 {
+	half := z * math.Sqrt(r*(1-r)/float64(n))
+	if floor := 5 / float64(n); half < floor {
+		half = floor
+	}
+	return half
+}
+
+// boolWindow is a rolling window of boolean trials with lifetime totals.
+type boolWindow struct {
+	buf   []bool
+	next  int
+	n     int
+	trues int
+
+	total      int64
+	truesTotal int64
+}
+
+func newBoolWindow(size int) *boolWindow { return &boolWindow{buf: make([]bool, size)} }
+
+func (w *boolWindow) push(v bool) {
+	if w.n == len(w.buf) {
+		if w.buf[w.next] {
+			w.trues--
+		}
+	} else {
+		w.n++
+	}
+	w.buf[w.next] = v
+	if v {
+		w.trues++
+		w.truesTotal++
+	}
+	w.next = (w.next + 1) % len(w.buf)
+	w.total++
+}
+
+// rate returns the windowed proportion of true trials and the window
+// count.
+func (w *boolWindow) rate() (float64, int) {
+	if w.n == 0 {
+		return 0, 0
+	}
+	return float64(w.trues) / float64(w.n), w.n
+}
+
+// floatWindow is a rolling window of float trials (relative CI widths).
+type floatWindow struct {
+	buf  []float64
+	next int
+	n    int
+	sum  float64
+}
+
+func newFloatWindow(size int) *floatWindow { return &floatWindow{buf: make([]float64, size)} }
+
+func (w *floatWindow) push(v float64) {
+	if w.n == len(w.buf) {
+		w.sum -= w.buf[w.next]
+	} else {
+		w.n++
+	}
+	w.buf[w.next] = v
+	w.sum += v
+	w.next = (w.next + 1) % len(w.buf)
+}
+
+func (w *floatWindow) mean() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.sum / float64(w.n)
+}
+
+// keyState is the rolling record for one (aggregate, sample) key.
+type keyState struct {
+	verdicts *boolWindow // true = diagnostic rejected
+	coverage *boolWindow // true = audited interval covered the truth
+	relWidth *floatWindow
+	// baselineRejects is the reject rate over the key's first full
+	// window, frozen once the window fills — the reference that "drift"
+	// is measured against.
+	baselineRejects float64
+	baselineSet     bool
+	techniques      map[string]int64
+}
+
+// auditJob carries one query's reported intervals to the audit worker.
+type auditJob struct {
+	sql  string
+	seq  uint64
+	key  func(g AggRecord) Key
+	aggs []AggRecord
+}
+
+// Watchdog monitors calibration online. Construct with New; a nil
+// *Watchdog is a no-op observer, so callers thread it unconditionally.
+type Watchdog struct {
+	cfg   Config
+	audit AuditFunc
+
+	mu       sync.Mutex
+	keys     map[Key]*keyState
+	keyOrder []Key
+	seq      uint64
+	active   map[alertID]Alert
+	history  []Alert
+
+	auditCh chan auditJob
+	wg      sync.WaitGroup
+	closed  bool
+
+	mObs       *obs.Counter
+	mAudits    func(result string) *obs.Counter
+	mDropped   *obs.Counter
+	mAlerts    func(kind AlertKind, k Key) *obs.Counter
+	mActive    *obs.Gauge
+	mCoverage  func(k Key) *obs.GaugeF
+	mReject    func(k Key) *obs.GaugeF
+	mRelWidth  func(k Key) *obs.GaugeF
+	mAuditLagN *obs.Gauge // queued background audits
+}
+
+type alertID struct {
+	kind AlertKind
+	key  Key
+}
+
+// New returns a watchdog. Bind an auditor before observing if
+// AuditFraction > 0; without one, audits are skipped and counted as
+// errors.
+func New(cfg Config) *Watchdog {
+	reg := cfg.Metrics
+	w := &Watchdog{
+		cfg:    cfg,
+		keys:   map[Key]*keyState{},
+		active: map[alertID]Alert{},
+		mObs: reg.Counter("aqp_calibration_observations_total",
+			"Queries observed by the calibration watchdog."),
+		mAudits: func(result string) *obs.Counter {
+			return reg.Counter("aqp_calibration_audits_total",
+				"Audit re-executions, by result.", "result", result)
+		},
+		mDropped: reg.Counter("aqp_calibration_audit_dropped_total",
+			"Audits dropped because the background queue was full."),
+		mAlerts: func(kind AlertKind, k Key) *obs.Counter {
+			return reg.Counter("aqp_calibration_alerts_total",
+				"Calibration alerts raised, by kind and key.",
+				"kind", string(kind), "agg", k.Agg, "sample", k.Sample)
+		},
+		mActive: reg.Gauge("aqp_calibration_active_alerts",
+			"Calibration alerts currently firing."),
+		mCoverage: func(k Key) *obs.GaugeF {
+			return reg.GaugeFloat("aqp_calibration_coverage",
+				"Rolling empirical coverage of reported intervals vs audited truth.",
+				"agg", k.Agg, "sample", k.Sample)
+		},
+		mReject: func(k Key) *obs.GaugeF {
+			return reg.GaugeFloat("aqp_calibration_reject_rate",
+				"Rolling diagnostic reject rate.", "agg", k.Agg, "sample", k.Sample)
+		},
+		mRelWidth: func(k Key) *obs.GaugeF {
+			return reg.GaugeFloat("aqp_calibration_rel_width",
+				"Rolling mean relative CI half-width.", "agg", k.Agg, "sample", k.Sample)
+		},
+		mAuditLagN: reg.Gauge("aqp_calibration_audit_queue",
+			"Background audits waiting to run."),
+	}
+	reg.GaugeFloat("aqp_calibration_nominal",
+		"Nominal coverage level the watchdog holds intervals to.").Set(cfg.nominal())
+	if !cfg.Synchronous && cfg.stride() > 0 {
+		w.auditCh = make(chan auditJob, cfg.auditQueue())
+		w.wg.Add(1)
+		go w.auditWorker()
+	}
+	return w
+}
+
+// Bind sets the audit executor. Call once, before the first Observe;
+// the engine binds its exact path here at construction.
+func (w *Watchdog) Bind(fn AuditFunc) {
+	if w == nil {
+		return
+	}
+	w.audit = fn
+}
+
+// Close stops the background audit worker, draining queued audits.
+func (w *Watchdog) Close() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	w.mu.Unlock()
+	if w.auditCh != nil {
+		close(w.auditCh)
+		w.wg.Wait()
+	}
+}
+
+// Observe records one served query: verdicts, CI widths and technique
+// counts enter the rolling windows immediately; if the deterministic
+// audit cadence selects this query, it is re-executed exactly (inline
+// when Synchronous, otherwise on the background worker) and its coverage
+// outcome enters the window when the audit completes.
+func (w *Watchdog) Observe(rec Record) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.seq++
+	seq := w.seq
+	for _, a := range rec.Aggs {
+		k := Key{Agg: a.Agg, Sample: rec.Sample}
+		st := w.key(k)
+		st.verdicts.push(a.Rejected)
+		if !math.IsNaN(a.Interval.RelativeError()) && !math.IsInf(a.Interval.RelativeError(), 0) {
+			st.relWidth.push(a.Interval.RelativeError())
+		}
+		st.techniques[a.Technique]++
+		rate, _ := st.verdicts.rate()
+		w.mReject(k).Set(rate)
+		w.mRelWidth(k).Set(st.relWidth.mean())
+		w.checkRejectDriftLocked(k, st, seq)
+	}
+	stride := w.cfg.stride()
+	doAudit := stride > 0 && seq%stride == 0
+	w.mu.Unlock()
+	w.mObs.Inc()
+
+	if !doAudit {
+		return
+	}
+	job := auditJob{sql: rec.SQL, seq: seq, aggs: rec.Aggs,
+		key: func(a AggRecord) Key { return Key{Agg: a.Agg, Sample: rec.Sample} }}
+	if w.cfg.Synchronous || w.auditCh == nil {
+		w.runAudit(job)
+		return
+	}
+	select {
+	case w.auditCh <- job:
+		w.mAuditLagN.Inc()
+	default:
+		w.mDropped.Inc()
+	}
+}
+
+// key returns (creating on first use) the state for k; caller holds mu.
+func (w *Watchdog) key(k Key) *keyState {
+	st, ok := w.keys[k]
+	if !ok {
+		size := w.cfg.window()
+		st = &keyState{
+			verdicts:   newBoolWindow(size),
+			coverage:   newBoolWindow(size),
+			relWidth:   newFloatWindow(size),
+			techniques: map[string]int64{},
+		}
+		w.keys[k] = st
+		w.keyOrder = append(w.keyOrder, k)
+	}
+	return st
+}
+
+func (w *Watchdog) auditWorker() {
+	defer w.wg.Done()
+	for job := range w.auditCh {
+		w.mAuditLagN.Dec()
+		w.runAudit(job)
+	}
+}
+
+// runAudit re-executes one query exactly and folds per-aggregate coverage
+// into the rolling windows.
+func (w *Watchdog) runAudit(job auditJob) {
+	if w.audit == nil {
+		w.mAudits("error").Inc()
+		return
+	}
+	truths, err := w.audit(context.Background(), job.sql)
+	if err != nil {
+		w.mAudits("error").Inc()
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, a := range job.aggs {
+		if a.Exact || math.IsNaN(a.Interval.HalfWidth) {
+			continue // no estimated interval to hold to account
+		}
+		truth, ok := truths[AggInstance{Group: a.Group, Agg: a.Agg}]
+		if !ok {
+			continue
+		}
+		covered := a.Interval.Contains(truth)
+		k := job.key(a)
+		st := w.key(k)
+		st.coverage.push(covered)
+		if covered {
+			w.mAudits("covered").Inc()
+		} else {
+			w.mAudits("missed").Inc()
+		}
+		cov, _ := st.coverage.rate()
+		w.mCoverage(k).Set(cov)
+		w.checkCoverageLocked(k, st, job.seq)
+	}
+}
+
+// checkCoverageLocked re-evaluates the coverage alert for one key; caller
+// holds mu.
+func (w *Watchdog) checkCoverageLocked(k Key, st *keyState, seq uint64) {
+	cov, n := st.coverage.rate()
+	if n < w.cfg.minAudits() {
+		return
+	}
+	nominal := w.cfg.nominal()
+	lo, hi := Band(nominal, n, w.cfg.tolerance())
+	switch {
+	case cov < lo:
+		w.raiseLocked(Alert{
+			Kind: Undercoverage, Key: k, Observed: cov, Expected: nominal,
+			Lo: lo, Hi: hi, Window: n, Seq: seq,
+			Message: fmt.Sprintf(
+				"%s: empirical coverage %.3f below binomial tolerance [%.3f, %.3f] of nominal %.2f over %d audits — reported intervals are too narrow",
+				k, cov, lo, hi, nominal, n),
+		})
+	case cov > hi:
+		w.raiseLocked(Alert{
+			Kind: Overcoverage, Key: k, Observed: cov, Expected: nominal,
+			Lo: lo, Hi: hi, Window: n, Seq: seq,
+			Message: fmt.Sprintf(
+				"%s: empirical coverage %.3f above binomial tolerance [%.3f, %.3f] of nominal %.2f over %d audits — reported intervals are wastefully wide",
+				k, cov, lo, hi, nominal, n),
+		})
+	default:
+		w.clearLocked(Undercoverage, k)
+		w.clearLocked(Overcoverage, k)
+	}
+}
+
+// checkRejectDriftLocked re-evaluates the reject-drift alert for one key;
+// caller holds mu. The key's first full window freezes the baseline; the
+// rolling rate is then held to baseline ± driftHalfWidth.
+func (w *Watchdog) checkRejectDriftLocked(k Key, st *keyState, seq uint64) {
+	rate, n := st.verdicts.rate()
+	if !st.baselineSet {
+		if n == w.cfg.window() {
+			st.baselineRejects = rate
+			st.baselineSet = true
+		}
+		return
+	}
+	half := driftHalfWidth(st.baselineRejects, n, w.cfg.tolerance())
+	lo, hi := st.baselineRejects-half, st.baselineRejects+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	if rate < lo || rate > hi {
+		w.raiseLocked(Alert{
+			Kind: RejectDrift, Key: k, Observed: rate, Expected: st.baselineRejects,
+			Lo: lo, Hi: hi, Window: n, Seq: seq,
+			Message: fmt.Sprintf(
+				"%s: rolling reject rate %.3f drifted outside [%.3f, %.3f] around baseline %.3f over %d queries",
+				k, rate, lo, hi, st.baselineRejects, n),
+		})
+	} else {
+		w.clearLocked(RejectDrift, k)
+	}
+}
+
+// raiseLocked activates an alert (idempotent while the condition holds):
+// the first raise per (kind, key) episode appends to history and bumps
+// the counter; re-raises while active only refresh the observed value.
+func (w *Watchdog) raiseLocked(a Alert) {
+	id := alertID{a.Kind, a.Key}
+	if _, already := w.active[id]; !already {
+		w.mAlerts(a.Kind, a.Key).Inc()
+		w.history = append(w.history, a)
+		if max := w.cfg.alertHistory(); len(w.history) > max {
+			w.history = w.history[len(w.history)-max:]
+		}
+	}
+	w.active[id] = a
+	w.mActive.Set(int64(len(w.active)))
+}
+
+func (w *Watchdog) clearLocked(kind AlertKind, k Key) {
+	delete(w.active, alertID{kind, k})
+	w.mActive.Set(int64(len(w.active)))
+}
+
+// ActiveAlerts returns the alerts currently firing, ordered by key
+// registration then kind.
+func (w *Watchdog) ActiveAlerts() []Alert {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Alert, 0, len(w.active))
+	for _, k := range w.keyOrder {
+		for _, kind := range []AlertKind{Undercoverage, Overcoverage, RejectDrift} {
+			if a, ok := w.active[alertID{kind, k}]; ok {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// History returns the retained raised-alert history, oldest first.
+func (w *Watchdog) History() []Alert {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]Alert(nil), w.history...)
+}
