@@ -14,7 +14,10 @@
 // writes BENCH_obs_overhead.json), kernel (the §5.3.1 loop-order
 // ablation, which also writes machine-readable BENCH_kernel.json), and
 // concurrency (serving throughput vs client count through the admission
-// layer, which writes machine-readable BENCH_concurrency.json).
+// layer, which writes machine-readable BENCH_concurrency.json), and
+// shared-scan (inter-query batched throughput vs batch size plus the
+// zone-map block-skipping sweep, which writes machine-readable
+// BENCH_shared_scan.json).
 package main
 
 import (
@@ -59,16 +62,16 @@ func main() {
 	}
 
 	runners := map[string]func() result{
-		"1":        func() result { return experiments.Fig1(cfg) },
-		"3":        func() result { return experiments.Fig3(cfg) },
-		"4b":       func() result { return experiments.Fig4b(cfg) },
-		"4c":       func() result { return experiments.Fig4c(cfg) },
-		"7":        func() result { return experiments.Fig7(cfg) },
-		"8ab":      func() result { return experiments.Fig8ab(cfg) },
-		"8c":       func() result { return experiments.Fig8c(cfg) },
-		"8d":       func() result { return experiments.Fig8d(cfg) },
-		"8ef":      func() result { return experiments.Fig8ef(cfg) },
-		"9":        func() result { return experiments.Fig9(cfg) },
+		"1":            func() result { return experiments.Fig1(cfg) },
+		"3":            func() result { return experiments.Fig3(cfg) },
+		"4b":           func() result { return experiments.Fig4b(cfg) },
+		"4c":           func() result { return experiments.Fig4c(cfg) },
+		"7":            func() result { return experiments.Fig7(cfg) },
+		"8ab":          func() result { return experiments.Fig8ab(cfg) },
+		"8c":           func() result { return experiments.Fig8c(cfg) },
+		"8d":           func() result { return experiments.Fig8d(cfg) },
+		"8ef":          func() result { return experiments.Fig8ef(cfg) },
+		"9":            func() result { return experiments.Fig9(cfg) },
 		"ablation":     func() result { return experiments.DiagnosticAblation(cfg) },
 		"stages":       func() result { return experiments.Stages(cfg) },
 		"obs-overhead": func() result { return experiments.ObsOverhead(cfg) },
@@ -89,8 +92,18 @@ func main() {
 			}
 			return concBench(rows, sample, per, int(cfg.Seed))
 		},
+		"shared-scan": func() result {
+			rows, sample, per, skipRows := 200000, 100000, 192, 256*1024
+			if *full {
+				rows, sample, per, skipRows = 2000000, 1000000, 512, 4*1024*1024
+			}
+			if *queries > 0 {
+				per = *queries
+			}
+			return sharedBench(rows, sample, per, skipRows, int(cfg.Seed))
+		},
 	}
-	order := []string{"1", "3", "4b", "4c", "7", "8ab", "8c", "8d", "8ef", "9", "ablation", "stages", "obs-overhead", "kernel", "concurrency"}
+	order := []string{"1", "3", "4b", "4c", "7", "8ab", "8c", "8d", "8ef", "9", "ablation", "stages", "obs-overhead", "kernel", "concurrency", "shared-scan"}
 
 	var selected []string
 	switch strings.ToLower(*fig) {

@@ -336,11 +336,15 @@ func printAnswer(ans *core.Answer, err error) {
 				prefix, a.Name, a.Estimate, a.ErrorBar.HalfWidth, a.Technique, diag)
 		}
 	}
+	skipped := ""
+	if ans.Counters.BlocksSkipped > 0 {
+		skipped = fmt.Sprintf(", %d block(s) skipped", ans.Counters.BlocksSkipped)
+	}
 	if ans.SampleRows > 0 {
-		fmt.Printf("[sample %d rows, %v, %d scan(s)]\n",
-			ans.SampleRows, ans.Elapsed.Round(1000), ans.Counters.Scans)
+		fmt.Printf("[sample %d rows, %v, %d scan(s)%s]\n",
+			ans.SampleRows, ans.Elapsed.Round(1000), ans.Counters.Scans, skipped)
 	} else {
-		fmt.Printf("[full data, %v]\n", ans.Elapsed.Round(1000))
+		fmt.Printf("[full data, %v%s]\n", ans.Elapsed.Round(1000), skipped)
 	}
 }
 

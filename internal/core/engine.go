@@ -53,6 +53,12 @@ type Config struct {
 	// (default on; set the Disable flags for ablations).
 	DisableScanConsolidation bool
 	DisableOperatorPushdown  bool
+	// DisableZoneMaps skips building per-block min/max zone maps at table
+	// registration and sample-build time (default on: built once, consulted
+	// by the executor to prune blocks that provably cannot satisfy a
+	// filter). Pruning never changes answers — this flag exists for
+	// ablations and benchmarks.
+	DisableZoneMaps bool
 	// FallbackToExact re-runs rejected or out-of-bound queries on the
 	// full dataset (default on; disable for pure-approximation mode).
 	DisableFallback bool
@@ -207,6 +213,9 @@ func (e *Engine) RegisterTable(name string, t *table.Table) error {
 	if _, dup := e.tables[name]; dup {
 		return fmt.Errorf("core: table %q already registered", name)
 	}
+	if !e.cfg.DisableZoneMaps {
+		t.BuildZones()
+	}
 	e.tables[name] = &registeredTable{full: t}
 	return nil
 }
@@ -277,6 +286,9 @@ func (e *Engine) BuildSamples(name string, rowCounts ...int) error {
 				n, name, rt.full.NumRows())
 		}
 		s := sample.TableWithoutReplacement(e.src.Split(), rt.full, n)
+		if !e.cfg.DisableZoneMaps {
+			s.BuildZones()
+		}
 		samples = append(samples, &exec.StoredTable{
 			Data:    s,
 			PopRows: rt.full.NumRows(),
@@ -330,6 +342,10 @@ type Answer struct {
 	Plan *plan.Plan
 	// Counters meters the physical work.
 	Counters exec.Counters
+	// SharedScan marks an answer produced from a shared-scan batch: the
+	// physical pass was shared with other queries (and Counters carries
+	// only this query's share of it).
+	SharedScan bool
 	// Elapsed is the local wall-clock execution time.
 	Elapsed time.Duration
 	// Simulated, when the engine has a cluster model attached, is the

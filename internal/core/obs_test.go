@@ -150,6 +150,7 @@ func TestSpanCountersMatchResultCounters(t *testing.T) {
 					{"rows_scanned", c.RowsScanned},
 					{"bytes_scanned", c.BytesScanned},
 					{"rows_after_filter", c.RowsAfterFilter},
+					{"blocks_skipped", c.BlocksSkipped},
 					{"weight_draws", c.WeightDraws},
 					{"diag_subqueries", int64(c.DiagSubqueries)},
 					{"tasks", int64(c.Tasks)},

@@ -236,6 +236,22 @@ func (e *Engine) runExact(ctx context.Context, qt *obs.QueryTrace, parent *obs.S
 // when positive, bounds the resample count for this query only.
 func (e *Engine) runApproximate(ctx context.Context, qt *obs.QueryTrace, query string, def *plan.QueryDef, rt *registeredTable, st *exec.StoredTable, kCap int) (*Answer, error) {
 	start := time.Now()
+	p, opt, err := e.buildApproxPlan(qt, query, def, st, kCap)
+	if err != nil {
+		return nil, err
+	}
+	res, err := exec.Run(ctx, p, map[string]*exec.StoredTable{def.Table: st},
+		e.udfRegistry(), exec.Config{Workers: e.cfg.workers(), Seed: e.cfg.Seed, Span: qt.Root()})
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: approximate execution: %w", e.queryID(qt, query), err)
+	}
+	return e.answerFromResult(qt, query, def, opt, p, res, st, start)
+}
+
+// buildApproxPlan builds the §5 approximate plan for one query on one
+// sample, emitting the plan stage span. It is shared by the solo path
+// (runApproximate) and the shared-scan batch path (RunSharedBatch).
+func (e *Engine) buildApproxPlan(qt *obs.QueryTrace, query string, def *plan.QueryDef, st *exec.StoredTable, kCap int) (*plan.Plan, plan.Options, error) {
 	n := st.Data.NumRows()
 	opt := e.planOptions(n, !def.ClosedFormOK(), kCap)
 	planSpan := qt.StartSpan(obs.StagePlan)
@@ -247,16 +263,18 @@ func (e *Engine) runApproximate(ctx context.Context, qt *obs.QueryTrace, query s
 	planSpan.SetAttr("diagnostics", opt.Diagnostics)
 	planSpan.End()
 	if err != nil {
-		return nil, fmt.Errorf("core: %s: plan: %w", e.queryID(qt, query), err)
+		return nil, opt, fmt.Errorf("core: %s: plan: %w", e.queryID(qt, query), err)
 	}
-	res, err := exec.Run(ctx, p, map[string]*exec.StoredTable{def.Table: st},
-		e.udfRegistry(), exec.Config{Workers: e.cfg.workers(), Seed: e.cfg.Seed, Span: qt.Root()})
-	if err != nil {
-		return nil, fmt.Errorf("core: %s: approximate execution: %w", e.queryID(qt, query), err)
-	}
+	return p, opt, nil
+}
+
+// answerFromResult turns an executor result into an Answer: error bars per
+// aggregate (estimate stage span), diagnostic verdicts, and the optional
+// cluster simulation.
+func (e *Engine) answerFromResult(qt *obs.QueryTrace, query string, def *plan.QueryDef, opt plan.Options, p *plan.Plan, res *exec.Result, st *exec.StoredTable, start time.Time) (*Answer, error) {
 	ans := &Answer{
 		SQL:        query,
-		SampleRows: n,
+		SampleRows: res.SampleRows,
 		Plan:       p,
 		Counters:   res.Counters,
 	}
@@ -406,6 +424,7 @@ func (e *Engine) applyFallback(ctx context.Context, qt *obs.QueryTrace, ans *Ans
 	ans.Counters.Subqueries += exact.Counters.Subqueries
 	ans.Counters.RowsScanned += exact.Counters.RowsScanned
 	ans.Counters.BytesScanned += exact.Counters.BytesScanned
+	ans.Counters.BlocksSkipped += exact.Counters.BlocksSkipped
 	ans.Elapsed += exact.Elapsed
 	return nil
 }

@@ -73,11 +73,15 @@ func (e *Engine) BuildStratifiedSample(name, keyColumn string, capPerGroup int) 
 	// within strata interleaving.
 	src.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 
+	data := rt.full.Gather(idx)
+	if !e.cfg.DisableZoneMaps {
+		data.BuildZones()
+	}
 	rt.stratified = append(append([]*stratifiedSample(nil), rt.stratified...),
 		&stratifiedSample{
 			keyColumn: keyColumn,
 			st: &exec.StoredTable{
-				Data:    rt.full.Gather(idx),
+				Data:    data,
 				PopRows: rt.full.NumRows(),
 				Cached:  true,
 			},

@@ -42,6 +42,8 @@ func (e *Engine) finishQuery(qt *obs.QueryTrace, query string, ans *Answer, err 
 		if ans != nil {
 			ev.SampleRows = ans.SampleRows
 			ev.FellBack = ans.FellBack()
+			ev.BlocksSkipped = ans.Counters.BlocksSkipped
+			ev.SharedScan = ans.SharedScan
 			if ans.Plan != nil {
 				ev.BootstrapK = ans.Plan.Opt.BootstrapK
 			}

@@ -78,6 +78,11 @@ type Counters struct {
 	// RowsAfterFilter is the number of rows surviving the filter in one
 	// pass.
 	RowsAfterFilter int64
+	// BlocksSkipped is the number of zone-map blocks the scan proved empty
+	// and never evaluated the predicate over. Skipping is pure saving: it
+	// does not reduce RowsScanned/BytesScanned (which meter the logical
+	// pass the cost model prices) and never changes RowsAfterFilter.
+	BlocksSkipped int64
 	// WeightDraws is the number of Poisson weight draws the plan's
 	// resample placement implies (pushdown reduces this).
 	WeightDraws int64
@@ -94,6 +99,7 @@ func (c *Counters) add(o Counters) {
 	c.RowsScanned += o.RowsScanned
 	c.BytesScanned += o.BytesScanned
 	c.RowsAfterFilter += o.RowsAfterFilter
+	c.BlocksSkipped += o.BlocksSkipped
 	c.WeightDraws += o.WeightDraws
 	c.DiagSubqueries += o.DiagSubqueries
 	c.Tasks += o.Tasks
@@ -161,7 +167,6 @@ func Run(ctx context.Context, p *plan.Plan, tables map[string]*StoredTable, udfs
 	tbl := st.Data
 
 	res := &Result{SampleRows: tbl.NumRows()}
-	traced := cfg.Span != nil
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("exec: before scan: %w", err)
 	}
@@ -176,10 +181,26 @@ func Run(ctx context.Context, p *plan.Plan, tables map[string]*StoredTable, udfs
 	addCounterAttrs(scanSpan, base.counters)
 	res.Counters.add(base.counters)
 
+	if err := runDownstream(ctx, nodes, st, tbl, base, udfs, cfg, scanSpan, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runDownstream drives everything after the physical pass — group
+// partitioning, naive rescans, bootstrap, diagnostics — and finalizes the
+// result's counters. It is shared between Run (one query, one scan) and
+// RunShared (many queries fanned out of one scan): base carries whichever
+// scan produced this query's inputs, and res.Counters already holds that
+// scan's share. scanSpan receives the user-rate weight draws, which are
+// base-answer cost.
+func runDownstream(ctx context.Context, nodes nodeSet, st *StoredTable, tbl *table.Table, base *scanResult, udfs Registry, cfg Config, scanSpan *obs.Span, res *Result) error {
+	traced := cfg.Span != nil
+
 	// --- Group partitioning. ---
 	groups, err := splitGroups(nodes.agg, tbl, base)
 	if err != nil {
-		return nil, fmt.Errorf("exec: grouping on table %q: %w", nodes.scan.Table, err)
+		return fmt.Errorf("exec: grouping on table %q: %w", nodes.scan.Table, err)
 	}
 
 	k := 0
@@ -211,20 +232,21 @@ func Run(ctx context.Context, p *plan.Plan, tables map[string]*StoredTable, udfs
 		var naive Counters
 		for r := 0; r < k; r++ {
 			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("exec: naive resample scan %d of table %q: %w",
+				return fmt.Errorf("exec: naive resample scan %d of table %q: %w",
 					r, nodes.scan.Table, err)
 			}
 			rescan, err := scanFilterProject(ctx, nodes, tbl, st, cfg)
 			if err != nil {
-				return nil, fmt.Errorf("exec: naive resample scan %d of table %q: %w",
+				return fmt.Errorf("exec: naive resample scan %d of table %q: %w",
 					r, nodes.scan.Table, err)
 			}
 			naive.add(Counters{
-				Subqueries:   1,
-				Scans:        1,
-				RowsScanned:  rescan.counters.RowsScanned,
-				BytesScanned: rescan.counters.BytesScanned,
-				Tasks:        rescan.counters.Tasks,
+				Subqueries:    1,
+				Scans:         1,
+				RowsScanned:   rescan.counters.RowsScanned,
+				BytesScanned:  rescan.counters.BytesScanned,
+				BlocksSkipped: rescan.counters.BlocksSkipped,
+				Tasks:         rescan.counters.Tasks,
 			})
 		}
 		res.Counters.add(naive)
@@ -238,11 +260,11 @@ func Run(ctx context.Context, p *plan.Plan, tables map[string]*StoredTable, udfs
 		gout := GroupOutput{Key: g.key}
 		for ai, spec := range nodes.agg.Aggs {
 			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("exec: group %q aggregate %d: %w", g.key, ai, err)
+				return fmt.Errorf("exec: group %q aggregate %d: %w", g.key, ai, err)
 			}
 			q, err := queryFor(spec, st, tbl.NumRows(), len(nodes.agg.GroupBy) > 0, udfs)
 			if err != nil {
-				return nil, fmt.Errorf("exec: group %q aggregate %d: %w", g.key, ai, err)
+				return fmt.Errorf("exec: group %q aggregate %d: %w", g.key, ai, err)
 			}
 			values := g.values[ai]
 			out := AggOutput{Spec: spec, Query: q, Value: q.Eval(values), Values: values}
@@ -266,7 +288,7 @@ func Run(ctx context.Context, p *plan.Plan, tables map[string]*StoredTable, udfs
 				ests, c, err := bootstrapEstimates(ctx, nodes, values, q, k, cfg,
 					tbl.NumRows(), g.key, ai)
 				if err != nil {
-					return nil, fmt.Errorf("exec: bootstrap for group %q aggregate %d: %w",
+					return fmt.Errorf("exec: bootstrap for group %q aggregate %d: %w",
 						g.key, ai, err)
 				}
 				out.Bootstrap = ests
@@ -288,7 +310,7 @@ func Run(ctx context.Context, p *plan.Plan, tables map[string]*StoredTable, udfs
 				start := now(traced)
 				dres, c, err := runDiagnostic(ctx, nodes, values, q, k, cfg, diagSpan, g.key, ai)
 				if err != nil {
-					return nil, fmt.Errorf("exec: diagnostic for group %q aggregate %d: %w",
+					return fmt.Errorf("exec: diagnostic for group %q aggregate %d: %w",
 						g.key, ai, err)
 				}
 				out.Diag = dres
@@ -310,7 +332,7 @@ func Run(ctx context.Context, p *plan.Plan, tables map[string]*StoredTable, udfs
 	if traced {
 		recordCounters(cfg.Span.Metrics(), res.Counters)
 	}
-	return res, nil
+	return nil
 }
 
 // now avoids the clock syscall on untraced hot paths.
@@ -330,6 +352,7 @@ func addCounterAttrs(s *obs.Span, c Counters) {
 	s.AddInt("rows_scanned", c.RowsScanned)
 	s.AddInt("bytes_scanned", c.BytesScanned)
 	s.AddInt("rows_after_filter", c.RowsAfterFilter)
+	s.AddInt("blocks_skipped", c.BlocksSkipped)
 	s.AddInt("weight_draws", c.WeightDraws)
 	s.AddInt("diag_subqueries", int64(c.DiagSubqueries))
 	s.AddInt("tasks", int64(c.Tasks))
@@ -343,6 +366,7 @@ func recordCounters(reg *obs.Registry, c Counters) {
 	reg.Counter("aqp_exec_scans_total", "Physical passes over stored samples.").Add(int64(c.Scans))
 	reg.Counter("aqp_exec_rows_scanned_total", "Base-table rows read.").Add(c.RowsScanned)
 	reg.Counter("aqp_exec_bytes_scanned_total", "Base-table bytes read.").Add(c.BytesScanned)
+	reg.Counter("aqp_exec_blocks_skipped_total", "Zone-map blocks pruned from predicate evaluation.").Add(c.BlocksSkipped)
 	reg.Counter("aqp_exec_weight_draws_total", "Poisson resampling weight draws.").Add(c.WeightDraws)
 	reg.Counter("aqp_exec_diag_subqueries_total", "Diagnostic subsample query executions.").Add(int64(c.DiagSubqueries))
 	reg.Counter("aqp_exec_tasks_total", "Parallel tasks launched locally.").Add(int64(c.Tasks))
@@ -389,118 +413,283 @@ type scanResult struct {
 	counters Counters
 }
 
-// scanFilterProject performs the single physical pass: partition the table
-// across workers, filter, and evaluate every aggregate's input expression.
-// Cancellation is checked once per partition: a cancelled scan lets every
-// partition goroutine exit (those not yet started bail immediately) and
-// reports ctx's error.
+// scanFilterProject performs the single physical pass for one query. It is
+// the one-member case of scanFilterProjectMulti.
 func scanFilterProject(ctx context.Context, nodes nodeSet, tbl *table.Table, st *StoredTable, cfg Config) (*scanResult, error) {
+	outs, errs := scanFilterProjectMulti(ctx, []nodeSet{nodes}, tbl, st, cfg)
+	if errs[0] != nil {
+		return nil, errs[0]
+	}
+	return outs[0], nil
+}
+
+// predWork is one distinct filter predicate appearing in a member batch,
+// with its precomputed zone-map skip list.
+type predWork struct {
+	pred    sql.Expr
+	skip    []bool
+	skipped int64
+}
+
+// colWork describes how one distinct projected column is computed: which
+// predicate selects its rows, which expression produces its values (nil =
+// indicator), and whether it is the full-length masked form scaled sums
+// need.
+type colWork struct {
+	predKey string
+	input   sql.Expr
+	masked  bool
+}
+
+// colKeyFor derives the dedup key for one aggregate's input column. Keys
+// combine the evaluation mode, the predicate and the expression text, so
+// two aggregates — in the same query or different batched queries — share
+// one evaluation exactly when they would compute identical vectors.
+func colKeyFor(spec plan.AggSpec, predKey string, masked bool) (string, colWork) {
+	isSum := spec.Kind == estimator.Sum || spec.Kind == estimator.Count
+	switch {
+	case isSum && masked:
+		// Scaled sums evaluate over ALL sample rows, with zeros where the
+		// filter fails, so that the self-normalizing |D|·Σwx/Σw estimator
+		// sees the filter as part of the statistic. (Grouped queries fall
+		// back to conditional per-group columns; each group is treated as
+		// a separate query, per §2.1.)
+		key := "m|" + predKey + "|"
+		if spec.Input != nil {
+			key += spec.Input.String()
+		}
+		return key, colWork{predKey: predKey, input: spec.Input, masked: true}
+	case spec.Input == nil:
+		// COUNT(*) under GROUP BY: indicator 1 per surviving row.
+		return "1|" + predKey, colWork{predKey: predKey}
+	default:
+		return "o|" + predKey + "|" + spec.Input.String(), colWork{predKey: predKey, input: spec.Input}
+	}
+}
+
+// scanFilterProjectMulti performs ONE physical pass over tbl on behalf of
+// every member query: each partition is visited once, every distinct
+// filter predicate is evaluated once per partition (with zone-map block
+// skipping), and every distinct (predicate, expression, mode) projection
+// column is materialized once and aliased into each member's scanResult.
+// This is §5.3.1's scan consolidation applied across queries instead of
+// across one query's bootstrap subqueries.
+//
+// Errors are per-member: a bad predicate or projection in one member
+// yields errs[m] without failing the rest of the batch. Cancellation is
+// global and fails every member. Physical-scan counters (Scans,
+// RowsScanned, BytesScanned, Tasks) are charged to the first successful
+// member; every member is charged its own Subqueries/RowsAfterFilter, and
+// each distinct predicate's BlocksSkipped goes to the first successful
+// member using it — so summing members' counters meters the physical work
+// exactly once regardless of batch size or worker count.
+func scanFilterProjectMulti(ctx context.Context, members []nodeSet, tbl *table.Table, st *StoredTable, cfg Config) ([]*scanResult, []error) {
+	errs := make([]error, len(members))
+	results := make([]*scanResult, len(members))
+
+	// --- Plan the shared work: distinct predicates and projections. ---
+	preds := map[string]*predWork{}
+	colWorks := map[string]colWork{}
+	memberPred := make([]string, len(members))
+	memberCols := make([][]string, len(members))
+	for m, nodes := range members {
+		pk := ""
+		if nodes.filter != nil {
+			pk = nodes.filter.Pred.String()
+			if _, ok := preds[pk]; !ok {
+				skip, skipped := blockSkip(tbl, nodes.filter.Pred)
+				preds[pk] = &predWork{pred: nodes.filter.Pred, skip: skip, skipped: skipped}
+			}
+		} else if _, ok := preds[pk]; !ok {
+			preds[pk] = &predWork{}
+		}
+		memberPred[m] = pk
+		keys := make([]string, len(nodes.agg.Aggs))
+		masked := len(nodes.agg.GroupBy) == 0
+		for ai, spec := range nodes.agg.Aggs {
+			key, w := colKeyFor(spec, pk, masked)
+			if _, ok := colWorks[key]; !ok {
+				colWorks[key] = w
+			}
+			keys[ai] = key
+		}
+		memberCols[m] = keys
+	}
+
+	// --- One parallel pass over the partitions. ---
 	done := ctx.Done()
-	w := cfg.workers()
-	parts := tbl.Partition(w)
+	parts := tbl.Partition(cfg.workers())
+	offsets := make([]int, len(parts))
+	off := 0
+	for i, p := range parts {
+		offsets[i] = off
+		off += p.NumRows()
+	}
 	type partOut struct {
-		sel  []int // absolute row indices
-		cols [][]float64
-		err  error
+		sels   map[string][]int     // predKey -> absolute surviving indices
+		cols   map[string][]float64 // colKey -> values
+		errs   map[string]error     // predKey / colKey -> evaluation error
+		ctxErr error
 	}
 	outs := make([]partOut, len(parts))
 	var wg sync.WaitGroup
-	offset := 0
-	offsets := make([]int, len(parts))
-	for i, p := range parts {
-		offsets[i] = offset
-		offset += p.NumRows()
-	}
 	for i, part := range parts {
 		wg.Add(1)
 		go func(i int, part *table.Table) {
 			defer wg.Done()
+			o := &outs[i]
+			o.sels = map[string][]int{}
+			o.cols = map[string][]float64{}
+			o.errs = map[string]error{}
 			if done != nil {
 				select {
 				case <-done:
-					outs[i].err = ctx.Err()
+					o.ctxErr = ctx.Err()
 					return
 				default:
 				}
 			}
-			var sel []int
-			if nodes.filter != nil {
-				local, err := EvalPredicate(nodes.filter.Pred, part)
-				if err != nil {
-					outs[i].err = err
-					return
-				}
-				sel = local
-			}
-			n := part.NumRows()
-			if sel != nil {
-				n = len(sel)
-			}
-			masked := len(nodes.agg.GroupBy) == 0
-			cols := make([][]float64, len(nodes.agg.Aggs))
-			for ai, spec := range nodes.agg.Aggs {
-				isSum := spec.Kind == estimator.Sum || spec.Kind == estimator.Count
-				if isSum && masked {
-					// Scaled sums evaluate over ALL sample rows, with
-					// zeros where the filter fails, so that the
-					// self-normalizing |D|·Σwx/Σw estimator sees the
-					// filter as part of the statistic. (Grouped queries
-					// fall back to conditional per-group columns; each
-					// group is treated as a separate query, per §2.1.)
-					full, err := maskedColumn(spec.Input, part, sel)
-					if err != nil {
-						outs[i].err = err
-						return
+			n0 := part.NumRows()
+			// Distinct predicates first: every projection selects by one.
+			localSel := map[string][]int{} // partition-relative; nil = all rows
+			for pk, pw := range preds {
+				if pw.pred == nil {
+					localSel[pk] = nil
+					abs := make([]int, n0)
+					for j := range abs {
+						abs[j] = offsets[i] + j
 					}
-					cols[ai] = full
+					o.sels[pk] = abs
 					continue
 				}
-				if spec.Input == nil {
-					// COUNT(*) under GROUP BY: indicator 1 per surviving
-					// row.
-					ones := make([]float64, n)
-					for j := range ones {
-						ones[j] = 1
-					}
-					cols[ai] = ones
+				sel, err := evalPredicateSkipping(pw.pred, part, offsets[i], pw.skip)
+				if err != nil {
+					o.errs[pk] = err
 					continue
 				}
-				vals, err := EvalNumeric(spec.Input, part, sel)
-				if err != nil {
-					outs[i].err = err
-					return
+				localSel[pk] = sel
+				abs := make([]int, len(sel))
+				for j, r := range sel {
+					abs[j] = offsets[i] + r
 				}
-				cols[ai] = vals
+				o.sels[pk] = abs
 			}
-			// Convert to absolute indices.
-			abs := make([]int, n)
-			for j := 0; j < n; j++ {
-				abs[j] = offsets[i] + rowIdx(sel, j)
+			// Then every distinct projection column, each evaluated once.
+			for key, cw := range colWorks {
+				if _, bad := o.errs[cw.predKey]; bad {
+					continue
+				}
+				sel := localSel[cw.predKey]
+				n := n0
+				if sel != nil {
+					n = len(sel)
+				}
+				var vals []float64
+				var err error
+				switch {
+				case cw.masked:
+					vals, err = maskedColumn(cw.input, part, sel)
+				case cw.input == nil:
+					vals = make([]float64, n)
+					for j := range vals {
+						vals[j] = 1
+					}
+				default:
+					vals, err = EvalNumeric(cw.input, part, sel)
+				}
+				if err != nil {
+					o.errs[key] = err
+					continue
+				}
+				o.cols[key] = vals
 			}
-			outs[i] = partOut{sel: abs, cols: cols}
 		}(i, part)
 	}
 	wg.Wait()
 
-	res := &scanResult{cols: make([][]float64, len(nodes.agg.Aggs))}
+	// --- Merge partition outputs per distinct key. ---
+	var ctxErr error
+	keyErrs := map[string]error{}
 	for _, o := range outs {
-		if o.err != nil {
-			return nil, o.err
+		if o.ctxErr != nil {
+			ctxErr = o.ctxErr
 		}
-		res.sel = append(res.sel, o.sel...)
-		for ai := range res.cols {
-			res.cols[ai] = append(res.cols[ai], o.cols[ai]...)
+		for k, e := range o.errs {
+			if keyErrs[k] == nil {
+				keyErrs[k] = e
+			}
 		}
 	}
-	res.counters = Counters{
-		Subqueries:      1,
-		Scans:           1,
-		RowsScanned:     int64(tbl.NumRows()),
-		BytesScanned:    tbl.SizeBytes(),
-		RowsAfterFilter: int64(len(res.sel)),
-		Tasks:           len(parts),
+	if ctxErr != nil {
+		for m := range errs {
+			errs[m] = ctxErr
+		}
+		return results, errs
 	}
-	return res, nil
+	selByPred := map[string][]int{}
+	for pk := range preds {
+		if keyErrs[pk] != nil {
+			continue
+		}
+		var sel []int
+		for _, o := range outs {
+			sel = append(sel, o.sels[pk]...)
+		}
+		selByPred[pk] = sel
+	}
+	colByKey := map[string][]float64{}
+	for key, cw := range colWorks {
+		if keyErrs[key] != nil || keyErrs[cw.predKey] != nil {
+			continue
+		}
+		var vals []float64
+		for _, o := range outs {
+			vals = append(vals, o.cols[key]...)
+		}
+		colByKey[key] = vals
+	}
+
+	// --- Fan out: alias the shared columns into per-member results. ---
+	physCharged := false
+	skipCharged := map[string]bool{}
+	for m := range members {
+		pk := memberPred[m]
+		if err := keyErrs[pk]; err != nil {
+			errs[m] = err
+			continue
+		}
+		cols := make([][]float64, len(memberCols[m]))
+		var memberErr error
+		for ai, key := range memberCols[m] {
+			if err := keyErrs[key]; err != nil {
+				memberErr = err
+				break
+			}
+			cols[ai] = colByKey[key]
+		}
+		if memberErr != nil {
+			errs[m] = memberErr
+			continue
+		}
+		r := &scanResult{sel: selByPred[pk], cols: cols}
+		r.counters = Counters{
+			Subqueries:      1,
+			RowsAfterFilter: int64(len(r.sel)),
+		}
+		if !physCharged {
+			physCharged = true
+			r.counters.Scans = 1
+			r.counters.RowsScanned = int64(tbl.NumRows())
+			r.counters.BytesScanned = tbl.SizeBytes()
+			r.counters.Tasks = len(parts)
+		}
+		if !skipCharged[pk] {
+			skipCharged[pk] = true
+			r.counters.BlocksSkipped = preds[pk].skipped
+		}
+		results[m] = r
+	}
+	return results, errs
 }
 
 // maskedColumn evaluates the aggregation input over ALL rows of the part,

@@ -11,10 +11,78 @@ package exec
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/sql"
 	"repro/internal/table"
 )
+
+// Scratch pooling: predicate evaluation allocates a handful of transient
+// vectors (gathered columns, arithmetic intermediates, boolean masks) per
+// partition per query, which at serving rates dominates the allocator. A
+// scratch tracks every pooled slice handed out during one evaluation so
+// the caller can return them all at once. Only EvalPredicate uses a
+// scratch: its intermediates are provably dead once the selection vector
+// (freshly allocated, never pooled) is built. EvalNumeric passes nil —
+// its result vectors are retained by aggregation — and a nil scratch
+// degrades every get to a plain make.
+//
+// The pools hold *[]T rather than []T so Put doesn't allocate (staticcheck
+// SA6002).
+var (
+	f64Pool = sync.Pool{New: func() any {
+		s := make([]float64, 0, table.ZoneBlockRows)
+		return &s
+	}}
+	boolPool = sync.Pool{New: func() any {
+		s := make([]bool, 0, table.ZoneBlockRows)
+		return &s
+	}}
+)
+
+type scratch struct {
+	f64s  []*[]float64
+	bools []*[]bool
+}
+
+func (sc *scratch) getF64(n int) []float64 {
+	if sc == nil {
+		return make([]float64, n)
+	}
+	p := f64Pool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	sc.f64s = append(sc.f64s, p)
+	return (*p)[:n]
+}
+
+func (sc *scratch) getBool(n int) []bool {
+	if sc == nil {
+		return make([]bool, n)
+	}
+	p := boolPool.Get().(*[]bool)
+	if cap(*p) < n {
+		*p = make([]bool, n)
+	}
+	sc.bools = append(sc.bools, p)
+	return (*p)[:n]
+}
+
+// release returns every slice handed out by this scratch to the pools. The
+// caller must not retain any value produced during the evaluation.
+func (sc *scratch) release() {
+	if sc == nil {
+		return
+	}
+	for _, p := range sc.f64s {
+		f64Pool.Put(p)
+	}
+	for _, p := range sc.bools {
+		boolPool.Put(p)
+	}
+	sc.f64s, sc.bools = sc.f64s[:0], sc.bools[:0]
+}
 
 // value is the result of evaluating an expression over a batch of rows:
 // exactly one of the vectors is non-nil, or the value is a scalar constant
@@ -44,8 +112,9 @@ func (v value) strAt(i int) string {
 }
 
 // evalExpr evaluates e over the n rows of tbl, using sel as a selection
-// vector when non-nil (row i of the batch is tbl row sel[i]).
-func evalExpr(e sql.Expr, tbl *table.Table, sel []int, n int) (value, error) {
+// vector when non-nil (row i of the batch is tbl row sel[i]). sc, when
+// non-nil, supplies pooled scratch for the transient vectors.
+func evalExpr(e sql.Expr, tbl *table.Table, sel []int, n int, sc *scratch) (value, error) {
 	switch ex := e.(type) {
 	case *sql.Literal:
 		if ex.IsStr {
@@ -60,13 +129,9 @@ func evalExpr(e sql.Expr, tbl *table.Table, sel []int, n int) (value, error) {
 		}
 		switch c := col.(type) {
 		case table.Float64Col:
-			return value{nums: gatherF64(c, sel, n)}, nil
+			return value{nums: gatherF64(c, sel, n, sc)}, nil
 		case table.Int64Col:
-			out := make([]float64, n)
-			for i := 0; i < n; i++ {
-				out[i] = float64(c[rowIdx(sel, i)])
-			}
-			return value{nums: out}, nil
+			return value{nums: gatherI64(c, sel, n, sc)}, nil
 		case table.StringCol:
 			out := make([]string, n)
 			for i := 0; i < n; i++ {
@@ -78,7 +143,7 @@ func evalExpr(e sql.Expr, tbl *table.Table, sel []int, n int) (value, error) {
 		}
 
 	case *sql.Unary:
-		inner, err := evalExpr(ex.E, tbl, sel, n)
+		inner, err := evalExpr(ex.E, tbl, sel, n, sc)
 		if err != nil {
 			return value{}, err
 		}
@@ -90,7 +155,7 @@ func evalExpr(e sql.Expr, tbl *table.Table, sel []int, n int) (value, error) {
 			if inner.scalar {
 				return value{scalar: true, numS: -inner.numS}, nil
 			}
-			out := make([]float64, n)
+			out := sc.getF64(n)
 			for i := range out {
 				out[i] = -inner.nums[i]
 			}
@@ -99,7 +164,7 @@ func evalExpr(e sql.Expr, tbl *table.Table, sel []int, n int) (value, error) {
 			if inner.bools == nil {
 				return value{}, fmt.Errorf("exec: NOT applied to non-boolean")
 			}
-			out := make([]bool, n)
+			out := sc.getBool(n)
 			for i := range out {
 				out[i] = !inner.bools[i]
 			}
@@ -109,7 +174,7 @@ func evalExpr(e sql.Expr, tbl *table.Table, sel []int, n int) (value, error) {
 		}
 
 	case *sql.Binary:
-		return evalBinary(ex, tbl, sel, n)
+		return evalBinary(ex, tbl, sel, n, sc)
 
 	case *sql.FuncCall:
 		return value{}, fmt.Errorf("exec: nested aggregate %s in row expression", ex.Name)
@@ -129,23 +194,42 @@ func rowIdx(sel []int, i int) int {
 	return sel[i]
 }
 
-func gatherF64(c table.Float64Col, sel []int, n int) []float64 {
+// gatherF64 materializes a float64 column over the selection. With sel ==
+// nil it returns the column's own storage — callers must treat the result
+// as read-only, and it is never tracked by the scratch.
+func gatherF64(c table.Float64Col, sel []int, n int, sc *scratch) []float64 {
 	if sel == nil {
 		return c[:n]
 	}
-	out := make([]float64, n)
+	out := sc.getF64(n)
 	for i, j := range sel {
 		out[i] = c[j]
 	}
 	return out
 }
 
-func evalBinary(ex *sql.Binary, tbl *table.Table, sel []int, n int) (value, error) {
-	l, err := evalExpr(ex.L, tbl, sel, n)
+// gatherI64 widens an int64 column to float64 over the selection, with a
+// branch-free sel == nil fast path mirroring gatherF64.
+func gatherI64(c table.Int64Col, sel []int, n int, sc *scratch) []float64 {
+	out := sc.getF64(n)
+	if sel == nil {
+		for i, v := range c[:n] {
+			out[i] = float64(v)
+		}
+		return out
+	}
+	for i, j := range sel {
+		out[i] = float64(c[j])
+	}
+	return out
+}
+
+func evalBinary(ex *sql.Binary, tbl *table.Table, sel []int, n int, sc *scratch) (value, error) {
+	l, err := evalExpr(ex.L, tbl, sel, n, sc)
 	if err != nil {
 		return value{}, err
 	}
-	r, err := evalExpr(ex.R, tbl, sel, n)
+	r, err := evalExpr(ex.R, tbl, sel, n, sc)
 	if err != nil {
 		return value{}, err
 	}
@@ -154,7 +238,7 @@ func evalBinary(ex *sql.Binary, tbl *table.Table, sel []int, n int) (value, erro
 		if l.bools == nil || r.bools == nil {
 			return value{}, fmt.Errorf("exec: %s applied to non-boolean operands", ex.Op)
 		}
-		out := make([]bool, n)
+		out := sc.getBool(n)
 		if ex.Op == "AND" {
 			for i := range out {
 				out[i] = l.bools[i] && r.bools[i]
@@ -173,14 +257,14 @@ func evalBinary(ex *sql.Binary, tbl *table.Table, sel []int, n int) (value, erro
 		if l.scalar && r.scalar {
 			return value{scalar: true, numS: applyArith(ex.Op, l.numS, r.numS)}, nil
 		}
-		out := make([]float64, n)
+		out := sc.getF64(n)
 		for i := range out {
 			out[i] = applyArith(ex.Op, l.numAt(i), r.numAt(i))
 		}
 		return value{nums: out}, nil
 
 	case "=", "!=", "<", "<=", ">", ">=":
-		out := make([]bool, n)
+		out := sc.getBool(n)
 		switch {
 		case l.isStr && r.isStr:
 			for i := range out {
@@ -250,12 +334,13 @@ func applyStrCmp(op string, a, b string) bool {
 
 // EvalNumeric evaluates a numeric row expression over the selected rows of
 // tbl, returning one float64 per selected row. sel == nil means all rows.
+// Results are retained by aggregation, so no scratch pooling is used here.
 func EvalNumeric(e sql.Expr, tbl *table.Table, sel []int) ([]float64, error) {
 	n := tbl.NumRows()
 	if sel != nil {
 		n = len(sel)
 	}
-	v, err := evalExpr(e, tbl, sel, n)
+	v, err := evalExpr(e, tbl, sel, n, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -273,10 +358,13 @@ func EvalNumeric(e sql.Expr, tbl *table.Table, sel []int) ([]float64, error) {
 }
 
 // EvalPredicate evaluates a boolean predicate over all rows of tbl and
-// returns the selection vector of matching row indices.
+// returns the selection vector of matching row indices. Every intermediate
+// vector is pooled: only the freshly built selection escapes.
 func EvalPredicate(e sql.Expr, tbl *table.Table) ([]int, error) {
 	n := tbl.NumRows()
-	v, err := evalExpr(e, tbl, nil, n)
+	sc := &scratch{}
+	defer sc.release()
+	v, err := evalExpr(e, tbl, nil, n, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -288,6 +376,52 @@ func EvalPredicate(e sql.Expr, tbl *table.Table) ([]int, error) {
 		if keep {
 			sel = append(sel, i)
 		}
+	}
+	return sel, nil
+}
+
+// evalPredicateSkipping is EvalPredicate with zone-map pruning: blocks
+// marked in skip (indexed by absolute block number, i.e. (absOffset+row) /
+// table.ZoneBlockRows) are omitted from evaluation entirely — their rows
+// provably cannot match. absOffset is the partition's starting row in the
+// base table. Returned indices are partition-relative, matching
+// EvalPredicate. A nil skip degrades to the single-pass path.
+func evalPredicateSkipping(e sql.Expr, tbl *table.Table, absOffset int, skip []bool) ([]int, error) {
+	if skip == nil {
+		return EvalPredicate(e, tbl)
+	}
+	n := tbl.NumRows()
+	sel := make([]int, 0, n/2)
+	sc := &scratch{}
+	defer sc.release()
+	// Walk the partition in runs aligned to the base table's zone blocks.
+	// The first run may be short when the partition starts mid-block.
+	for row := 0; row < n; {
+		abs := absOffset + row
+		block := abs / table.ZoneBlockRows
+		end := (block+1)*table.ZoneBlockRows - absOffset
+		if end > n {
+			end = n
+		}
+		if block < len(skip) && skip[block] {
+			row = end
+			continue
+		}
+		view := tbl.Slice(row, end)
+		v, err := evalExpr(e, view, nil, end-row, sc)
+		if err != nil {
+			return nil, err
+		}
+		if v.bools == nil {
+			return nil, fmt.Errorf("exec: WHERE expression %s is not boolean", e)
+		}
+		for i, keep := range v.bools {
+			if keep {
+				sel = append(sel, row+i)
+			}
+		}
+		sc.release()
+		row = end
 	}
 	return sel, nil
 }

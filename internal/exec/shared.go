@@ -1,0 +1,152 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/plan"
+)
+
+// SharedItem is one query's slot in a shared-scan batch: its plan, its own
+// cancellation context (nil means the batch context) and its own Config —
+// per-query spans land on the query's own trace, and the query's seed
+// drives its bootstrap streams exactly as in solo execution.
+type SharedItem struct {
+	Ctx  context.Context
+	Plan *plan.Plan
+	Cfg  Config
+}
+
+// RunShared executes a batch of plans against the SAME stored table with
+// ONE physical pass (§5.3.1's scan consolidation lifted across queries):
+// every distinct filter predicate and projection expression in the batch is
+// evaluated once per partition, and each query's bootstrap/diagnostic
+// pipeline then runs over its share of the pass, in parallel, under its own
+// context. Results and confidence intervals are bit-identical to running
+// each plan through Run serially: scans contribute no randomness, and all
+// resampling randomness derives from per-(seed, stream) RNGs that do not
+// depend on how the scan was performed.
+//
+// Plans that are byte-identical (same Explain rendering and seed) are
+// executed once; followers receive the leader's groups with zeroed
+// counters, so summing Counters across the batch still meters the physical
+// work exactly once.
+//
+// Errors are per-item: one query's bad predicate or cancelled context does
+// not fail its batchmates. Cancelling ctx (the batch context, used for the
+// shared scan) fails every item still in flight.
+func RunShared(ctx context.Context, items []SharedItem, tables map[string]*StoredTable, udfs Registry) ([]*Result, []error) {
+	results := make([]*Result, len(items))
+	errs := make([]error, len(items))
+	if len(items) == 0 {
+		return results, errs
+	}
+
+	// Resolve plans and dedup identical ones. Every item must target the
+	// same stored table — the batch former groups by (table, sample), so a
+	// mismatch here is a caller bug surfaced per-item, not a panic.
+	type distinct struct {
+		item  int   // leader item index
+		dupes []int // follower items with identical plans
+		nodes nodeSet
+	}
+	var st *StoredTable
+	var distincts []*distinct
+	bySig := map[string]*distinct{}
+	for i, it := range items {
+		nodes := collect(it.Plan.Root)
+		if nodes.scan == nil || nodes.agg == nil {
+			errs[i] = fmt.Errorf("exec: plan lacks scan or aggregate")
+			continue
+		}
+		ist, ok := tables[nodes.scan.Table]
+		if !ok {
+			errs[i] = fmt.Errorf("exec: unknown table %q", nodes.scan.Table)
+			continue
+		}
+		if st == nil {
+			st = ist
+		} else if ist != st {
+			errs[i] = fmt.Errorf("exec: shared batch mixes stored tables (%q is not the batch's table)",
+				nodes.scan.Table)
+			continue
+		}
+		sig := fmt.Sprintf("%d|%s", it.Cfg.Seed, it.Plan.Explain())
+		if d, ok := bySig[sig]; ok {
+			d.dupes = append(d.dupes, i)
+			continue
+		}
+		d := &distinct{item: i, nodes: nodes}
+		bySig[sig] = d
+		distincts = append(distincts, d)
+	}
+	if st == nil {
+		return results, errs
+	}
+	tbl := st.Data
+
+	// One physical pass for all distinct plans. Each member gets its own
+	// scan span (on its own trace) bracketing the shared pass, carrying
+	// that member's counter share.
+	members := make([]nodeSet, len(distincts))
+	scanSpans := make([]*obs.Span, len(distincts))
+	for di, d := range distincts {
+		members[di] = d.nodes
+		scanSpans[di] = items[d.item].Cfg.Span.StartSpan(obs.StageScan)
+	}
+	scanCfg := items[distincts[0].item].Cfg
+	scanCfg.Span = nil
+	bases, scanErrs := scanFilterProjectMulti(ctx, members, tbl, st, scanCfg)
+	for di := range distincts {
+		scanSpans[di].End()
+	}
+
+	// Fan back out: every distinct plan's downstream pipeline (grouping,
+	// bootstrap, diagnostic) runs concurrently under its own context.
+	var wg sync.WaitGroup
+	for di, d := range distincts {
+		if scanErrs[di] != nil {
+			errs[d.item] = fmt.Errorf("exec: scan of table %q: %w",
+				d.nodes.scan.Table, scanErrs[di])
+			continue
+		}
+		wg.Add(1)
+		go func(di int, d *distinct) {
+			defer wg.Done()
+			it := items[d.item]
+			base := bases[di]
+			addCounterAttrs(scanSpans[di], base.counters)
+			res := &Result{SampleRows: tbl.NumRows()}
+			res.Counters.add(base.counters)
+			ictx := it.Ctx
+			if ictx == nil {
+				ictx = ctx
+			}
+			if err := runDownstream(ictx, d.nodes, st, tbl, base, udfs, it.Cfg,
+				scanSpans[di], res); err != nil {
+				errs[d.item] = err
+				return
+			}
+			results[d.item] = res
+		}(di, d)
+	}
+	wg.Wait()
+
+	// Followers of deduped plans share the leader's groups. Their counters
+	// are zeroed: the physical work happened exactly once, on the leader,
+	// and follower traces carry no exec-stage spans to account for.
+	for _, d := range distincts {
+		for _, f := range d.dupes {
+			if errs[d.item] != nil {
+				errs[f] = errs[d.item]
+				continue
+			}
+			r := *results[d.item]
+			r.Counters = Counters{}
+			results[f] = &r
+		}
+	}
+	return results, errs
+}

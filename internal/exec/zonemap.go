@@ -1,0 +1,207 @@
+package exec
+
+import (
+	"math"
+
+	"repro/internal/sql"
+	"repro/internal/table"
+)
+
+// Zone-map pruning: a conservative predicate-range analyzer derives, per
+// column, an interval outside which no row can satisfy the filter; blocks
+// whose zone-map envelope is disjoint from that interval are skipped
+// without evaluating the predicate on their rows. "Conservative" means the
+// derived interval always contains the true feasible set — unsupported
+// constructs (NOT, arithmetic over columns, column-column comparisons,
+// string predicates, !=) widen to (-∞, +∞) rather than guess — so pruning
+// can only skip blocks with zero matching rows and never changes the
+// selection vector (pinned by TestZoneSkipPreservesSelection).
+
+// colRange is the feasible interval for one column: lo < x < hi with the
+// strictness flags controlling whether the endpoints themselves survive.
+type colRange struct {
+	lo, hi             float64
+	loStrict, hiStrict bool
+}
+
+func fullRange() colRange {
+	return colRange{lo: math.Inf(-1), hi: math.Inf(1)}
+}
+
+// intersect narrows r by o (AND of two constraints).
+func (r colRange) intersect(o colRange) colRange {
+	out := r
+	if o.lo > out.lo || (o.lo == out.lo && o.loStrict) {
+		out.lo, out.loStrict = o.lo, o.loStrict || (o.lo == out.lo && out.loStrict)
+	}
+	if o.hi < out.hi || (o.hi == out.hi && o.hiStrict) {
+		out.hi, out.hiStrict = o.hi, o.hiStrict || (o.hi == out.hi && out.hiStrict)
+	}
+	return out
+}
+
+// hull widens r to cover both r and o (OR of two constraints).
+func (r colRange) hull(o colRange) colRange {
+	out := r
+	if o.lo < out.lo {
+		out.lo, out.loStrict = o.lo, o.loStrict
+	} else if o.lo == out.lo {
+		out.loStrict = out.loStrict && o.loStrict
+	}
+	if o.hi > out.hi {
+		out.hi, out.hiStrict = o.hi, o.hiStrict
+	} else if o.hi == out.hi {
+		out.hiStrict = out.hiStrict && o.hiStrict
+	}
+	return out
+}
+
+// excludes reports whether a block with envelope [mn, mx] provably contains
+// no value in the range. NaN envelopes (corrupt data) compare false on
+// every branch and are never skipped.
+func (r colRange) excludes(mn, mx float64) bool {
+	if mx < r.lo || (r.loStrict && mx <= r.lo) {
+		return true
+	}
+	if mn > r.hi || (r.hiStrict && mn >= r.hi) {
+		return true
+	}
+	return false
+}
+
+// predRanges derives per-column feasible intervals from a predicate. A nil
+// map means "no usable constraint". The analysis handles conjunctions and
+// disjunctions of comparisons between one bare column reference and one
+// numeric literal; anything else contributes no constraint.
+func predRanges(e sql.Expr) map[string]colRange {
+	switch ex := e.(type) {
+	case *sql.Binary:
+		switch ex.Op {
+		case "AND":
+			l, r := predRanges(ex.L), predRanges(ex.R)
+			if l == nil {
+				return r
+			}
+			for col, rr := range r {
+				if lr, ok := l[col]; ok {
+					l[col] = lr.intersect(rr)
+				} else {
+					l[col] = rr
+				}
+			}
+			return l
+		case "OR":
+			// A disjunction constrains a column only when BOTH branches do:
+			// the unconstrained branch could match anything.
+			l, r := predRanges(ex.L), predRanges(ex.R)
+			if l == nil || r == nil {
+				return nil
+			}
+			out := map[string]colRange{}
+			for col, lr := range l {
+				if rr, ok := r[col]; ok {
+					out[col] = lr.hull(rr)
+				}
+			}
+			if len(out) == 0 {
+				return nil
+			}
+			return out
+		case "=", "<", "<=", ">", ">=":
+			col, lit, flipped := splitCmp(ex)
+			if col == "" {
+				return nil
+			}
+			op := ex.Op
+			if flipped {
+				op = flipCmp(op)
+			}
+			r := fullRange()
+			switch op {
+			case "=":
+				r.lo, r.hi = lit, lit
+			case "<":
+				r.hi, r.hiStrict = lit, true
+			case "<=":
+				r.hi = lit
+			case ">":
+				r.lo, r.loStrict = lit, true
+			case ">=":
+				r.lo = lit
+			}
+			return map[string]colRange{col: r}
+		}
+	}
+	return nil
+}
+
+// splitCmp extracts (column, literal) from a comparison where one side is a
+// bare column reference and the other a numeric literal, reporting whether
+// the column was on the right (so the operator must flip).
+func splitCmp(ex *sql.Binary) (col string, lit float64, flipped bool) {
+	if c, ok := ex.L.(*sql.ColumnRef); ok {
+		if l, ok := ex.R.(*sql.Literal); ok && !l.IsStr {
+			return c.Name, l.Num, false
+		}
+	}
+	if c, ok := ex.R.(*sql.ColumnRef); ok {
+		if l, ok := ex.L.(*sql.Literal); ok && !l.IsStr {
+			return c.Name, l.Num, true
+		}
+	}
+	return "", 0, false
+}
+
+func flipCmp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op // "=" is symmetric
+}
+
+// blockSkip combines the predicate's ranges with the table's zone maps into
+// a per-block skip list. It returns (nil, 0) when the table has no zone
+// maps, the predicate yields no usable ranges, or nothing is skippable —
+// callers then fall back to the plain single-pass filter.
+func blockSkip(tbl *table.Table, pred sql.Expr) ([]bool, int64) {
+	z := tbl.Zones()
+	if z == nil || pred == nil {
+		return nil, 0
+	}
+	ranges := predRanges(pred)
+	if len(ranges) == 0 {
+		return nil, 0
+	}
+	nb := z.NumBlocks()
+	var skip []bool
+	var skipped int64
+	for col, r := range ranges {
+		idx := tbl.Schema().Index(col)
+		if idx < 0 {
+			continue
+		}
+		cz, ok := z.Column(idx)
+		if !ok {
+			continue
+		}
+		for b := 0; b < nb; b++ {
+			if r.excludes(cz.Mins[b], cz.Maxs[b]) {
+				if skip == nil {
+					skip = make([]bool, nb)
+				}
+				if !skip[b] {
+					skip[b] = true
+					skipped++
+				}
+			}
+		}
+	}
+	return skip, skipped
+}

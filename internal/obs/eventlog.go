@@ -84,6 +84,11 @@ type QueryEvent struct {
 	SampleRows int
 	BootstrapK int
 	FellBack   bool
+	// BlocksSkipped counts zone-map blocks the scan pruned for this query.
+	BlocksSkipped int64
+	// SharedScan marks a query answered from a shared-scan batch rather
+	// than its own physical pass.
+	SharedScan bool
 	Aggs       []AggEvent
 }
 
@@ -127,6 +132,12 @@ func (l *EventLog) Emit(ev QueryEvent) {
 	}
 	if ev.FellBack {
 		attrs = append(attrs, slog.Bool("fell_back", true))
+	}
+	if ev.BlocksSkipped > 0 {
+		attrs = append(attrs, slog.Int64("blocks_skipped", ev.BlocksSkipped))
+	}
+	if ev.SharedScan {
+		attrs = append(attrs, slog.Bool("shared_scan", true))
 	}
 	if slow {
 		attrs = append(attrs, slog.Bool("slow", true))

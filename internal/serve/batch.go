@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Shared-scan batch formation: group commit over the admission layer.
+//
+// Admitted queries whose core.Engine.BatchKey matches join a forming
+// batchGroup; the first member becomes the group's leader. The leader
+// holds the group open for Config.BatchHold (or until it fills to
+// Config.MaxBatch), then seals it and drives one Engine.RunSharedBatch
+// call for every member, fanning each answer back through the member's
+// buffered result channel. Every member — leader included — holds its own
+// execution slot throughout, so batching changes how queries execute (one
+// shared pass), not how many run at once.
+//
+// Cancellation: a member whose context ends while waiting returns
+// immediately; its slot is released, the batch still computes its share
+// under the member's (dead) context — failing fast per-member inside the
+// engine — and the unread result is dropped into the buffered channel. The
+// leader never abandons the group, even when its own context ends: the
+// joiners' answers depend on it.
+
+// batchRes is one member's outcome.
+type batchRes struct {
+	ans *core.Answer
+	err error
+}
+
+// batchReq is one member's slot in a forming group.
+type batchReq struct {
+	ctx   context.Context
+	query string
+	wait  time.Duration
+	res   chan batchRes // buffered 1: the leader never blocks delivering
+}
+
+// batchGroup is a forming batch, keyed in Server.batches by BatchKey.
+type batchGroup struct {
+	reqs []*batchReq
+	full chan struct{} // closed when the group reaches MaxBatch
+}
+
+// submitBatched runs one admitted, batchable query through the group
+// former. It returns the member's answer (bit-identical to unbatched
+// execution) or its error.
+func (s *Server) submitBatched(ctx context.Context, key, query string, wait time.Duration) (*core.Answer, error) {
+	r := &batchReq{ctx: ctx, query: query, wait: wait, res: make(chan batchRes, 1)}
+	s.mu.Lock()
+	if s.batches == nil {
+		s.batches = map[string]*batchGroup{}
+	}
+	g, joined := s.batches[key]
+	if !joined {
+		g = &batchGroup{full: make(chan struct{})}
+		s.batches[key] = g
+	}
+	g.reqs = append(g.reqs, r)
+	if len(g.reqs) >= s.cfg.MaxBatch {
+		// Sealed by fill: remove the group so late arrivals start a new
+		// one, and wake the leader.
+		delete(s.batches, key)
+		close(g.full)
+	}
+	s.mu.Unlock()
+
+	if !joined {
+		s.leadBatch(ctx, key, g)
+	}
+	select {
+	case res := <-r.res:
+		return res.ans, res.err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("serve: while batched: %w", ctx.Err())
+	}
+}
+
+// leadBatch is the leader's half: hold the group open, seal it, execute
+// the shared batch, distribute results.
+func (s *Server) leadBatch(ctx context.Context, key string, g *batchGroup) {
+	hold := time.NewTimer(s.cfg.batchHold())
+	select {
+	case <-g.full:
+	case <-hold.C:
+	case <-ctx.Done():
+		// The leader's query is dead, but joiners may have arrived; seal
+		// and execute for them (the leader's own member fails fast inside
+		// the engine under its cancelled context).
+	}
+	hold.Stop()
+	s.mu.Lock()
+	if cur, ok := s.batches[key]; ok && cur == g {
+		delete(s.batches, key)
+	}
+	members := g.reqs
+	s.mu.Unlock()
+
+	reqs := make([]core.BatchRequest, len(members))
+	for i, m := range members {
+		reqs[i] = core.BatchRequest{
+			Ctx:   m.ctx,
+			Query: m.query,
+			Opts: core.RunOptions{
+				BootstrapK: s.cfg.MaxBootstrapK,
+				QueueWait:  m.wait,
+			},
+		}
+	}
+	s.batchesRun.Inc()
+	s.batchedQueries.Add(int64(len(members)))
+	s.hBatchSize.Observe(float64(len(members)))
+	out := s.eng.RunSharedBatch(reqs)
+	for i, m := range members {
+		m.res <- batchRes{ans: out[i].Ans, err: out[i].Err}
+	}
+}

@@ -150,6 +150,11 @@ type Table struct {
 	schema Schema
 	cols   []Column
 	rows   int
+	// zones holds per-block min/max envelopes for numeric columns, built
+	// once via BuildZones on stored tables. Views (Slice, Partition,
+	// Gather, WithColumn) leave it nil: their row numbering no longer
+	// matches the base table's blocks, and nil simply disables skipping.
+	zones *Zones
 }
 
 // New assembles a table from a schema and matching columns. All columns

@@ -1,0 +1,127 @@
+package table
+
+// Zone maps: per-block min/max summaries of numeric columns, built once per
+// stored table and consulted by the executor's predicate-range analyzer to
+// skip blocks that provably cannot satisfy a filter. The block size matches
+// the bootstrap kernel's streaming unit (8 KiB of float64 values), so a
+// skipped block is exactly one unit of scan work avoided.
+//
+// Zone maps are conservative by construction: a block is only skippable
+// when its [min, max] envelope is disjoint from the predicate's feasible
+// range for some column, so skipping never changes which rows survive the
+// filter (pinned by TestZoneSkipPreservesSelection). Views produced by
+// Slice, Partition, Gather and WithColumn do not inherit zone maps — their
+// row numbering no longer lines up with the base table's blocks — which
+// degrades them to "never skip", not to wrong answers.
+
+// ZoneBlockRows is the number of rows summarized per zone-map block: 1024
+// float64 values = 8 KiB, the same block the resampling kernel streams.
+const ZoneBlockRows = 1024
+
+// ColumnZones is one numeric column's per-block envelope. Blocks b covers
+// rows [b*ZoneBlockRows, min((b+1)*ZoneBlockRows, rows)).
+type ColumnZones struct {
+	// Mins and Maxs hold the per-block extrema, len = ceil(rows/block).
+	Mins, Maxs []float64
+}
+
+// Zones summarizes a table's numeric columns block-wise. Nil means "no zone
+// maps built" and disables skipping.
+type Zones struct {
+	rows int
+	// byCol maps column index -> envelope; string columns are absent.
+	byCol map[int]ColumnZones
+}
+
+// NumBlocks returns the number of zone-map blocks covering the table.
+func (z *Zones) NumBlocks() int {
+	if z == nil {
+		return 0
+	}
+	return (z.rows + ZoneBlockRows - 1) / ZoneBlockRows
+}
+
+// Column returns the envelope for column index i, if it is numeric.
+func (z *Zones) Column(i int) (ColumnZones, bool) {
+	if z == nil {
+		return ColumnZones{}, false
+	}
+	cz, ok := z.byCol[i]
+	return cz, ok
+}
+
+// BuildZones computes per-block min/max envelopes for every numeric column
+// and attaches them to the table. It is idempotent and cheap relative to a
+// single scan (one pass per numeric column); call it once at registration
+// or sample-build time, before the table is shared across queries — the
+// Table is immutable afterwards, so concurrent readers are safe.
+func (t *Table) BuildZones() {
+	if t.zones != nil || t.rows == 0 {
+		return
+	}
+	z := &Zones{rows: t.rows, byCol: map[int]ColumnZones{}}
+	nb := (t.rows + ZoneBlockRows - 1) / ZoneBlockRows
+	for ci, col := range t.cols {
+		var cz ColumnZones
+		switch c := col.(type) {
+		case Float64Col:
+			cz = buildZonesF64(c, nb)
+		case Int64Col:
+			cz = buildZonesI64(c, nb)
+		default:
+			continue
+		}
+		z.byCol[ci] = cz
+	}
+	t.zones = z
+}
+
+// Zones returns the table's zone maps, or nil when none were built (views
+// and unregistered tables).
+func (t *Table) Zones() *Zones { return t.zones }
+
+func buildZonesF64(c Float64Col, nb int) ColumnZones {
+	mins := make([]float64, nb)
+	maxs := make([]float64, nb)
+	for b := 0; b < nb; b++ {
+		lo := b * ZoneBlockRows
+		hi := lo + ZoneBlockRows
+		if hi > len(c) {
+			hi = len(c)
+		}
+		mn, mx := c[lo], c[lo]
+		for _, v := range c[lo+1 : hi] {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		mins[b], maxs[b] = mn, mx
+	}
+	return ColumnZones{Mins: mins, Maxs: maxs}
+}
+
+func buildZonesI64(c Int64Col, nb int) ColumnZones {
+	mins := make([]float64, nb)
+	maxs := make([]float64, nb)
+	for b := 0; b < nb; b++ {
+		lo := b * ZoneBlockRows
+		hi := lo + ZoneBlockRows
+		if hi > len(c) {
+			hi = len(c)
+		}
+		mn, mx := c[lo], c[lo]
+		for _, v := range c[lo+1 : hi] {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		mins[b], maxs[b] = float64(mn), float64(mx)
+	}
+	return ColumnZones{Mins: mins, Maxs: maxs}
+}

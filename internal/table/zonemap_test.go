@@ -1,0 +1,123 @@
+package table
+
+import (
+	"math"
+	"testing"
+)
+
+func zoneTestTable(n int) *Table {
+	f := make(Float64Col, n)
+	i64 := make(Int64Col, n)
+	s := make(StringCol, n)
+	for i := 0; i < n; i++ {
+		// Clustered: values grow with the row index, so each block's
+		// envelope is tight and distinct from its neighbours'.
+		f[i] = float64(i) + math.Sin(float64(i))
+		i64[i] = int64(n - i)
+		s[i] = "x"
+	}
+	return MustNew(Schema{
+		{Name: "f", Type: Float64},
+		{Name: "n", Type: Int64},
+		{Name: "s", Type: String},
+	}, f, i64, s)
+}
+
+func TestBuildZonesEnvelopes(t *testing.T) {
+	// A size that does not divide evenly by ZoneBlockRows exercises the
+	// short final block.
+	n := 3*ZoneBlockRows + 137
+	tbl := zoneTestTable(n)
+	if tbl.Zones() != nil {
+		t.Fatal("zones present before BuildZones")
+	}
+	tbl.BuildZones()
+	z := tbl.Zones()
+	if z == nil {
+		t.Fatal("BuildZones left nil zones")
+	}
+	wantBlocks := (n + ZoneBlockRows - 1) / ZoneBlockRows
+	if z.NumBlocks() != wantBlocks {
+		t.Fatalf("NumBlocks = %d, want %d", z.NumBlocks(), wantBlocks)
+	}
+
+	f := tbl.ColumnByName("f").(Float64Col)
+	i64 := tbl.ColumnByName("n").(Int64Col)
+	for ci, col := range []int{tbl.Schema().Index("f"), tbl.Schema().Index("n")} {
+		cz, ok := z.Column(col)
+		if !ok {
+			t.Fatalf("numeric column %d has no envelope", col)
+		}
+		if len(cz.Mins) != wantBlocks || len(cz.Maxs) != wantBlocks {
+			t.Fatalf("envelope length %d/%d, want %d", len(cz.Mins), len(cz.Maxs), wantBlocks)
+		}
+		for b := 0; b < wantBlocks; b++ {
+			lo := b * ZoneBlockRows
+			hi := lo + ZoneBlockRows
+			if hi > n {
+				hi = n
+			}
+			mn, mx := math.Inf(1), math.Inf(-1)
+			for i := lo; i < hi; i++ {
+				var v float64
+				if ci == 0 {
+					v = f[i]
+				} else {
+					v = float64(i64[i])
+				}
+				mn = math.Min(mn, v)
+				mx = math.Max(mx, v)
+			}
+			if cz.Mins[b] != mn || cz.Maxs[b] != mx {
+				t.Fatalf("col %d block %d envelope [%v, %v], want [%v, %v]",
+					col, b, cz.Mins[b], cz.Maxs[b], mn, mx)
+			}
+		}
+	}
+
+	if _, ok := z.Column(tbl.Schema().Index("s")); ok {
+		t.Error("string column has a zone-map envelope")
+	}
+}
+
+func TestBuildZonesIdempotent(t *testing.T) {
+	tbl := zoneTestTable(2 * ZoneBlockRows)
+	tbl.BuildZones()
+	z1 := tbl.Zones()
+	tbl.BuildZones()
+	if tbl.Zones() != z1 {
+		t.Error("second BuildZones replaced the zone maps")
+	}
+}
+
+func TestViewsDoNotInheritZones(t *testing.T) {
+	tbl := zoneTestTable(2*ZoneBlockRows + 10)
+	tbl.BuildZones()
+	if v := tbl.Slice(5, 100); v.Zones() != nil {
+		t.Error("Slice view inherited zones")
+	}
+	if v := tbl.Gather([]int{3, 1, 2}); v.Zones() != nil {
+		t.Error("Gather view inherited zones")
+	}
+	for _, p := range tbl.Partition(3) {
+		if p.Zones() != nil {
+			t.Error("Partition view inherited zones")
+		}
+	}
+	v, err := tbl.WithColumn(Field{Name: "f2", Type: Float64},
+		Float64Col(make([]float64, tbl.NumRows())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Zones() != nil {
+		t.Error("WithColumn view inherited zones")
+	}
+}
+
+func TestBuildZonesEmptyTable(t *testing.T) {
+	tbl := MustNew(Schema{{Name: "x", Type: Float64}}, Float64Col{})
+	tbl.BuildZones()
+	if z := tbl.Zones(); z.NumBlocks() != 0 {
+		t.Errorf("empty table has %d blocks", z.NumBlocks())
+	}
+}
