@@ -17,7 +17,9 @@
 // layer, which writes machine-readable BENCH_concurrency.json), and
 // shared-scan (inter-query batched throughput vs batch size plus the
 // zone-map block-skipping sweep, which writes machine-readable
-// BENCH_shared_scan.json).
+// BENCH_shared_scan.json), and storage (per-backing footprint, exact-scan
+// throughput, and the sample-query latency-vs-data-volume sweep, which
+// writes machine-readable BENCH_storage.json).
 package main
 
 import (
@@ -102,8 +104,15 @@ func main() {
 			}
 			return sharedBench(rows, sample, per, skipRows, int(cfg.Seed))
 		},
+		"storage": func() result {
+			rows, sample := 100000, 16384
+			if *full {
+				rows, sample = 1000000, 100000
+			}
+			return storageBench(rows, sample, int(cfg.Seed))
+		},
 	}
-	order := []string{"1", "3", "4b", "4c", "7", "8ab", "8c", "8d", "8ef", "9", "ablation", "stages", "obs-overhead", "kernel", "concurrency", "shared-scan"}
+	order := []string{"1", "3", "4b", "4c", "7", "8ab", "8c", "8d", "8ef", "9", "ablation", "stages", "obs-overhead", "kernel", "concurrency", "shared-scan", "storage"}
 
 	var selected []string
 	switch strings.ToLower(*fig) {

@@ -59,6 +59,19 @@ type Config struct {
 	// filter). Pruning never changes answers — this flag exists for
 	// ablations and benchmarks.
 	DisableZoneMaps bool
+	// Backing selects the storage backing applied to tables at
+	// registration time (default BackingRaw). BackingCompressed re-encodes
+	// each registered table into block-compressed columns (dictionary,
+	// run-length, bit-packed, and XOR codecs chosen per block); queries
+	// decode blocks lazily after zone-map admission. Samples drawn by
+	// BuildSamples are always materialized raw — they are small by
+	// construction, and keeping them raw is what holds sample-query
+	// latency flat while the base table grows. Answers are bit-identical
+	// across backings. BackingMmap is accepted for parity with
+	// table.ParseBacking but tables registered through RegisterTable are
+	// in-memory; use table.OpenStore to get a disk-backed table and
+	// register that.
+	Backing table.Backing
 	// FallbackToExact re-runs rejected or out-of-bound queries on the
 	// full dataset (default on; disable for pure-approximation mode).
 	DisableFallback bool
@@ -213,11 +226,37 @@ func (e *Engine) RegisterTable(name string, t *table.Table) error {
 	if _, dup := e.tables[name]; dup {
 		return fmt.Errorf("core: table %q already registered", name)
 	}
+	if e.cfg.Backing != table.BackingRaw && !t.Lazy() {
+		// Compress attaches zones as a side effect (the encoder computes
+		// per-block envelopes anyway), so the DisableZoneMaps ablation
+		// clears them afterwards rather than skipping the build.
+		t = table.Compress(t)
+		if e.cfg.DisableZoneMaps {
+			t.DropZones()
+		}
+	}
 	if !e.cfg.DisableZoneMaps {
 		t.BuildZones()
 	}
 	e.tables[name] = &registeredTable{full: t}
+	e.recordStorage(name, t)
 	return nil
+}
+
+// recordStorage publishes per-table storage gauges: the logical
+// (backing-invariant) size and the resident physical size. Called under
+// the engine lock from RegisterTable.
+func (e *Engine) recordStorage(name string, t *table.Table) {
+	if e.obs == nil {
+		return
+	}
+	reg := e.obs.Registry()
+	reg.Gauge("aqp_storage_logical_bytes",
+		"Logical (uncompressed) bytes per registered table.",
+		"table", name).Set(t.SizeBytes())
+	reg.Gauge("aqp_storage_resident_bytes",
+		"Resident physical bytes per registered table (post-compression).",
+		"table", name).Set(t.PhysicalSizeBytes())
 }
 
 // RegisterUDF registers a user-defined aggregate. Names are matched

@@ -425,6 +425,8 @@ func (e *Engine) applyFallback(ctx context.Context, qt *obs.QueryTrace, ans *Ans
 	ans.Counters.RowsScanned += exact.Counters.RowsScanned
 	ans.Counters.BytesScanned += exact.Counters.BytesScanned
 	ans.Counters.BlocksSkipped += exact.Counters.BlocksSkipped
+	ans.Counters.BlocksDecoded += exact.Counters.BlocksDecoded
+	ans.Counters.DecodeNanos += exact.Counters.DecodeNanos
 	ans.Elapsed += exact.Elapsed
 	return nil
 }

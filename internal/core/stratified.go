@@ -94,6 +94,13 @@ func stringKeys(col table.Column) ([]string, error) {
 	switch c := col.(type) {
 	case table.StringCol:
 		return c, nil
+	case table.StrReader:
+		// Block-backed string column: decode once into a flat slice. The
+		// stratified build touches every row anyway, so a bulk decode is
+		// the cheapest access pattern.
+		out := make([]string, c.Len())
+		c.ReadStr(out, 0)
+		return out, nil
 	default:
 		return nil, fmt.Errorf("stratified sampling requires a string key column")
 	}

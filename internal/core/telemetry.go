@@ -43,6 +43,8 @@ func (e *Engine) finishQuery(qt *obs.QueryTrace, query string, ans *Answer, err 
 			ev.SampleRows = ans.SampleRows
 			ev.FellBack = ans.FellBack()
 			ev.BlocksSkipped = ans.Counters.BlocksSkipped
+			ev.BlocksDecoded = ans.Counters.BlocksDecoded
+			ev.DecodeNs = ans.Counters.DecodeNanos
 			ev.SharedScan = ans.SharedScan
 			if ans.Plan != nil {
 				ev.BootstrapK = ans.Plan.Opt.BootstrapK

@@ -83,6 +83,13 @@ type Counters struct {
 	// does not reduce RowsScanned/BytesScanned (which meter the logical
 	// pass the cost model prices) and never changes RowsAfterFilter.
 	BlocksSkipped int64
+	// BlocksDecoded counts storage blocks decoded from block-compressed or
+	// mmap-backed columns during this execution; raw tables report zero.
+	// DecodeNanos is the wall time spent inside those decodes. Together
+	// with BlocksSkipped they make the decode-after-admission invariant
+	// observable: skipped blocks never appear in BlocksDecoded.
+	BlocksDecoded int64
+	DecodeNanos   int64
 	// WeightDraws is the number of Poisson weight draws the plan's
 	// resample placement implies (pushdown reduces this).
 	WeightDraws int64
@@ -100,6 +107,8 @@ func (c *Counters) add(o Counters) {
 	c.BytesScanned += o.BytesScanned
 	c.RowsAfterFilter += o.RowsAfterFilter
 	c.BlocksSkipped += o.BlocksSkipped
+	c.BlocksDecoded += o.BlocksDecoded
+	c.DecodeNanos += o.DecodeNanos
 	c.WeightDraws += o.WeightDraws
 	c.DiagSubqueries += o.DiagSubqueries
 	c.Tasks += o.Tasks
@@ -246,6 +255,8 @@ func runDownstream(ctx context.Context, nodes nodeSet, st *StoredTable, tbl *tab
 				RowsScanned:   rescan.counters.RowsScanned,
 				BytesScanned:  rescan.counters.BytesScanned,
 				BlocksSkipped: rescan.counters.BlocksSkipped,
+				BlocksDecoded: rescan.counters.BlocksDecoded,
+				DecodeNanos:   rescan.counters.DecodeNanos,
 				Tasks:         rescan.counters.Tasks,
 			})
 		}
@@ -353,6 +364,8 @@ func addCounterAttrs(s *obs.Span, c Counters) {
 	s.AddInt("bytes_scanned", c.BytesScanned)
 	s.AddInt("rows_after_filter", c.RowsAfterFilter)
 	s.AddInt("blocks_skipped", c.BlocksSkipped)
+	s.AddInt("blocks_decoded", c.BlocksDecoded)
+	s.AddInt("decode_ns", c.DecodeNanos)
 	s.AddInt("weight_draws", c.WeightDraws)
 	s.AddInt("diag_subqueries", int64(c.DiagSubqueries))
 	s.AddInt("tasks", int64(c.Tasks))
@@ -367,6 +380,9 @@ func recordCounters(reg *obs.Registry, c Counters) {
 	reg.Counter("aqp_exec_rows_scanned_total", "Base-table rows read.").Add(c.RowsScanned)
 	reg.Counter("aqp_exec_bytes_scanned_total", "Base-table bytes read.").Add(c.BytesScanned)
 	reg.Counter("aqp_exec_blocks_skipped_total", "Zone-map blocks pruned from predicate evaluation.").Add(c.BlocksSkipped)
+	reg.Counter("aqp_storage_blocks_skipped_total", "Storage blocks never decoded thanks to zone-map pruning.").Add(c.BlocksSkipped)
+	reg.Counter("aqp_storage_blocks_decoded_total", "Storage blocks decoded from compressed/mmap columns.").Add(c.BlocksDecoded)
+	reg.Counter("aqp_storage_decode_ns_total", "Wall nanoseconds spent decoding storage blocks.").Add(c.DecodeNanos)
 	reg.Counter("aqp_exec_weight_draws_total", "Poisson resampling weight draws.").Add(c.WeightDraws)
 	reg.Counter("aqp_exec_diag_subqueries_total", "Diagnostic subsample query executions.").Add(int64(c.DiagSubqueries))
 	reg.Counter("aqp_exec_tasks_total", "Parallel tasks launched locally.").Add(int64(c.Tasks))
@@ -517,8 +533,11 @@ func scanFilterProjectMulti(ctx context.Context, members []nodeSet, tbl *table.T
 	}
 
 	// --- One parallel pass over the partitions. ---
+	// Partitions are block-aligned so each one decodes (and zone-checks)
+	// whole storage blocks; the merge below concatenates partition outputs
+	// in row order, so answers are identical to any other split.
 	done := ctx.Done()
-	parts := tbl.Partition(cfg.workers())
+	parts := tbl.PartitionAligned(cfg.workers())
 	offsets := make([]int, len(parts))
 	off := 0
 	for i, p := range parts {
@@ -529,6 +548,7 @@ func scanFilterProjectMulti(ctx context.Context, members []nodeSet, tbl *table.T
 		sels   map[string][]int     // predKey -> absolute surviving indices
 		cols   map[string][]float64 // colKey -> values
 		errs   map[string]error     // predKey / colKey -> evaluation error
+		meter  decodeMeter          // lazy-decode work this partition performed
 		ctxErr error
 	}
 	outs := make([]partOut, len(parts))
@@ -562,7 +582,7 @@ func scanFilterProjectMulti(ctx context.Context, members []nodeSet, tbl *table.T
 					o.sels[pk] = abs
 					continue
 				}
-				sel, err := evalPredicateSkipping(pw.pred, part, offsets[i], pw.skip)
+				sel, err := evalPredicateSkipping(ctx, pw.pred, part, offsets[i], pw.skip, &o.meter)
 				if err != nil {
 					o.errs[pk] = err
 					continue
@@ -588,14 +608,14 @@ func scanFilterProjectMulti(ctx context.Context, members []nodeSet, tbl *table.T
 				var err error
 				switch {
 				case cw.masked:
-					vals, err = maskedColumn(cw.input, part, sel)
+					vals, err = maskedColumn(cw.input, part, sel, &o.meter)
 				case cw.input == nil:
 					vals = make([]float64, n)
 					for j := range vals {
 						vals[j] = 1
 					}
 				default:
-					vals, err = EvalNumeric(cw.input, part, sel)
+					vals, err = evalNumericMetered(cw.input, part, sel, &o.meter)
 				}
 				if err != nil {
 					o.errs[key] = err
@@ -609,11 +629,14 @@ func scanFilterProjectMulti(ctx context.Context, members []nodeSet, tbl *table.T
 
 	// --- Merge partition outputs per distinct key. ---
 	var ctxErr error
+	var decode decodeMeter
 	keyErrs := map[string]error{}
 	for _, o := range outs {
 		if o.ctxErr != nil {
 			ctxErr = o.ctxErr
 		}
+		decode.blocks += o.meter.blocks
+		decode.nanos += o.meter.nanos
 		for k, e := range o.errs {
 			if keyErrs[k] == nil {
 				keyErrs[k] = e
@@ -681,6 +704,8 @@ func scanFilterProjectMulti(ctx context.Context, members []nodeSet, tbl *table.T
 			r.counters.Scans = 1
 			r.counters.RowsScanned = int64(tbl.NumRows())
 			r.counters.BytesScanned = tbl.SizeBytes()
+			r.counters.BlocksDecoded = decode.blocks
+			r.counters.DecodeNanos = decode.nanos
 			r.counters.Tasks = len(parts)
 		}
 		if !skipCharged[pk] {
@@ -694,7 +719,7 @@ func scanFilterProjectMulti(ctx context.Context, members []nodeSet, tbl *table.T
 
 // maskedColumn evaluates the aggregation input over ALL rows of the part,
 // zeroing rows the filter rejected. A nil input is COUNT(*)'s indicator.
-func maskedColumn(input sql.Expr, part *table.Table, sel []int) ([]float64, error) {
+func maskedColumn(input sql.Expr, part *table.Table, sel []int, m *decodeMeter) ([]float64, error) {
 	n := part.NumRows()
 	out := make([]float64, n)
 	if input == nil {
@@ -709,7 +734,7 @@ func maskedColumn(input sql.Expr, part *table.Table, sel []int) ([]float64, erro
 		}
 		return out, nil
 	}
-	vals, err := EvalNumeric(input, part, nil)
+	vals, err := evalNumericMetered(input, part, nil, m)
 	if err != nil {
 		return nil, err
 	}
@@ -741,16 +766,43 @@ func splitGroups(agg *plan.Aggregate, tbl *table.Table, base *scanResult) ([]gro
 	if col == nil {
 		return nil, fmt.Errorf("exec: unknown GROUP BY column %q", agg.GroupBy[0])
 	}
-	keyOf := func(row int) string {
-		switch c := col.(type) {
-		case table.StringCol:
-			return c[row]
-		case table.Int64Col:
-			return strconv.FormatInt(c[row], 10)
-		case table.Float64Col:
+	// Raw columns index directly; block-backed columns go through a
+	// block-buffered cursor (base.sel is ascending, so each touched block
+	// decodes once).
+	var keyOf func(row int) string
+	switch c := col.(type) {
+	case table.StringCol:
+		keyOf = func(row int) string { return c[row] }
+	case table.Int64Col:
+		keyOf = func(row int) string { return strconv.FormatInt(c[row], 10) }
+	case table.Float64Col:
+		keyOf = func(row int) string {
 			return strconv.FormatFloat(c[row], 'g', -1, 64)
+		}
+	default:
+		switch col.Type() {
+		case table.String:
+			cu, err := table.NewStrCursor(col)
+			if err != nil {
+				return nil, fmt.Errorf("exec: GROUP BY column %q: %w", agg.GroupBy[0], err)
+			}
+			keyOf = cu.At
+		case table.Int64:
+			cu, err := table.NewI64Cursor(col)
+			if err != nil {
+				return nil, fmt.Errorf("exec: GROUP BY column %q: %w", agg.GroupBy[0], err)
+			}
+			keyOf = func(row int) string { return strconv.FormatInt(cu.At(row), 10) }
+		case table.Float64:
+			cu, err := table.NewF64Cursor(col)
+			if err != nil {
+				return nil, fmt.Errorf("exec: GROUP BY column %q: %w", agg.GroupBy[0], err)
+			}
+			keyOf = func(row int) string {
+				return strconv.FormatFloat(cu.At(row), 'g', -1, 64)
+			}
 		default:
-			return ""
+			keyOf = func(int) string { return "" }
 		}
 	}
 	idxByKey := map[string][]int{}

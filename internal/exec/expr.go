@@ -9,9 +9,11 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/sql"
 	"repro/internal/table"
@@ -40,13 +42,34 @@ var (
 	}}
 )
 
+// decodeMeter accumulates lazy-decode work (blocks decoded, wall ns spent
+// decoding) during expression evaluation; it flows into Counters so the
+// storage layer's cost is visible per query, per stage and on /metrics.
+type decodeMeter struct {
+	blocks int64
+	nanos  int64
+}
+
 type scratch struct {
 	f64s  []*[]float64
 	bools []*[]bool
+	// noPool makes every get a fresh allocation that release ignores — for
+	// projection paths whose outputs are retained by aggregation but that
+	// still want decode metering through m.
+	noPool bool
+	// m, when non-nil, receives decode work performed during evaluation.
+	m *decodeMeter
+}
+
+func (sc *scratch) meter() *decodeMeter {
+	if sc == nil {
+		return nil
+	}
+	return sc.m
 }
 
 func (sc *scratch) getF64(n int) []float64 {
-	if sc == nil {
+	if sc == nil || sc.noPool {
 		return make([]float64, n)
 	}
 	p := f64Pool.Get().(*[]float64)
@@ -58,7 +81,7 @@ func (sc *scratch) getF64(n int) []float64 {
 }
 
 func (sc *scratch) getBool(n int) []bool {
-	if sc == nil {
+	if sc == nil || sc.noPool {
 		return make([]bool, n)
 	}
 	p := boolPool.Get().(*[]bool)
@@ -70,7 +93,11 @@ func (sc *scratch) getBool(n int) []bool {
 }
 
 // release returns every slice handed out by this scratch to the pools. The
-// caller must not retain any value produced during the evaluation.
+// caller must not retain any value produced during the evaluation. It is
+// safe (and a no-op) on nil and noPool scratches, and callers run it via
+// defer so every return branch — including mid-gather errors and context
+// cancellation — hands its buffers back to the pool instead of leaking
+// them to the GC.
 func (sc *scratch) release() {
 	if sc == nil {
 		return
@@ -139,6 +166,14 @@ func evalExpr(e sql.Expr, tbl *table.Table, sel []int, n int, sc *scratch) (valu
 			}
 			return value{strs: out, isStr: true}, nil
 		default:
+			// Block-backed columns: decode after admission, through the
+			// reader interfaces, metering the decode work.
+			if r, ok := col.(table.F64Reader); ok {
+				return value{nums: gatherReaderF64(r, sel, n, sc)}, nil
+			}
+			if r, ok := col.(table.StrReader); ok {
+				return value{strs: gatherReaderStr(r, sel, n, sc), isStr: true}, nil
+			}
 			return value{}, fmt.Errorf("exec: unsupported column type for %q", ex.Name)
 		}
 
@@ -220,6 +255,86 @@ func gatherI64(c table.Int64Col, sel []int, n int, sc *scratch) []float64 {
 	}
 	for i, j := range sel {
 		out[i] = float64(c[j])
+	}
+	return out
+}
+
+// gatherReaderF64 materializes a lazily decoded numeric column over the
+// selection. sel == nil decodes rows [0, n) straight into scratch; a
+// selection decodes one block at a time into a pooled buffer, refilling
+// whenever the next selected row leaves the current block (selections are
+// produced in ascending row order, so each touched block decodes once).
+// All buffers come from sc, so the caller's deferred release reclaims them
+// on every return path, error and cancellation included.
+func gatherReaderF64(r table.F64Reader, sel []int, n int, sc *scratch) []float64 {
+	out := sc.getF64(n)
+	m := sc.meter()
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
+	var blocks int64
+	if sel == nil {
+		r.ReadF64(out, 0)
+		blocks = int64((n + table.ZoneBlockRows - 1) / table.ZoneBlockRows)
+	} else {
+		buf := sc.getF64(table.ZoneBlockRows)
+		rows := r.Len()
+		lo, hi := 0, 0 // empty window
+		for i, j := range sel {
+			if j < lo || j >= hi {
+				lo = j - j%table.ZoneBlockRows
+				hi = lo + table.ZoneBlockRows
+				if hi > rows {
+					hi = rows
+				}
+				r.ReadF64(buf[:hi-lo], lo)
+				blocks++
+			}
+			out[i] = buf[j-lo]
+		}
+	}
+	if m != nil {
+		m.blocks += blocks
+		m.nanos += time.Since(start).Nanoseconds()
+	}
+	return out
+}
+
+// gatherReaderStr is gatherReaderF64 for string columns. String outputs are
+// retained by comparison results only transiently, but string slices are
+// not pooled; allocation here matches the raw StringCol path.
+func gatherReaderStr(r table.StrReader, sel []int, n int, sc *scratch) []string {
+	out := make([]string, n)
+	m := sc.meter()
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
+	var blocks int64
+	if sel == nil {
+		r.ReadStr(out, 0)
+		blocks = int64((n + table.ZoneBlockRows - 1) / table.ZoneBlockRows)
+	} else {
+		buf := make([]string, table.ZoneBlockRows)
+		rows := r.Len()
+		lo, hi := 0, 0
+		for i, j := range sel {
+			if j < lo || j >= hi {
+				lo = j - j%table.ZoneBlockRows
+				hi = lo + table.ZoneBlockRows
+				if hi > rows {
+					hi = rows
+				}
+				r.ReadStr(buf[:hi-lo], lo)
+				blocks++
+			}
+			out[i] = buf[j-lo]
+		}
+	}
+	if m != nil {
+		m.blocks += blocks
+		m.nanos += time.Since(start).Nanoseconds()
 	}
 	return out
 }
@@ -336,11 +451,22 @@ func applyStrCmp(op string, a, b string) bool {
 // tbl, returning one float64 per selected row. sel == nil means all rows.
 // Results are retained by aggregation, so no scratch pooling is used here.
 func EvalNumeric(e sql.Expr, tbl *table.Table, sel []int) ([]float64, error) {
+	return evalNumericMetered(e, tbl, sel, nil)
+}
+
+// evalNumericMetered is EvalNumeric with decode metering: allocations stay
+// fresh (outputs are retained), but block decodes performed on lazy columns
+// are charged to m.
+func evalNumericMetered(e sql.Expr, tbl *table.Table, sel []int, m *decodeMeter) ([]float64, error) {
 	n := tbl.NumRows()
 	if sel != nil {
 		n = len(sel)
 	}
-	v, err := evalExpr(e, tbl, sel, n, nil)
+	var sc *scratch
+	if m != nil {
+		sc = &scratch{noPool: true, m: m}
+	}
+	v, err := evalExpr(e, tbl, sel, n, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -380,22 +506,33 @@ func EvalPredicate(e sql.Expr, tbl *table.Table) ([]int, error) {
 	return sel, nil
 }
 
-// evalPredicateSkipping is EvalPredicate with zone-map pruning: blocks
-// marked in skip (indexed by absolute block number, i.e. (absOffset+row) /
-// table.ZoneBlockRows) are omitted from evaluation entirely — their rows
-// provably cannot match. absOffset is the partition's starting row in the
-// base table. Returned indices are partition-relative, matching
-// EvalPredicate. A nil skip degrades to the single-pass path.
-func evalPredicateSkipping(e sql.Expr, tbl *table.Table, absOffset int, skip []bool) ([]int, error) {
-	if skip == nil {
+// evalPredicateSkipping is EvalPredicate with zone-map pruning and lazy
+// decode: blocks marked in skip (indexed by absolute block number, i.e.
+// (absOffset+row) / table.ZoneBlockRows) are omitted from evaluation
+// entirely — their rows provably cannot match, so on block-backed tables
+// they are never decoded (and on mmap stores never faulted in). absOffset
+// is the partition's starting row in the base table. Returned indices are
+// partition-relative, matching EvalPredicate.
+//
+// The block walk also runs, skip list or not, whenever the table decodes
+// lazily: evaluating one block at a time keeps decode output in pooled
+// block-sized scratch instead of materializing whole partition columns.
+// Only a nil skip over a raw table degrades to the single-pass path.
+//
+// Cancellation is checked between blocks (every ctxCheckBlocks); the
+// deferred release hands all pooled buffers back on that return path too.
+func evalPredicateSkipping(ctx context.Context, e sql.Expr, tbl *table.Table, absOffset int, skip []bool, m *decodeMeter) ([]int, error) {
+	if skip == nil && !tbl.Lazy() {
 		return EvalPredicate(e, tbl)
 	}
+	const ctxCheckBlocks = 64
 	n := tbl.NumRows()
 	sel := make([]int, 0, n/2)
-	sc := &scratch{}
+	sc := &scratch{m: m}
 	defer sc.release()
 	// Walk the partition in runs aligned to the base table's zone blocks.
 	// The first run may be short when the partition starts mid-block.
+	visited := 0
 	for row := 0; row < n; {
 		abs := absOffset + row
 		block := abs / table.ZoneBlockRows
@@ -407,6 +544,12 @@ func evalPredicateSkipping(e sql.Expr, tbl *table.Table, absOffset int, skip []b
 			row = end
 			continue
 		}
+		if visited%ctxCheckBlocks == 0 && ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		visited++
 		view := tbl.Slice(row, end)
 		v, err := evalExpr(e, view, nil, end-row, sc)
 		if err != nil {

@@ -86,6 +86,11 @@ type QueryEvent struct {
 	FellBack   bool
 	// BlocksSkipped counts zone-map blocks the scan pruned for this query.
 	BlocksSkipped int64
+	// BlocksDecoded counts compressed blocks the scan actually decoded
+	// (zero on raw backings; skipped blocks are never decoded).
+	BlocksDecoded int64
+	// DecodeNs is the wall time spent decoding compressed blocks.
+	DecodeNs int64
 	// SharedScan marks a query answered from a shared-scan batch rather
 	// than its own physical pass.
 	SharedScan bool
@@ -135,6 +140,12 @@ func (l *EventLog) Emit(ev QueryEvent) {
 	}
 	if ev.BlocksSkipped > 0 {
 		attrs = append(attrs, slog.Int64("blocks_skipped", ev.BlocksSkipped))
+	}
+	if ev.BlocksDecoded > 0 {
+		attrs = append(attrs, slog.Int64("blocks_decoded", ev.BlocksDecoded))
+	}
+	if ev.DecodeNs > 0 {
+		attrs = append(attrs, slog.Int64("decode_ns", ev.DecodeNs))
 	}
 	if ev.SharedScan {
 		attrs = append(attrs, slog.Bool("shared_scan", true))

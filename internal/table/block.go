@@ -1,0 +1,1065 @@
+package table
+
+// Block-oriented column backings. A block column stores BlockRows-row blocks
+// encoded with the per-block codecs in codec.go, plus per-block metadata:
+// payload offsets, codec ids, and min/max zone envelopes captured during
+// encoding (so zone maps on compressed tables cost no extra pass). The same
+// column types back both the in-memory compressed backing (data on the Go
+// heap) and the mmap/disk backing (data is a window into a read-only file
+// mapping; see store.go) — decode never cares which.
+//
+// Exec reaches block columns through the F64Reader/I64Reader/StrReader
+// interfaces and decodes per block into pooled scratch only after zone-map
+// admission; see internal/exec/expr.go. Raw columns implement the same
+// interfaces trivially, so every consumer has one generic slow path and the
+// raw fast paths it already had.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Backing selects the physical representation used for stored tables.
+type Backing int
+
+const (
+	// BackingRaw keeps columns as plain heap slices (the historical layout).
+	BackingRaw Backing = iota
+	// BackingCompressed re-encodes columns into per-block compressed form.
+	BackingCompressed
+	// BackingMmap persists the compressed form to a store file and serves
+	// column data from a read-only memory mapping.
+	BackingMmap
+)
+
+func (b Backing) String() string {
+	switch b {
+	case BackingRaw:
+		return "raw"
+	case BackingCompressed:
+		return "compressed"
+	case BackingMmap:
+		return "mmap"
+	default:
+		return fmt.Sprintf("Backing(%d)", int(b))
+	}
+}
+
+// ParseBacking converts a knob string ("raw", "compressed", "mmap") to a
+// Backing.
+func ParseBacking(s string) (Backing, error) {
+	switch s {
+	case "", "raw":
+		return BackingRaw, nil
+	case "compressed":
+		return BackingCompressed, nil
+	case "mmap":
+		return BackingMmap, nil
+	}
+	return BackingRaw, fmt.Errorf("table: unknown backing %q", s)
+}
+
+// BlockRows is the row count per storage block. It deliberately equals
+// ZoneBlockRows: one zone-map envelope governs exactly one decodable unit,
+// so a skipped block avoids its decode entirely.
+const BlockRows = ZoneBlockRows
+
+func numBlocksFor(rows int) int { return (rows + BlockRows - 1) / BlockRows }
+
+// decodedBlocksTotal counts block decodes process-wide; tests use it to
+// assert streaming one-pass behavior (e.g. sample build decodes each block
+// at most once per column).
+var decodedBlocksTotal atomic.Int64
+
+// DecodedBlocks returns the process-wide count of storage block decodes.
+func DecodedBlocks() int64 { return decodedBlocksTotal.Load() }
+
+// F64Reader is a float64 column readable in row ranges. Block columns
+// implement it by decoding; raw columns by copying.
+type F64Reader interface {
+	Column
+	// ReadF64 fills dst with the values of rows [off, off+len(dst)).
+	ReadF64(dst []float64, off int)
+}
+
+// I64Reader is an int64 column readable in row ranges.
+type I64Reader interface {
+	Column
+	// ReadI64 fills dst with the values of rows [off, off+len(dst)).
+	ReadI64(dst []int64, off int)
+}
+
+// StrReader is a string column readable in row ranges.
+type StrReader interface {
+	Column
+	// ReadStr fills dst with the values of rows [off, off+len(dst)).
+	ReadStr(dst []string, off int)
+}
+
+// Lazy reports whether the column decodes on access (block-compressed or
+// mmap-backed) rather than living as a raw slice.
+func Lazy(c Column) bool { return c.lazy() }
+
+// Raw column reader implementations: trivial copies, so the generic decode
+// path works uniformly. Hot paths still type-switch to the raw slices first
+// and never come through here.
+
+// ReadF64 copies rows [off, off+len(dst)) into dst.
+func (c Float64Col) ReadF64(dst []float64, off int) { copy(dst, c[off:]) }
+
+// ReadI64 copies rows [off, off+len(dst)) into dst.
+func (c Int64Col) ReadI64(dst []int64, off int) { copy(dst, c[off:]) }
+
+// ReadF64 widens rows [off, off+len(dst)) into dst, mirroring the widening
+// Float64ColumnByName has always performed for int64 columns.
+func (c Int64Col) ReadF64(dst []float64, off int) {
+	for i := range dst {
+		dst[i] = float64(c[off+i])
+	}
+}
+
+// ReadStr copies rows [off, off+len(dst)) into dst.
+func (c StringCol) ReadStr(dst []string, off int) { copy(dst, c[off:]) }
+
+func (c Float64Col) lazy() bool { return false }
+func (c Int64Col) lazy() bool   { return false }
+func (c StringCol) lazy() bool  { return false }
+
+func (c Float64Col) physBytes() int64 { return c.sizeBytes() }
+func (c Int64Col) physBytes() int64   { return c.sizeBytes() }
+func (c StringCol) physBytes() int64  { return c.sizeBytes() }
+
+// --- float64 block column. ---
+
+// F64BlockCol is a float64 column stored as per-block encoded payloads.
+// data may point into a heap buffer or an mmap'd store file.
+type F64BlockCol struct {
+	data   []byte
+	offs   []uint32 // len nb+1; block b payload is data[offs[b]:offs[b+1]]
+	codecs []byte   // len nb
+	mins   []float64
+	maxs   []float64
+	rows   int
+}
+
+// Len returns the number of rows.
+func (c *F64BlockCol) Len() int { return c.rows }
+
+// Type returns Float64.
+func (c *F64BlockCol) Type() Type { return Float64 }
+
+func (c *F64BlockCol) lazy() bool { return true }
+
+func (c *F64BlockCol) sizeBytes() int64 { return int64(c.rows) * 8 }
+
+func (c *F64BlockCol) physBytes() int64 {
+	return int64(len(c.data)) + int64(len(c.offs))*4 + int64(len(c.codecs)) +
+		int64(len(c.mins)+len(c.maxs))*8
+}
+
+func (c *F64BlockCol) blockLen(b int) int {
+	if n := c.rows - b*BlockRows; n < BlockRows {
+		return n
+	}
+	return BlockRows
+}
+
+func (c *F64BlockCol) decodeBlock(b int, dst []float64, iscratch []int64) {
+	decodeF64Block(c.codecs[b], c.data[c.offs[b]:c.offs[b+1]], dst, iscratch)
+	decodedBlocksTotal.Add(1)
+}
+
+// ReadF64 fills dst with rows [off, off+len(dst)), decoding each touched
+// block once. Block-aligned full-block reads decode straight into dst.
+func (c *F64BlockCol) ReadF64(dst []float64, off int) {
+	var tmp []float64
+	iscratch := make([]int64, BlockRows)
+	for len(dst) > 0 {
+		b := off / BlockRows
+		bStart := b * BlockRows
+		bLen := c.blockLen(b)
+		if off == bStart && len(dst) >= bLen {
+			c.decodeBlock(b, dst[:bLen], iscratch)
+			dst = dst[bLen:]
+			off += bLen
+			continue
+		}
+		if tmp == nil {
+			tmp = make([]float64, BlockRows)
+		}
+		blk := tmp[:bLen]
+		c.decodeBlock(b, blk, iscratch)
+		k := copy(dst, blk[off-bStart:])
+		dst = dst[k:]
+		off += k
+	}
+}
+
+func (c *F64BlockCol) slice(i, j int) Column {
+	return &f64BlockView{c: c, off: i, n: j - i}
+}
+
+func (c *F64BlockCol) gather(idx []int) Column {
+	out := make(Float64Col, len(idx))
+	// Sort positions by block so every touched block decodes exactly once.
+	order := sortedByRow(idx)
+	buf := make([]float64, BlockRows)
+	iscratch := make([]int64, BlockRows)
+	cur := -1
+	for _, k := range order {
+		r := idx[k]
+		b := r / BlockRows
+		if b != cur {
+			c.decodeBlock(b, buf[:c.blockLen(b)], iscratch)
+			cur = b
+		}
+		out[k] = buf[r-b*BlockRows]
+	}
+	return out
+}
+
+func (c *F64BlockCol) zoneEnvelope() (ColumnZones, bool) {
+	return ColumnZones{Mins: c.mins, Maxs: c.maxs}, true
+}
+
+type f64BlockView struct {
+	c      *F64BlockCol
+	off, n int
+}
+
+func (v *f64BlockView) Len() int          { return v.n }
+func (v *f64BlockView) Type() Type        { return Float64 }
+func (v *f64BlockView) lazy() bool        { return true }
+func (v *f64BlockView) sizeBytes() int64  { return int64(v.n) * 8 }
+func (v *f64BlockView) physBytes() int64  { return 0 } // storage owned by base column
+func (v *f64BlockView) slice(i, j int) Column {
+	return &f64BlockView{c: v.c, off: v.off + i, n: j - i}
+}
+
+func (v *f64BlockView) gather(idx []int) Column {
+	shifted := shiftIdx(idx, v.off)
+	return v.c.gather(shifted)
+}
+
+// ReadF64 fills dst with view rows [off, off+len(dst)).
+func (v *f64BlockView) ReadF64(dst []float64, off int) { v.c.ReadF64(dst, v.off+off) }
+
+// --- int64 block column. ---
+
+// I64BlockCol is an int64 column stored as per-block encoded payloads.
+type I64BlockCol struct {
+	data   []byte
+	offs   []uint32
+	codecs []byte
+	mins   []float64
+	maxs   []float64
+	rows   int
+}
+
+// Len returns the number of rows.
+func (c *I64BlockCol) Len() int { return c.rows }
+
+// Type returns Int64.
+func (c *I64BlockCol) Type() Type { return Int64 }
+
+func (c *I64BlockCol) lazy() bool { return true }
+
+func (c *I64BlockCol) sizeBytes() int64 { return int64(c.rows) * 8 }
+
+func (c *I64BlockCol) physBytes() int64 {
+	return int64(len(c.data)) + int64(len(c.offs))*4 + int64(len(c.codecs)) +
+		int64(len(c.mins)+len(c.maxs))*8
+}
+
+func (c *I64BlockCol) blockLen(b int) int {
+	if n := c.rows - b*BlockRows; n < BlockRows {
+		return n
+	}
+	return BlockRows
+}
+
+func (c *I64BlockCol) decodeBlock(b int, dst []int64) {
+	decodeI64Block(c.codecs[b], c.data[c.offs[b]:c.offs[b+1]], dst)
+	decodedBlocksTotal.Add(1)
+}
+
+// ReadI64 fills dst with rows [off, off+len(dst)), decoding each touched
+// block once.
+func (c *I64BlockCol) ReadI64(dst []int64, off int) {
+	var tmp []int64
+	for len(dst) > 0 {
+		b := off / BlockRows
+		bStart := b * BlockRows
+		bLen := c.blockLen(b)
+		if off == bStart && len(dst) >= bLen {
+			c.decodeBlock(b, dst[:bLen])
+			dst = dst[bLen:]
+			off += bLen
+			continue
+		}
+		if tmp == nil {
+			tmp = make([]int64, BlockRows)
+		}
+		blk := tmp[:bLen]
+		c.decodeBlock(b, blk)
+		k := copy(dst, blk[off-bStart:])
+		dst = dst[k:]
+		off += k
+	}
+}
+
+// ReadF64 widens rows [off, off+len(dst)) into dst, matching Int64Col.
+func (c *I64BlockCol) ReadF64(dst []float64, off int) {
+	tmp := make([]int64, len(dst))
+	c.ReadI64(tmp, off)
+	for i, v := range tmp {
+		dst[i] = float64(v)
+	}
+}
+
+func (c *I64BlockCol) slice(i, j int) Column {
+	return &i64BlockView{c: c, off: i, n: j - i}
+}
+
+func (c *I64BlockCol) gather(idx []int) Column {
+	out := make(Int64Col, len(idx))
+	order := sortedByRow(idx)
+	buf := make([]int64, BlockRows)
+	cur := -1
+	for _, k := range order {
+		r := idx[k]
+		b := r / BlockRows
+		if b != cur {
+			c.decodeBlock(b, buf[:c.blockLen(b)])
+			cur = b
+		}
+		out[k] = buf[r-b*BlockRows]
+	}
+	return out
+}
+
+func (c *I64BlockCol) zoneEnvelope() (ColumnZones, bool) {
+	return ColumnZones{Mins: c.mins, Maxs: c.maxs}, true
+}
+
+type i64BlockView struct {
+	c      *I64BlockCol
+	off, n int
+}
+
+func (v *i64BlockView) Len() int         { return v.n }
+func (v *i64BlockView) Type() Type       { return Int64 }
+func (v *i64BlockView) lazy() bool       { return true }
+func (v *i64BlockView) sizeBytes() int64 { return int64(v.n) * 8 }
+func (v *i64BlockView) physBytes() int64 { return 0 }
+func (v *i64BlockView) slice(i, j int) Column {
+	return &i64BlockView{c: v.c, off: v.off + i, n: j - i}
+}
+
+func (v *i64BlockView) gather(idx []int) Column {
+	return v.c.gather(shiftIdx(idx, v.off))
+}
+
+// ReadI64 fills dst with view rows [off, off+len(dst)).
+func (v *i64BlockView) ReadI64(dst []int64, off int) { v.c.ReadI64(dst, v.off+off) }
+
+// ReadF64 widens view rows [off, off+len(dst)) into dst.
+func (v *i64BlockView) ReadF64(dst []float64, off int) { v.c.ReadF64(dst, v.off+off) }
+
+// --- string block column. ---
+
+// strDictMax bounds the column-wide string dictionary; past this the column
+// falls back to raw per-block payloads.
+const strDictMax = 1 << 16
+
+// StrBlockCol is a string column stored either as a column-wide dictionary
+// with per-block bit-packed codes (dict != nil) or as raw per-block
+// varint-length payloads.
+type StrBlockCol struct {
+	dict    []string
+	widths  []byte // dict mode: per-block code bit width
+	data    []byte
+	offs    []uint32
+	rows    int
+	logical int64 // logical bytes as a raw StringCol would report
+}
+
+// Len returns the number of rows.
+func (c *StrBlockCol) Len() int { return c.rows }
+
+// Type returns String.
+func (c *StrBlockCol) Type() Type { return String }
+
+func (c *StrBlockCol) lazy() bool { return true }
+
+func (c *StrBlockCol) sizeBytes() int64 { return c.logical }
+
+func (c *StrBlockCol) physBytes() int64 {
+	n := int64(len(c.data)) + int64(len(c.offs))*4 + int64(len(c.widths))
+	for _, s := range c.dict {
+		n += int64(len(s)) + 16
+	}
+	return n
+}
+
+func (c *StrBlockCol) blockLen(b int) int {
+	if n := c.rows - b*BlockRows; n < BlockRows {
+		return n
+	}
+	return BlockRows
+}
+
+func (c *StrBlockCol) decodeBlock(b int, dst []string) {
+	payload := c.data[c.offs[b]:c.offs[b+1]]
+	if c.dict != nil {
+		width := uint(c.widths[b])
+		for i := range dst {
+			dst[i] = c.dict[readPackedCode(payload, i, width)]
+		}
+	} else {
+		decodeRawStrBlock(payload, dst)
+	}
+	decodedBlocksTotal.Add(1)
+}
+
+// ReadStr fills dst with rows [off, off+len(dst)), decoding each touched
+// block once.
+func (c *StrBlockCol) ReadStr(dst []string, off int) {
+	var tmp []string
+	for len(dst) > 0 {
+		b := off / BlockRows
+		bStart := b * BlockRows
+		bLen := c.blockLen(b)
+		if off == bStart && len(dst) >= bLen {
+			c.decodeBlock(b, dst[:bLen])
+			dst = dst[bLen:]
+			off += bLen
+			continue
+		}
+		if tmp == nil {
+			tmp = make([]string, BlockRows)
+		}
+		blk := tmp[:bLen]
+		c.decodeBlock(b, blk)
+		k := copy(dst, blk[off-bStart:])
+		dst = dst[k:]
+		off += k
+	}
+}
+
+func (c *StrBlockCol) slice(i, j int) Column {
+	return &strBlockView{c: c, off: i, n: j - i}
+}
+
+func (c *StrBlockCol) gather(idx []int) Column {
+	out := make(StringCol, len(idx))
+	order := sortedByRow(idx)
+	buf := make([]string, BlockRows)
+	cur := -1
+	for _, k := range order {
+		r := idx[k]
+		b := r / BlockRows
+		if b != cur {
+			c.decodeBlock(b, buf[:c.blockLen(b)])
+			cur = b
+		}
+		out[k] = buf[r-b*BlockRows]
+	}
+	return out
+}
+
+type strBlockView struct {
+	c      *StrBlockCol
+	off, n int
+}
+
+func (v *strBlockView) Len() int   { return v.n }
+func (v *strBlockView) Type() Type { return String }
+func (v *strBlockView) lazy() bool { return true }
+func (v *strBlockView) sizeBytes() int64 {
+	if v.c.rows == 0 {
+		return 0
+	}
+	return v.c.logical * int64(v.n) / int64(v.c.rows)
+}
+func (v *strBlockView) physBytes() int64 { return 0 }
+func (v *strBlockView) slice(i, j int) Column {
+	return &strBlockView{c: v.c, off: v.off + i, n: j - i}
+}
+
+func (v *strBlockView) gather(idx []int) Column {
+	return v.c.gather(shiftIdx(idx, v.off))
+}
+
+// ReadStr fills dst with view rows [off, off+len(dst)).
+func (v *strBlockView) ReadStr(dst []string, off int) { v.c.ReadStr(dst, v.off+off) }
+
+// --- shared small helpers. ---
+
+func shiftIdx(idx []int, off int) []int {
+	out := make([]int, len(idx))
+	for i, v := range idx {
+		out[i] = v + off
+	}
+	return out
+}
+
+// sortedByRow returns positions into idx ordered by ascending row, so block
+// decodes during gather happen once per touched block.
+func sortedByRow(idx []int) []int {
+	order := make([]int, len(idx))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return idx[order[a]] < idx[order[b]] })
+	return order
+}
+
+func appendRawStrBlock(dst []byte, vals []string) []byte {
+	for _, s := range vals {
+		dst = appendUvarint(dst, uint64(len(s)))
+		dst = append(dst, s...)
+	}
+	return dst
+}
+
+func decodeRawStrBlock(payload []byte, dst []string) {
+	for i := range dst {
+		n, sz := binary.Uvarint(payload)
+		payload = payload[sz:]
+		dst[i] = string(payload[:n])
+		payload = payload[n:]
+	}
+}
+
+// --- compression entry points. ---
+
+// Compress re-encodes every column of t into block-compressed form and
+// returns a new table with zone maps attached (the envelopes fall out of
+// encoding for free). The input table is unchanged; already-compressed
+// columns are reused as-is.
+func Compress(t *Table) *Table {
+	cols := make([]Column, len(t.cols))
+	for i, c := range t.cols {
+		cols[i] = compressColumn(c)
+	}
+	nt := &Table{schema: t.schema, cols: cols, rows: t.rows}
+	nt.BuildZones()
+	return nt
+}
+
+func compressColumn(c Column) Column {
+	switch col := c.(type) {
+	case Float64Col:
+		return compressF64(col)
+	case Int64Col:
+		return compressI64(col)
+	case StringCol:
+		return compressStr(col)
+	default:
+		return c // already block-backed (or a view; views are not re-encoded)
+	}
+}
+
+func compressF64(c Float64Col) *F64BlockCol {
+	nb := numBlocksFor(len(c))
+	col := &F64BlockCol{
+		rows:   len(c),
+		offs:   make([]uint32, 1, nb+1),
+		codecs: make([]byte, 0, nb),
+		mins:   make([]float64, 0, nb),
+		maxs:   make([]float64, 0, nb),
+	}
+	for b := 0; b < nb; b++ {
+		lo := b * BlockRows
+		hi := lo + BlockRows
+		if hi > len(c) {
+			hi = len(c)
+		}
+		vals := c[lo:hi]
+		codec, data := encodeF64Block(col.data, vals)
+		col.data = data
+		col.codecs = append(col.codecs, codec)
+		col.offs = append(col.offs, uint32(len(data)))
+		mn, mx := vals[0], vals[0]
+		for _, v := range vals[1:] {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		col.mins = append(col.mins, mn)
+		col.maxs = append(col.maxs, mx)
+	}
+	return col
+}
+
+func compressI64(c Int64Col) *I64BlockCol {
+	nb := numBlocksFor(len(c))
+	col := &I64BlockCol{
+		rows:   len(c),
+		offs:   make([]uint32, 1, nb+1),
+		codecs: make([]byte, 0, nb),
+		mins:   make([]float64, 0, nb),
+		maxs:   make([]float64, 0, nb),
+	}
+	for b := 0; b < nb; b++ {
+		lo := b * BlockRows
+		hi := lo + BlockRows
+		if hi > len(c) {
+			hi = len(c)
+		}
+		vals := c[lo:hi]
+		codec, data := encodeI64Block(col.data, vals)
+		col.data = data
+		col.codecs = append(col.codecs, codec)
+		col.offs = append(col.offs, uint32(len(data)))
+		mn, mx := vals[0], vals[0]
+		for _, v := range vals[1:] {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		col.mins = append(col.mins, float64(mn))
+		col.maxs = append(col.maxs, float64(mx))
+	}
+	return col
+}
+
+func compressStr(c StringCol) *StrBlockCol {
+	enc := newStrBlockEnc()
+	for lo := 0; lo < len(c); lo += BlockRows {
+		hi := lo + BlockRows
+		if hi > len(c) {
+			hi = len(c)
+		}
+		enc.appendBlock(c[lo:hi])
+	}
+	return enc.finish()
+}
+
+// strBlockEnc incrementally encodes a string column block by block; shared
+// between Compress and the streaming BlockBuilder. It starts in dictionary
+// mode and rewrites itself to raw payloads if the distinct count exceeds
+// strDictMax (the dictionary still decodes the already-written blocks).
+type strBlockEnc struct {
+	dict    []string
+	index   map[string]uint32
+	raw     bool
+	data    []byte
+	offs    []uint32
+	widths  []byte
+	rows    int
+	logical int64
+	codes   []uint32 // scratch
+}
+
+func newStrBlockEnc() *strBlockEnc {
+	return &strBlockEnc{index: map[string]uint32{}, offs: []uint32{0}}
+}
+
+func (e *strBlockEnc) appendBlock(vals []string) {
+	for _, s := range vals {
+		e.logical += int64(len(s)) + 16
+	}
+	e.rows += len(vals)
+	if !e.raw {
+		e.codes = e.codes[:0]
+		maxCode := uint32(0)
+		for _, s := range vals {
+			code, ok := e.index[s]
+			if !ok {
+				code = uint32(len(e.dict))
+				e.index[s] = code
+				e.dict = append(e.dict, s)
+			}
+			if code > maxCode {
+				maxCode = code
+			}
+			e.codes = append(e.codes, code)
+		}
+		if len(e.dict) <= strDictMax {
+			width := uint(0)
+			for maxCode>>width != 0 {
+				width++
+			}
+			e.data = packCodes(e.data, e.codes, width)
+			e.widths = append(e.widths, byte(width))
+			e.offs = append(e.offs, uint32(len(e.data)))
+			return
+		}
+		e.switchToRaw(vals)
+		return
+	}
+	e.data = appendRawStrBlock(e.data, vals)
+	e.offs = append(e.offs, uint32(len(e.data)))
+}
+
+// switchToRaw re-encodes every already-written dictionary block as a raw
+// payload (decoding through the still-complete dictionary), then appends
+// the current block raw. One-time cost, paid only by high-cardinality
+// columns that looked dictionary-friendly at first.
+func (e *strBlockEnc) switchToRaw(cur []string) {
+	old := &StrBlockCol{dict: e.dict, widths: e.widths, data: e.data, offs: e.offs,
+		rows: e.rows - len(cur)}
+	var data []byte
+	offs := []uint32{0}
+	buf := make([]string, BlockRows)
+	for b := 0; b+1 < len(e.offs); b++ {
+		n := old.blockLen(b)
+		payload := old.data[old.offs[b]:old.offs[b+1]]
+		width := uint(old.widths[b])
+		blk := buf[:n]
+		for i := range blk {
+			blk[i] = old.dict[readPackedCode(payload, i, width)]
+		}
+		data = appendRawStrBlock(data, blk)
+		offs = append(offs, uint32(len(data)))
+	}
+	data = appendRawStrBlock(data, cur)
+	offs = append(offs, uint32(len(data)))
+	e.raw = true
+	e.dict, e.index, e.widths = nil, nil, nil
+	e.data, e.offs = data, offs
+}
+
+func (e *strBlockEnc) finish() *StrBlockCol {
+	return &StrBlockCol{dict: e.dict, widths: e.widths, data: e.data,
+		offs: e.offs, rows: e.rows, logical: e.logical}
+}
+
+// --- streaming block builder. ---
+
+// BlockBuilder accumulates rows and encodes full blocks as they fill, so
+// ingesting into a compressed backing never materializes whole raw columns
+// for numeric types. (String columns buffer only the current block plus the
+// dictionary.) The result is a compressed table with zone maps attached.
+type BlockBuilder struct {
+	schema Schema
+	f64s   map[int]*f64BlockEnc
+	i64s   map[int]*i64BlockEnc
+	strs   map[int]*strStreamEnc
+	rows   int
+}
+
+// NewBlockBuilder returns a streaming builder for the given schema.
+func NewBlockBuilder(schema Schema) *BlockBuilder {
+	b := &BlockBuilder{
+		schema: schema,
+		f64s:   map[int]*f64BlockEnc{},
+		i64s:   map[int]*i64BlockEnc{},
+		strs:   map[int]*strStreamEnc{},
+	}
+	for i, f := range schema {
+		switch f.Type {
+		case Float64:
+			b.f64s[i] = &f64BlockEnc{col: &F64BlockCol{offs: []uint32{0}}}
+		case Int64:
+			b.i64s[i] = &i64BlockEnc{col: &I64BlockCol{offs: []uint32{0}}}
+		case String:
+			b.strs[i] = &strStreamEnc{enc: newStrBlockEnc()}
+		}
+	}
+	return b
+}
+
+// AppendRow appends one row; vals must match the schema (float64, int64 or
+// string per field). Panics on mismatch, like Builder.AppendRow.
+func (b *BlockBuilder) AppendRow(vals ...any) {
+	if len(vals) != len(b.schema) {
+		panic(fmt.Sprintf("table: AppendRow got %d values for %d fields",
+			len(vals), len(b.schema)))
+	}
+	for i, v := range vals {
+		switch b.schema[i].Type {
+		case Float64:
+			b.f64s[i].append(v.(float64))
+		case Int64:
+			b.i64s[i].append(v.(int64))
+		case String:
+			b.strs[i].append(v.(string))
+		}
+	}
+	b.rows++
+}
+
+// NumRows returns the number of rows appended so far.
+func (b *BlockBuilder) NumRows() int { return b.rows }
+
+// Build finalizes the builder into a compressed table with zone maps. The
+// builder must not be used afterwards.
+func (b *BlockBuilder) Build() *Table {
+	cols := make([]Column, len(b.schema))
+	for i, f := range b.schema {
+		switch f.Type {
+		case Float64:
+			cols[i] = b.f64s[i].finish()
+		case Int64:
+			cols[i] = b.i64s[i].finish()
+		case String:
+			cols[i] = b.strs[i].finish()
+		}
+	}
+	t := MustNew(b.schema, cols...)
+	t.BuildZones()
+	return t
+}
+
+type f64BlockEnc struct {
+	col *F64BlockCol
+	buf []float64
+}
+
+func (e *f64BlockEnc) append(v float64) {
+	e.buf = append(e.buf, v)
+	if len(e.buf) == BlockRows {
+		e.flush()
+	}
+}
+
+func (e *f64BlockEnc) flush() {
+	if len(e.buf) == 0 {
+		return
+	}
+	c := e.col
+	codec, data := encodeF64Block(c.data, e.buf)
+	c.data = data
+	c.codecs = append(c.codecs, codec)
+	c.offs = append(c.offs, uint32(len(data)))
+	mn, mx := e.buf[0], e.buf[0]
+	for _, v := range e.buf[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	c.mins = append(c.mins, mn)
+	c.maxs = append(c.maxs, mx)
+	c.rows += len(e.buf)
+	e.buf = e.buf[:0]
+}
+
+func (e *f64BlockEnc) finish() *F64BlockCol {
+	e.flush()
+	return e.col
+}
+
+type i64BlockEnc struct {
+	col *I64BlockCol
+	buf []int64
+}
+
+func (e *i64BlockEnc) append(v int64) {
+	e.buf = append(e.buf, v)
+	if len(e.buf) == BlockRows {
+		e.flush()
+	}
+}
+
+func (e *i64BlockEnc) flush() {
+	if len(e.buf) == 0 {
+		return
+	}
+	c := e.col
+	codec, data := encodeI64Block(c.data, e.buf)
+	c.data = data
+	c.codecs = append(c.codecs, codec)
+	c.offs = append(c.offs, uint32(len(data)))
+	mn, mx := e.buf[0], e.buf[0]
+	for _, v := range e.buf[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	c.mins = append(c.mins, float64(mn))
+	c.maxs = append(c.maxs, float64(mx))
+	c.rows += len(e.buf)
+	e.buf = e.buf[:0]
+}
+
+func (e *i64BlockEnc) finish() *I64BlockCol {
+	e.flush()
+	return e.col
+}
+
+type strStreamEnc struct {
+	enc *strBlockEnc
+	buf []string
+}
+
+func (e *strStreamEnc) append(s string) {
+	e.buf = append(e.buf, s)
+	if len(e.buf) == BlockRows {
+		e.enc.appendBlock(e.buf)
+		e.buf = e.buf[:0]
+	}
+}
+
+func (e *strStreamEnc) finish() *StrBlockCol {
+	if len(e.buf) > 0 {
+		e.enc.appendBlock(e.buf)
+	}
+	return e.enc.finish()
+}
+
+// --- block-buffered cursors. ---
+
+// F64Cursor provides random access over any float64-readable column with a
+// one-block decode buffer; raw columns are accessed directly. Not safe for
+// concurrent use.
+type F64Cursor struct {
+	raw    []float64
+	rawI   []int64
+	r      F64Reader
+	buf    []float64
+	lo, hi int
+}
+
+// NewF64Cursor returns a cursor over c, which must be numeric (int64
+// columns are widened).
+func NewF64Cursor(c Column) (*F64Cursor, error) {
+	switch col := c.(type) {
+	case Float64Col:
+		return &F64Cursor{raw: col}, nil
+	case Int64Col:
+		return &F64Cursor{rawI: col}, nil
+	}
+	if r, ok := c.(F64Reader); ok {
+		return &F64Cursor{r: r, lo: -1, hi: -1}, nil
+	}
+	return nil, fmt.Errorf("table: column type %v is not float64-readable", c.Type())
+}
+
+// At returns the value at row i.
+func (cu *F64Cursor) At(i int) float64 {
+	if cu.raw != nil {
+		return cu.raw[i]
+	}
+	if cu.rawI != nil {
+		return float64(cu.rawI[i])
+	}
+	if i < cu.lo || i >= cu.hi {
+		cu.fill(i)
+	}
+	return cu.buf[i-cu.lo]
+}
+
+func (cu *F64Cursor) fill(i int) {
+	lo := i - i%BlockRows
+	hi := lo + BlockRows
+	if n := cu.r.Len(); hi > n {
+		hi = n
+	}
+	if cu.buf == nil {
+		cu.buf = make([]float64, BlockRows)
+	}
+	cu.r.ReadF64(cu.buf[:hi-lo], lo)
+	cu.lo, cu.hi = lo, hi
+}
+
+// I64Cursor is F64Cursor's int64 counterpart.
+type I64Cursor struct {
+	raw    []int64
+	r      I64Reader
+	buf    []int64
+	lo, hi int
+}
+
+// NewI64Cursor returns a cursor over c, which must be an int64 column.
+func NewI64Cursor(c Column) (*I64Cursor, error) {
+	switch col := c.(type) {
+	case Int64Col:
+		return &I64Cursor{raw: col}, nil
+	}
+	if r, ok := c.(I64Reader); ok {
+		return &I64Cursor{r: r, lo: -1, hi: -1}, nil
+	}
+	return nil, fmt.Errorf("table: column type %v is not int64-readable", c.Type())
+}
+
+// At returns the value at row i.
+func (cu *I64Cursor) At(i int) int64 {
+	if cu.raw != nil {
+		return cu.raw[i]
+	}
+	if i < cu.lo || i >= cu.hi {
+		lo := i - i%BlockRows
+		hi := lo + BlockRows
+		if n := cu.r.Len(); hi > n {
+			hi = n
+		}
+		if cu.buf == nil {
+			cu.buf = make([]int64, BlockRows)
+		}
+		cu.r.ReadI64(cu.buf[:hi-lo], lo)
+		cu.lo, cu.hi = lo, hi
+	}
+	return cu.buf[i-cu.lo]
+}
+
+// StrCursor is F64Cursor's string counterpart.
+type StrCursor struct {
+	raw    []string
+	r      StrReader
+	buf    []string
+	lo, hi int
+}
+
+// NewStrCursor returns a cursor over c, which must be a string column.
+func NewStrCursor(c Column) (*StrCursor, error) {
+	switch col := c.(type) {
+	case StringCol:
+		return &StrCursor{raw: col}, nil
+	}
+	if r, ok := c.(StrReader); ok {
+		return &StrCursor{r: r, lo: -1, hi: -1}, nil
+	}
+	return nil, fmt.Errorf("table: column type %v is not string-readable", c.Type())
+}
+
+// At returns the value at row i.
+func (cu *StrCursor) At(i int) string {
+	if cu.raw != nil {
+		return cu.raw[i]
+	}
+	if i < cu.lo || i >= cu.hi {
+		lo := i - i%BlockRows
+		hi := lo + BlockRows
+		if n := cu.r.Len(); hi > n {
+			hi = n
+		}
+		if cu.buf == nil {
+			cu.buf = make([]string, BlockRows)
+		}
+		cu.r.ReadStr(cu.buf[:hi-lo], lo)
+		cu.lo, cu.hi = lo, hi
+	}
+	return cu.buf[i-cu.lo]
+}
+
+// ensure interfaces are satisfied (compile-time checks).
+var (
+	_ F64Reader = Float64Col(nil)
+	_ F64Reader = Int64Col(nil)
+	_ I64Reader = Int64Col(nil)
+	_ StrReader = StringCol(nil)
+	_ F64Reader = (*F64BlockCol)(nil)
+	_ F64Reader = (*f64BlockView)(nil)
+	_ I64Reader = (*I64BlockCol)(nil)
+	_ F64Reader = (*I64BlockCol)(nil)
+	_ I64Reader = (*i64BlockView)(nil)
+	_ StrReader = (*StrBlockCol)(nil)
+	_ StrReader = (*strBlockView)(nil)
+)

@@ -1,0 +1,319 @@
+package table
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// blockTestTable builds a mixed-type table with compressible structure:
+// smooth floats, integral floats, small-range ints, and a tiny string set.
+func blockTestTable(n int) *Table {
+	rng := rand.New(rand.NewSource(7))
+	f := make(Float64Col, n)
+	bytesF := make(Float64Col, n)
+	ids := make(Int64Col, n)
+	city := make(StringCol, n)
+	cities := []string{"SF", "NYC", "LDN", "TYO"}
+	for i := 0; i < n; i++ {
+		f[i] = rng.NormFloat64()*10 + 100
+		bytesF[i] = float64(rng.Intn(1 << 20))
+		ids[i] = int64(rng.Intn(500))
+		city[i] = cities[rng.Intn(len(cities))]
+	}
+	return MustNew(Schema{
+		{Name: "lat", Type: Float64},
+		{Name: "bytes", Type: Float64},
+		{Name: "id", Type: Int64},
+		{Name: "city", Type: String},
+	}, f, bytesF, ids, city)
+}
+
+func assertTablesEqual(t *testing.T, raw, got *Table) {
+	t.Helper()
+	if got.NumRows() != raw.NumRows() || got.NumCols() != raw.NumCols() {
+		t.Fatalf("shape %dx%d, want %dx%d",
+			got.NumRows(), got.NumCols(), raw.NumRows(), raw.NumCols())
+	}
+	n := raw.NumRows()
+	for c := 0; c < raw.NumCols(); c++ {
+		switch rc := raw.Column(c).(type) {
+		case Float64Col:
+			dst := make([]float64, n)
+			got.Column(c).(F64Reader).ReadF64(dst, 0)
+			for i := range rc {
+				if math.Float64bits(dst[i]) != math.Float64bits(rc[i]) {
+					t.Fatalf("col %d row %d = %v, want %v", c, i, dst[i], rc[i])
+				}
+			}
+		case Int64Col:
+			dst := make([]int64, n)
+			got.Column(c).(I64Reader).ReadI64(dst, 0)
+			for i := range rc {
+				if dst[i] != rc[i] {
+					t.Fatalf("col %d row %d = %d, want %d", c, i, dst[i], rc[i])
+				}
+			}
+		case StringCol:
+			dst := make([]string, n)
+			got.Column(c).(StrReader).ReadStr(dst, 0)
+			for i := range rc {
+				if dst[i] != rc[i] {
+					t.Fatalf("col %d row %d = %q, want %q", c, i, dst[i], rc[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	raw := blockTestTable(3*BlockRows + 137)
+	ct := Compress(raw)
+	assertTablesEqual(t, raw, ct)
+
+	if got, want := ct.SizeBytes(), raw.SizeBytes(); got != want {
+		t.Errorf("logical SizeBytes changed: %d, want %d", got, want)
+	}
+	if ct.PhysicalSizeBytes() >= raw.PhysicalSizeBytes() {
+		t.Errorf("compression did not shrink: %d >= %d",
+			ct.PhysicalSizeBytes(), raw.PhysicalSizeBytes())
+	}
+	if !ct.Lazy() || raw.Lazy() {
+		t.Error("Lazy() wrong for compressed/raw tables")
+	}
+}
+
+func TestCompressedZonesMatchRaw(t *testing.T) {
+	raw := blockTestTable(2*BlockRows + 55)
+	raw.BuildZones()
+	ct := Compress(raw)
+	if ct.Zones() == nil {
+		t.Fatal("Compress did not attach zones")
+	}
+	for ci := 0; ci < raw.NumCols(); ci++ {
+		rz, rok := raw.Zones().Column(ci)
+		cz, cok := ct.Zones().Column(ci)
+		if rok != cok {
+			t.Fatalf("col %d envelope presence %v vs %v", ci, rok, cok)
+		}
+		for b := range rz.Mins {
+			if cz.Mins[b] != rz.Mins[b] || cz.Maxs[b] != rz.Maxs[b] {
+				t.Fatalf("col %d block %d envelope [%v,%v], want [%v,%v]",
+					ci, b, cz.Mins[b], cz.Maxs[b], rz.Mins[b], rz.Maxs[b])
+			}
+		}
+	}
+}
+
+func TestBlockGatherMatchesRawAndStreams(t *testing.T) {
+	raw := blockTestTable(4 * BlockRows)
+	ct := Compress(raw)
+	rng := rand.New(rand.NewSource(9))
+	idx := make([]int, 2000)
+	for i := range idx {
+		idx[i] = rng.Intn(raw.NumRows())
+	}
+	before := DecodedBlocks()
+	got := ct.Gather(idx)
+	decodes := DecodedBlocks() - before
+	// Each column decodes each *touched* block at most once: 4 columns x 4
+	// blocks is the ceiling no matter how shuffled idx is.
+	if maxDecodes := int64(4 * 4); decodes > maxDecodes {
+		t.Errorf("gather decoded %d blocks, want <= %d (one per touched block)",
+			decodes, maxDecodes)
+	}
+	assertTablesEqual(t, raw.Gather(idx), got)
+}
+
+func TestBlockSliceViews(t *testing.T) {
+	raw := blockTestTable(3*BlockRows + 10)
+	ct := Compress(raw)
+	for _, r := range [][2]int{{0, 10}, {5, BlockRows + 5}, {BlockRows, 3 * BlockRows}, {100, 100}} {
+		rv, cv := raw.Slice(r[0], r[1]), ct.Slice(r[0], r[1])
+		assertTablesEqual(t, rv, cv)
+	}
+	// Slice of slice.
+	assertTablesEqual(t,
+		raw.Slice(10, 2*BlockRows).Slice(50, 900),
+		ct.Slice(10, 2*BlockRows).Slice(50, 900))
+}
+
+func TestBlockBuilderMatchesCompress(t *testing.T) {
+	raw := blockTestTable(2*BlockRows + 321)
+	bb := NewBlockBuilder(raw.Schema())
+	lat := raw.Column(0).(Float64Col)
+	byt := raw.Column(1).(Float64Col)
+	id := raw.Column(2).(Int64Col)
+	city := raw.Column(3).(StringCol)
+	for i := 0; i < raw.NumRows(); i++ {
+		bb.AppendRow(lat[i], byt[i], id[i], city[i])
+	}
+	got := bb.Build()
+	assertTablesEqual(t, raw, got)
+	if got.Zones() == nil {
+		t.Error("BlockBuilder did not attach zones")
+	}
+}
+
+func TestStrDictOverflowFallsBackRaw(t *testing.T) {
+	n := strDictMax + BlockRows + 7
+	vals := make(StringCol, n)
+	for i := range vals {
+		// All distinct: must overflow the dictionary.
+		vals[i] = "s" + strconv.Itoa(i)
+	}
+	col := compressStr(vals)
+	if col.dict != nil {
+		t.Fatal("dictionary survived past strDictMax distinct values")
+	}
+	got := make([]string, n)
+	col.ReadStr(got, 0)
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("row %d = %q, want %q", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	raw := blockTestTable(3*BlockRows + 137)
+	raw.BuildZones()
+	path := filepath.Join(t.TempDir(), "t.aqps")
+	if err := WriteStore(path, raw); err != nil {
+		t.Fatal(err)
+	}
+	got, closer, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	assertTablesEqual(t, raw, got)
+	if got.Zones() == nil {
+		t.Fatal("OpenStore did not attach zones from metadata")
+	}
+	// Zones must match without any decode: compare against raw's.
+	for ci := 0; ci < raw.NumCols(); ci++ {
+		rz, rok := raw.Zones().Column(ci)
+		gz, gok := got.Zones().Column(ci)
+		if rok != gok {
+			t.Fatalf("col %d envelope presence mismatch", ci)
+		}
+		for b := range rz.Mins {
+			if gz.Mins[b] != rz.Mins[b] || gz.Maxs[b] != rz.Maxs[b] {
+				t.Fatalf("col %d block %d stored envelope differs", ci, b)
+			}
+		}
+	}
+	if got.SizeBytes() != raw.SizeBytes() {
+		t.Errorf("store logical size %d, want %d", got.SizeBytes(), raw.SizeBytes())
+	}
+}
+
+func TestStoreSpecialFloats(t *testing.T) {
+	// NaN/±Inf envelopes must survive the JSON metadata round trip.
+	f := Float64Col{math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1), 1.5}
+	raw := MustNew(Schema{{Name: "x", Type: Float64}}, f)
+	path := filepath.Join(t.TempDir(), "s.aqps")
+	if err := WriteStore(path, raw); err != nil {
+		t.Fatal(err)
+	}
+	got, closer, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	assertTablesEqual(t, raw, got)
+}
+
+func TestCursors(t *testing.T) {
+	raw := blockTestTable(BlockRows + 77)
+	ct := Compress(raw)
+	for _, tbl := range []*Table{raw, ct} {
+		fc, err := NewF64Cursor(tbl.ColumnByName("lat"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ic, err := NewI64Cursor(tbl.ColumnByName("id"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := NewStrCursor(tbl.ColumnByName("city"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat := raw.Column(0).(Float64Col)
+		id := raw.Column(2).(Int64Col)
+		city := raw.Column(3).(StringCol)
+		// Access pattern mixes forward, backward, and cross-block jumps.
+		order := []int{0, BlockRows + 5, 3, BlockRows - 1, BlockRows, 7, BlockRows + 76}
+		for _, i := range order {
+			if fc.At(i) != lat[i] {
+				t.Fatalf("F64Cursor.At(%d) = %v, want %v", i, fc.At(i), lat[i])
+			}
+			if ic.At(i) != id[i] {
+				t.Fatalf("I64Cursor.At(%d) = %v, want %v", i, ic.At(i), id[i])
+			}
+			if sc.At(i) != city[i] {
+				t.Fatalf("StrCursor.At(%d) = %q, want %q", i, sc.At(i), city[i])
+			}
+		}
+		// Int64 widening cursor.
+		wc, err := NewF64Cursor(tbl.ColumnByName("id"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wc.At(5) != float64(id[5]) {
+			t.Fatal("widening F64Cursor over int64 column wrong")
+		}
+	}
+}
+
+func TestReadCSVBackedMatchesRaw(t *testing.T) {
+	raw := blockTestTable(BlockRows + 400)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, raw); err != nil {
+		t.Fatal(err)
+	}
+	types := []Type{Float64, Float64, Int64, String}
+	rawIn, err := ReadCSV(bytes.NewReader(buf.Bytes()), types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backed, err := ReadCSVBacked(bytes.NewReader(buf.Bytes()), types, BackingCompressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTablesEqual(t, rawIn, backed)
+	if !backed.Lazy() {
+		t.Error("ReadCSVBacked(compressed) returned a raw table")
+	}
+	if backed.Zones() == nil {
+		t.Error("ReadCSVBacked(compressed) did not attach zones")
+	}
+	// WriteCSV over a compressed table must emit identical bytes.
+	var buf2 bytes.Buffer
+	if err := WriteCSV(&buf2, backed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("WriteCSV over compressed table differs from raw")
+	}
+}
+
+func TestParseBacking(t *testing.T) {
+	for s, want := range map[string]Backing{
+		"": BackingRaw, "raw": BackingRaw,
+		"compressed": BackingCompressed, "mmap": BackingMmap,
+	} {
+		got, err := ParseBacking(s)
+		if err != nil || got != want {
+			t.Errorf("ParseBacking(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseBacking("bogus"); err == nil {
+		t.Error("ParseBacking accepted bogus backing")
+	}
+}

@@ -1,0 +1,515 @@
+package table
+
+// Lightweight per-block codecs for the compressed and mmap column backings.
+// Every codec is bit-exact: decode(encode(x)) reproduces the original values
+// down to the float64 bit pattern (NaN payloads, -0, subnormals), which is
+// what lets the engine promise bit-identical answers and confidence
+// intervals across storage backings (pinned by the codec fuzz tests).
+//
+// Codec selection is per block (BlockRows values): a single stats pass —
+// min/max, run count, capped distinct count, integrality, a sampled XOR
+// profile — gates which candidate encodings are even attempted, the
+// candidates are encoded for real, and the smallest wins. Raw is always the
+// fallback, so a block never grows past its uncompressed size plus the
+// fixed per-block metadata.
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+)
+
+// Codec identifiers, stored one byte per block. Float and int codecs live
+// in disjoint ranges so a corrupt store cannot silently decode a float
+// block with an int codec.
+const (
+	codecRawF64   byte = 0 // 8 bytes/value, little-endian float64 bits
+	codecConstF64 byte = 1 // one 8-byte bit pattern for the whole block
+	codecXorF64   byte = 2 // Gorilla-style XOR-with-previous bit packing
+	codecIntF64   byte = 3 // integral floats re-encoded with an int codec
+
+	codecRawI64   byte = 16 // 8 bytes/value, little-endian
+	codecConstI64 byte = 17 // one zigzag-varint value
+	codecForI64   byte = 18 // frame-of-reference bit packing: min + deltas
+	codecRleI64   byte = 19 // (zigzag-varint value, varint run) pairs
+	codecDictI64  byte = 20 // distinct values + bit-packed indexes
+)
+
+// --- Bit-level I/O (LSB-first within the byte stream). ---
+
+type bitWriter struct {
+	buf []byte
+	acc uint64
+	n   uint // bits occupied in acc
+}
+
+// writeBits appends the low nb bits of v (nb <= 64).
+func (w *bitWriter) writeBits(v uint64, nb uint) {
+	if nb == 0 {
+		return
+	}
+	if nb < 64 {
+		v &= (uint64(1) << nb) - 1
+	}
+	w.acc |= v << w.n
+	if w.n+nb >= 64 {
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], w.acc)
+		w.buf = append(w.buf, tmp[:]...)
+		// Go defines shifts >= 64 as zero, so w.n == 0 leaves acc empty.
+		w.acc = v >> (64 - w.n)
+		w.n = w.n + nb - 64
+	} else {
+		w.n += nb
+	}
+}
+
+// finish flushes the partial tail word and returns the byte stream.
+func (w *bitWriter) finish() []byte {
+	for w.n > 0 {
+		w.buf = append(w.buf, byte(w.acc))
+		w.acc >>= 8
+		if w.n >= 8 {
+			w.n -= 8
+		} else {
+			w.n = 0
+		}
+	}
+	return w.buf
+}
+
+type bitReader struct {
+	buf []byte
+	pos int
+	acc uint64
+	n   uint
+}
+
+// read32 returns the next nb bits (nb <= 32).
+func (r *bitReader) read32(nb uint) uint64 {
+	for r.n < nb {
+		if r.pos < len(r.buf) {
+			r.acc |= uint64(r.buf[r.pos]) << r.n
+			r.pos++
+		} else {
+			// Past the end of a well-formed stream only the final partial
+			// byte's padding is read; zero-fill keeps that defined.
+			break
+		}
+		r.n += 8
+	}
+	v := r.acc & ((uint64(1) << nb) - 1)
+	r.acc >>= nb
+	if r.n >= nb {
+		r.n -= nb
+	} else {
+		r.n = 0
+	}
+	return v
+}
+
+// readBits returns the next nb bits (nb <= 64), composed LSB-first.
+func (r *bitReader) readBits(nb uint) uint64 {
+	if nb > 32 {
+		lo := r.read32(32)
+		hi := r.read32(nb - 32)
+		return lo | hi<<32
+	}
+	return r.read32(nb)
+}
+
+// --- Varint / zigzag helpers. ---
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+func appendUvarint(b []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(b, tmp[:n]...)
+}
+
+// --- int64 block codecs. ---
+
+// i64Stats is the one-pass profile the chooser gates candidates on.
+type i64Stats struct {
+	min, max int64
+	runs     int // count of value-change boundaries + 1
+	distinct int // capped at dictMaxDistinct+1
+}
+
+// dictMaxDistinct bounds the dictionary codec: past 256 distinct values per
+// 1024-row block the index width approaches the FOR width anyway.
+const dictMaxDistinct = 256
+
+func statsI64(vals []int64) i64Stats {
+	s := i64Stats{min: vals[0], max: vals[0], runs: 1}
+	seen := make(map[int64]struct{}, dictMaxDistinct+1)
+	seen[vals[0]] = struct{}{}
+	for i := 1; i < len(vals); i++ {
+		v := vals[i]
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+		if v != vals[i-1] {
+			s.runs++
+		}
+		if len(seen) <= dictMaxDistinct {
+			seen[v] = struct{}{}
+		}
+	}
+	s.distinct = len(seen)
+	return s
+}
+
+// encodeI64Block picks a codec for vals and appends the encoded payload to
+// dst, returning the codec id and the grown buffer. vals must be non-empty.
+func encodeI64Block(dst []byte, vals []int64) (byte, []byte) {
+	s := statsI64(vals)
+	if s.min == s.max {
+		return codecConstI64, appendUvarint(dst, zigzag(vals[0]))
+	}
+	rawSize := 8 * len(vals)
+	best := codecRawI64
+	var bestBuf []byte
+
+	// Frame-of-reference: always a candidate — cheap and usually competitive.
+	// Delta arithmetic is two's-complement, so min == MinInt64 wraps safely.
+	if width := uint(bits.Len64(uint64(s.max - s.min))); width < 64 {
+		var buf []byte
+		buf = appendUvarint(buf, zigzag(s.min))
+		buf = append(buf, byte(width))
+		w := bitWriter{buf: buf}
+		for _, v := range vals {
+			w.writeBits(uint64(v-s.min), width)
+		}
+		buf = w.finish()
+		if len(buf) < rawSize {
+			best, bestBuf = codecForI64, buf
+		}
+	}
+
+	// Run-length: only worth encoding when runs are long on average.
+	if s.runs*4 <= len(vals) {
+		var buf []byte
+		buf = appendUvarint(buf, uint64(s.runs))
+		start := 0
+		for i := 1; i <= len(vals); i++ {
+			if i == len(vals) || vals[i] != vals[start] {
+				buf = appendUvarint(buf, zigzag(vals[start]))
+				buf = appendUvarint(buf, uint64(i-start))
+				start = i
+			}
+		}
+		if len(buf) < rawSize && (bestBuf == nil || len(buf) < len(bestBuf)) {
+			best, bestBuf = codecRleI64, buf
+		}
+	}
+
+	// Dictionary: few distinct but wide-ranging values (sparse IDs).
+	if s.distinct <= dictMaxDistinct {
+		var dict []int64
+		index := make(map[int64]uint64, s.distinct)
+		codes := make([]uint64, len(vals))
+		for i, v := range vals {
+			c, ok := index[v]
+			if !ok {
+				c = uint64(len(dict))
+				index[v] = c
+				dict = append(dict, v)
+			}
+			codes[i] = c
+		}
+		width := uint(bits.Len64(uint64(len(dict) - 1)))
+		var buf []byte
+		buf = appendUvarint(buf, uint64(len(dict)))
+		for _, v := range dict {
+			buf = appendUvarint(buf, zigzag(v))
+		}
+		buf = append(buf, byte(width))
+		w := bitWriter{buf: buf}
+		for _, c := range codes {
+			w.writeBits(c, width)
+		}
+		buf = w.finish()
+		if len(buf) < rawSize && (bestBuf == nil || len(buf) < len(bestBuf)) {
+			best, bestBuf = codecDictI64, buf
+		}
+	}
+
+	if best == codecRawI64 {
+		for _, v := range vals {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+		}
+		return codecRawI64, dst
+	}
+	return best, append(dst, bestBuf...)
+}
+
+// decodeI64Block decodes n values of the given codec from payload into
+// dst[:n]. payload must be exactly the block's encoded bytes.
+func decodeI64Block(codec byte, payload []byte, dst []int64) {
+	n := len(dst)
+	switch codec {
+	case codecRawI64:
+		for i := 0; i < n; i++ {
+			dst[i] = int64(binary.LittleEndian.Uint64(payload[8*i:]))
+		}
+	case codecConstI64:
+		u, _ := binary.Uvarint(payload)
+		v := unzigzag(u)
+		for i := range dst {
+			dst[i] = v
+		}
+	case codecForI64:
+		u, sz := binary.Uvarint(payload)
+		min := unzigzag(u)
+		width := uint(payload[sz])
+		r := bitReader{buf: payload[sz+1:]}
+		for i := 0; i < n; i++ {
+			dst[i] = min + int64(r.readBits(width))
+		}
+	case codecRleI64:
+		runs, sz := binary.Uvarint(payload)
+		payload = payload[sz:]
+		i := 0
+		for run := uint64(0); run < runs; run++ {
+			u, sz := binary.Uvarint(payload)
+			payload = payload[sz:]
+			v := unzigzag(u)
+			cnt, sz := binary.Uvarint(payload)
+			payload = payload[sz:]
+			for j := uint64(0); j < cnt && i < n; j++ {
+				dst[i] = v
+				i++
+			}
+		}
+	case codecDictI64:
+		ndist, sz := binary.Uvarint(payload)
+		payload = payload[sz:]
+		dict := make([]int64, ndist)
+		for i := range dict {
+			u, sz := binary.Uvarint(payload)
+			payload = payload[sz:]
+			dict[i] = unzigzag(u)
+		}
+		width := uint(payload[0])
+		r := bitReader{buf: payload[1:]}
+		for i := 0; i < n; i++ {
+			dst[i] = dict[r.readBits(width)]
+		}
+	default:
+		panic("table: unknown int64 block codec")
+	}
+}
+
+// --- float64 block codecs. ---
+
+// integralF64 reports whether v survives a float64 → int64 → float64 round
+// trip bit-exactly: finite, integer-valued, in int64 range, and not -0
+// (whose sign bit the round trip would erase).
+func integralF64(v float64) bool {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return false
+	}
+	if v == 0 {
+		return !math.Signbit(v)
+	}
+	// Integral float64 values with |v| < 2^63 convert exactly both ways.
+	return v == math.Trunc(v) && v >= -9.223372036854775e18 && v <= 9.223372036854775e18
+}
+
+// encodeF64Block picks a codec for vals and appends the payload to dst.
+// vals must be non-empty.
+func encodeF64Block(dst []byte, vals []float64) (byte, []byte) {
+	first := math.Float64bits(vals[0])
+	allConst, allInt := true, true
+	for _, v := range vals {
+		if math.Float64bits(v) != first {
+			allConst = false
+		}
+		if allInt && !integralF64(v) {
+			allInt = false
+		}
+		if !allConst && !allInt {
+			break
+		}
+	}
+	if allConst {
+		return codecConstF64, binary.LittleEndian.AppendUint64(dst, first)
+	}
+	rawSize := 8 * len(vals)
+
+	// Integral floats (counts, IDs, cents) re-encode through the int64
+	// chooser, which typically beats any float scheme by a wide margin.
+	if allInt {
+		ints := make([]int64, len(vals))
+		for i, v := range vals {
+			ints[i] = int64(v)
+		}
+		var buf []byte
+		codec, buf := encodeI64Block(buf, ints)
+		if len(buf)+1 < rawSize {
+			dst = append(dst, codec)
+			return codecIntF64, append(dst, buf...)
+		}
+	}
+
+	// XOR packing: profile a sample of adjacent pairs first — high-entropy
+	// mantissas (uniform noise) make XOR a guaranteed loss, and the sample
+	// spots that without paying for a full encode.
+	if xorProfitable(vals) {
+		buf := encodeXorF64(nil, vals)
+		if len(buf) < rawSize {
+			return codecXorF64, append(dst, buf...)
+		}
+	}
+
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return codecRawF64, dst
+}
+
+// xorProfitable estimates the XOR codec's bits/value on up to 128 sampled
+// adjacent pairs and accepts when the estimate beats raw by ~15%.
+func xorProfitable(vals []float64) bool {
+	pairs := len(vals) - 1
+	if pairs <= 0 {
+		return false
+	}
+	stride := 1
+	if pairs > 128 {
+		stride = pairs / 128
+	}
+	bitsTotal, n := 0, 0
+	for i := stride; i < len(vals); i += stride {
+		xor := math.Float64bits(vals[i-1]) ^ math.Float64bits(vals[i])
+		if xor == 0 {
+			bitsTotal++
+		} else {
+			sig := 64 - bits.LeadingZeros64(xor) - bits.TrailingZeros64(xor)
+			bitsTotal += 14 + sig // control + window header + significant bits
+		}
+		n++
+	}
+	return float64(bitsTotal)/float64(n) < 54 // ~0.85 * 64
+}
+
+// encodeXorF64 is Gorilla-style XOR compression: each value XORs with its
+// predecessor; a zero XOR costs one bit, a nonzero XOR reuses the previous
+// (leading, significant) window when it still fits, or opens a new one.
+func encodeXorF64(dst []byte, vals []float64) []byte {
+	w := bitWriter{buf: dst}
+	prev := math.Float64bits(vals[0])
+	w.writeBits(prev, 64)
+	var prevLead, prevSig, prevTrail uint
+	haveWindow := false
+	for _, v := range vals[1:] {
+		cur := math.Float64bits(v)
+		xor := prev ^ cur
+		prev = cur
+		if xor == 0 {
+			w.writeBits(0, 1)
+			continue
+		}
+		lead := uint(bits.LeadingZeros64(xor))
+		if lead > 63 {
+			lead = 63
+		}
+		trail := uint(bits.TrailingZeros64(xor))
+		if haveWindow && lead >= prevLead && trail >= prevTrail {
+			w.writeBits(0b01, 2) // '1' then '0': reuse window
+			w.writeBits(xor>>prevTrail, prevSig)
+			continue
+		}
+		sig := 64 - lead - trail
+		w.writeBits(0b11, 2) // '1' then '1': new window
+		w.writeBits(uint64(lead), 6)
+		w.writeBits(uint64(sig-1), 6)
+		w.writeBits(xor>>trail, sig)
+		prevLead, prevSig, prevTrail = lead, sig, trail
+		haveWindow = true
+	}
+	return w.finish()
+}
+
+// decodeF64Block decodes n values of the given codec from payload into
+// dst[:n]. scratch supplies an int64 buffer for codecIntF64 (nil allocates).
+func decodeF64Block(codec byte, payload []byte, dst []float64, scratch []int64) {
+	n := len(dst)
+	switch codec {
+	case codecRawF64:
+		for i := 0; i < n; i++ {
+			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+		}
+	case codecConstF64:
+		v := math.Float64frombits(binary.LittleEndian.Uint64(payload))
+		for i := range dst {
+			dst[i] = v
+		}
+	case codecIntF64:
+		if cap(scratch) < n {
+			scratch = make([]int64, n)
+		}
+		ints := scratch[:n]
+		decodeI64Block(payload[0], payload[1:], ints)
+		for i, v := range ints {
+			dst[i] = float64(v)
+		}
+	case codecXorF64:
+		r := bitReader{buf: payload}
+		prev := r.readBits(64)
+		dst[0] = math.Float64frombits(prev)
+		var lead, sig, trail uint
+		for i := 1; i < n; i++ {
+			if r.readBits(1) == 0 {
+				dst[i] = math.Float64frombits(prev)
+				continue
+			}
+			if r.readBits(1) == 1 {
+				lead = uint(r.readBits(6))
+				sig = uint(r.readBits(6)) + 1
+				trail = 64 - lead - sig
+			}
+			xor := r.readBits(sig) << trail
+			prev ^= xor
+			dst[i] = math.Float64frombits(prev)
+		}
+	default:
+		panic("table: unknown float64 block codec")
+	}
+}
+
+// --- Packed string codes (dictionary columns). ---
+
+// packCodes bit-packs codes at the given width, byte-aligned per call so a
+// block's codes can be addressed independently.
+func packCodes(dst []byte, codes []uint32, width uint) []byte {
+	w := bitWriter{buf: dst}
+	for _, c := range codes {
+		w.writeBits(uint64(c), width)
+	}
+	return w.finish()
+}
+
+// readPackedCode extracts the idx-th width-bit code from a packed buffer.
+// width <= 32, so the value spans at most five bytes.
+func readPackedCode(buf []byte, idx int, width uint) uint32 {
+	if width == 0 {
+		return 0
+	}
+	bitPos := uint64(idx) * uint64(width)
+	byteOff := bitPos >> 3
+	shift := uint(bitPos & 7)
+	var v uint64
+	for i := uint(0); i*8 < shift+width; i++ {
+		if int(byteOff)+int(i) < len(buf) {
+			v |= uint64(buf[byteOff+uint64(i)]) << (8 * i)
+		}
+	}
+	return uint32((v >> shift) & ((1 << width) - 1))
+}

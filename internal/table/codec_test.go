@@ -1,0 +1,285 @@
+package table
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// adversarialI64 are the int64 block shapes the codecs must round-trip
+// bit-exactly: constants, long runs, tiny dictionaries, dense ranges,
+// all-distinct wide values, and the integer extremes.
+func adversarialI64() map[string][]int64 {
+	rng := rand.New(rand.NewSource(1))
+	long := make([]int64, BlockRows)
+	for i := range long {
+		long[i] = int64(i / 100)
+	}
+	wide := make([]int64, BlockRows)
+	for i := range wide {
+		wide[i] = rng.Int63() - rng.Int63()
+	}
+	dict := make([]int64, BlockRows)
+	vals := []int64{math.MinInt64, -1, 0, 7, math.MaxInt64}
+	for i := range dict {
+		dict[i] = vals[rng.Intn(len(vals))]
+	}
+	dense := make([]int64, BlockRows)
+	for i := range dense {
+		dense[i] = 1_000_000 + int64(i)
+	}
+	return map[string][]int64{
+		"single":       {42},
+		"constant":     {7, 7, 7, 7, 7, 7, 7},
+		"constantMin":  {math.MinInt64, math.MinInt64, math.MinInt64},
+		"extremes":     {math.MinInt64, math.MaxInt64, 0, -1, 1, math.MinInt64 + 1},
+		"runs":         long,
+		"wide":         wide,
+		"sparseDict":   dict,
+		"denseRange":   dense,
+		"negativeRun":  {-5, -5, -5, -5, -4, -4, -4, -4, -3, -3, -3, -3},
+		"alternating":  {0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1},
+		"fullRangePair": {math.MinInt64, math.MaxInt64},
+	}
+}
+
+func TestI64CodecRoundTrip(t *testing.T) {
+	for name, vals := range adversarialI64() {
+		codec, buf := encodeI64Block(nil, vals)
+		got := make([]int64, len(vals))
+		decodeI64Block(codec, buf, got)
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("%s (codec %d): value %d = %d, want %d",
+					name, codec, i, got[i], vals[i])
+			}
+		}
+		if len(buf) > 8*len(vals) {
+			t.Errorf("%s: encoded %d bytes > raw %d", name, len(buf), 8*len(vals))
+		}
+	}
+}
+
+// adversarialF64 covers the float64 bit patterns that naive codecs corrupt:
+// NaN (including non-default payloads), ±Inf, -0, subnormals, extreme
+// exponents, integral values at the int64-exactness boundary.
+func adversarialF64() map[string][]float64 {
+	rng := rand.New(rand.NewSource(2))
+	noise := make([]float64, BlockRows)
+	for i := range noise {
+		noise[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(60)-30))
+	}
+	smooth := make([]float64, BlockRows)
+	for i := range smooth {
+		smooth[i] = 20.5 + math.Sin(float64(i)/50)*0.25
+	}
+	ints := make([]float64, BlockRows)
+	for i := range ints {
+		ints[i] = float64(rng.Intn(10000))
+	}
+	nanPayload := math.Float64frombits(0x7ff8dead_beef0001)
+	return map[string][]float64{
+		"single":     {3.14},
+		"constant":   {2.5, 2.5, 2.5, 2.5},
+		"constNaN":   {math.NaN(), math.NaN(), math.NaN()},
+		"specials":   {math.NaN(), nanPayload, math.Inf(1), math.Inf(-1), 0, math.Copysign(0, -1)},
+		"negZeroRun": {math.Copysign(0, -1), math.Copysign(0, -1), 0, 0},
+		"subnormals": {5e-324, -5e-324, math.SmallestNonzeroFloat64, 1e-310},
+		"extremes":   {math.MaxFloat64, -math.MaxFloat64, 1e308, -1e-308},
+		"intBoundary": {
+			9.223372036854775e18, -9.223372036854775e18,
+			9007199254740992, 9007199254740993, // 2^53, 2^53+1 (rounds to 2^53)
+		},
+		"integral": ints,
+		"smooth":   smooth,
+		"noise":    noise,
+	}
+}
+
+func TestF64CodecRoundTrip(t *testing.T) {
+	for name, vals := range adversarialF64() {
+		codec, buf := encodeF64Block(nil, vals)
+		got := make([]float64, len(vals))
+		decodeF64Block(codec, buf, got, nil)
+		for i := range vals {
+			if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+				t.Fatalf("%s (codec %d): value %d = %x, want %x",
+					name, codec, i, math.Float64bits(got[i]), math.Float64bits(vals[i]))
+			}
+		}
+		if len(buf) > 8*len(vals) {
+			t.Errorf("%s: encoded %d bytes > raw %d", name, len(buf), 8*len(vals))
+		}
+	}
+}
+
+func TestIntegralF64(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want bool
+	}{
+		{0, true},
+		{math.Copysign(0, -1), false}, // -0 would lose its sign bit
+		{1.5, false},
+		{float64(1 << 62), true},
+		{math.NaN(), false},
+		{math.Inf(1), false},
+		{9.3e18, false}, // beyond int64
+		{-9.3e18, false},
+	} {
+		if got := integralF64(tc.v); got != tc.want {
+			t.Errorf("integralF64(%v) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestBitWriterReader(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	widths := make([]uint, 200)
+	vals := make([]uint64, 200)
+	for i := range widths {
+		widths[i] = uint(rng.Intn(64) + 1)
+		vals[i] = rng.Uint64() & ((uint64(1) << widths[i]) - 1)
+		if widths[i] == 64 {
+			vals[i] = rng.Uint64()
+		}
+	}
+	var w bitWriter
+	for i := range vals {
+		w.writeBits(vals[i], widths[i])
+	}
+	r := bitReader{buf: w.finish()}
+	for i := range vals {
+		if got := r.readBits(widths[i]); got != vals[i] {
+			t.Fatalf("bits %d (width %d) = %x, want %x", i, widths[i], got, vals[i])
+		}
+	}
+}
+
+func TestPackedCodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, width := range []uint{0, 1, 3, 7, 8, 13, 16, 17} {
+		codes := make([]uint32, 300)
+		for i := range codes {
+			if width > 0 {
+				codes[i] = rng.Uint32() & ((1 << width) - 1)
+			}
+		}
+		buf := packCodes(nil, codes, width)
+		for i, want := range codes {
+			if got := readPackedCode(buf, i, width); got != want {
+				t.Fatalf("width %d code %d = %d, want %d", width, i, got, want)
+			}
+		}
+	}
+}
+
+// FuzzI64Codec round-trips arbitrary int64 blocks through the chooser.
+func FuzzI64Codec(f *testing.F) {
+	for _, vals := range adversarialI64() {
+		f.Add(i64sToBytes(vals))
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		vals := bytesToI64s(raw)
+		if len(vals) == 0 || len(vals) > BlockRows {
+			return
+		}
+		codec, buf := encodeI64Block(nil, vals)
+		got := make([]int64, len(vals))
+		decodeI64Block(codec, buf, got)
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("codec %d: value %d = %d, want %d", codec, i, got[i], vals[i])
+			}
+		}
+	})
+}
+
+// FuzzF64Codec round-trips arbitrary float64 bit patterns (NaN payloads
+// included) through the chooser, comparing at the bit level.
+func FuzzF64Codec(f *testing.F) {
+	for _, vals := range adversarialF64() {
+		f.Add(f64sToBytes(vals))
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		vals := bytesToF64s(raw)
+		if len(vals) == 0 || len(vals) > BlockRows {
+			return
+		}
+		codec, buf := encodeF64Block(nil, vals)
+		got := make([]float64, len(vals))
+		decodeF64Block(codec, buf, got, nil)
+		for i := range vals {
+			if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+				t.Fatalf("codec %d: value %d = %x, want %x",
+					codec, i, math.Float64bits(got[i]), math.Float64bits(vals[i]))
+			}
+		}
+	})
+}
+
+// FuzzStrBlock round-trips arbitrary string blocks through both dictionary
+// and raw encodings.
+func FuzzStrBlock(f *testing.F) {
+	f.Add([]byte("a\x00b\x00a\x00c"))
+	f.Add([]byte(""))
+	f.Add([]byte("\x00\x00\x00"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var vals []string
+		for start, i := 0, 0; i <= len(raw); i++ {
+			if i == len(raw) || raw[i] == 0 {
+				vals = append(vals, string(raw[start:i]))
+				start = i + 1
+			}
+			if len(vals) >= BlockRows {
+				break
+			}
+		}
+		if len(vals) == 0 {
+			return
+		}
+		enc := newStrBlockEnc()
+		enc.appendBlock(vals)
+		col := enc.finish()
+		got := make([]string, len(vals))
+		col.ReadStr(got, 0)
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("value %d = %q, want %q", i, got[i], vals[i])
+			}
+		}
+	})
+}
+
+func i64sToBytes(vals []int64) []byte {
+	out := make([]byte, 0, 8*len(vals))
+	for _, v := range vals {
+		out = binary.LittleEndian.AppendUint64(out, uint64(v))
+	}
+	return out
+}
+
+func bytesToI64s(raw []byte) []int64 {
+	out := make([]int64, 0, len(raw)/8)
+	for i := 0; i+8 <= len(raw); i += 8 {
+		out = append(out, int64(binary.LittleEndian.Uint64(raw[i:])))
+	}
+	return out
+}
+
+func f64sToBytes(vals []float64) []byte {
+	out := make([]byte, 0, 8*len(vals))
+	for _, v := range vals {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+	}
+	return out
+}
+
+func bytesToF64s(raw []byte) []float64 {
+	out := make([]float64, 0, len(raw)/8)
+	for i := 0; i+8 <= len(raw); i += 8 {
+		out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(raw[i:])))
+	}
+	return out
+}

@@ -1,0 +1,24 @@
+//go:build !unix
+
+package table
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// mapFile reads path fully into memory on platforms without the unix mmap
+// path; the store still decodes lazily per block, it just loses the
+// skip-avoids-page-faults property.
+func mapFile(path string) ([]byte, io.Closer, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("table: reading store: %w", err)
+	}
+	return data, nopCloser{}, nil
+}
+
+type nopCloser struct{}
+
+func (nopCloser) Close() error { return nil }

@@ -1,0 +1,41 @@
+//go:build unix
+
+package table
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only and returns its bytes plus a closer that
+// unmaps. Empty files return an empty slice with a no-op closer.
+func mapFile(path string) ([]byte, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("table: opening store: %w", err)
+	}
+	defer f.Close() // the mapping outlives the descriptor
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, fmt.Errorf("table: stat store: %w", err)
+	}
+	if st.Size() == 0 {
+		return nil, nopCloser{}, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()),
+		syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("table: mmap store: %w", err)
+	}
+	return data, mmapCloser{data: data}, nil
+}
+
+type mmapCloser struct{ data []byte }
+
+func (m mmapCloser) Close() error { return syscall.Munmap(m.data) }
+
+type nopCloser struct{}
+
+func (nopCloser) Close() error { return nil }

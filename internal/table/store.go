@@ -1,0 +1,216 @@
+package table
+
+// On-disk block store. A store file is the compressed backing made durable:
+//
+//	[8]  magic "AQPSTOR1"
+//	[8]  little-endian uint64 offset of the metadata section
+//	[..] column data payloads, back to back (each column's encoded blocks)
+//	[..] metadata: JSON, from the recorded offset to EOF
+//
+// All block metadata — codec ids, payload offsets and the zone-map min/max
+// envelopes — lives in the JSON section, so OpenStore can attach zone maps
+// without touching a single data byte: a query whose predicate excludes a
+// block never faults its pages in, which is what turns zone-map skipping
+// into an I/O win rather than just a CPU win. Envelopes are persisted as
+// IEEE-754 bit patterns (uint64) because JSON cannot represent NaN/±Inf.
+//
+// On unix the data section is served from a read-only memory mapping; other
+// platforms fall back to reading the file into memory (store_fallback).
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+const storeMagic = "AQPSTOR1"
+
+type storeColumn struct {
+	Name    string   `json:"name"`
+	Type    Type     `json:"type"`
+	DataOff uint64   `json:"data_off"`
+	DataLen uint64   `json:"data_len"`
+	Offs    []uint32 `json:"offs"`
+	// Codecs holds per-block codec ids for numeric columns and per-block
+	// code bit widths for dictionary string columns.
+	Codecs []byte `json:"codecs,omitempty"`
+	// MinBits/MaxBits are zone envelopes as float64 bit patterns.
+	MinBits []uint64 `json:"min_bits,omitempty"`
+	MaxBits []uint64 `json:"max_bits,omitempty"`
+	// Dict is the column-wide string dictionary; nil with Type==String
+	// means raw per-block string payloads.
+	Dict    []string `json:"dict,omitempty"`
+	Logical int64    `json:"logical,omitempty"`
+}
+
+type storeMeta struct {
+	Rows    int           `json:"rows"`
+	Columns []storeColumn `json:"columns"`
+}
+
+func f64sToBits(vals []float64) []uint64 {
+	out := make([]uint64, len(vals))
+	for i, v := range vals {
+		out[i] = math.Float64bits(v)
+	}
+	return out
+}
+
+func bitsToF64s(bits []uint64) []float64 {
+	out := make([]float64, len(bits))
+	for i, b := range bits {
+		out[i] = math.Float64frombits(b)
+	}
+	return out
+}
+
+// WriteStore persists t to path in block-store format. Raw columns are
+// compressed on the way out; block-backed columns are written as-is.
+func WriteStore(path string, t *Table) (err error) {
+	ct := t
+	if !allBlockBacked(t) {
+		ct = Compress(t)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("table: creating store: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("table: closing store: %w", cerr)
+		}
+	}()
+
+	meta := storeMeta{Rows: ct.rows}
+	var header [16]byte
+	copy(header[:8], storeMagic)
+	if _, err := f.Write(header[:]); err != nil {
+		return fmt.Errorf("table: writing store header: %w", err)
+	}
+	dataOff := uint64(len(header))
+	for i, col := range ct.cols {
+		sc := storeColumn{Name: ct.schema[i].Name, Type: ct.schema[i].Type}
+		var data []byte
+		switch c := col.(type) {
+		case *F64BlockCol:
+			data = c.data
+			sc.Offs, sc.Codecs = c.offs, c.codecs
+			sc.MinBits, sc.MaxBits = f64sToBits(c.mins), f64sToBits(c.maxs)
+		case *I64BlockCol:
+			data = c.data
+			sc.Offs, sc.Codecs = c.offs, c.codecs
+			sc.MinBits, sc.MaxBits = f64sToBits(c.mins), f64sToBits(c.maxs)
+		case *StrBlockCol:
+			data = c.data
+			sc.Offs, sc.Codecs = c.offs, c.widths
+			sc.Dict, sc.Logical = c.dict, c.logical
+		default:
+			return fmt.Errorf("table: column %q is not block-backed after Compress",
+				sc.Name)
+		}
+		sc.DataOff, sc.DataLen = dataOff, uint64(len(data))
+		if _, err := f.Write(data); err != nil {
+			return fmt.Errorf("table: writing store column %q: %w", sc.Name, err)
+		}
+		dataOff += uint64(len(data))
+		meta.Columns = append(meta.Columns, sc)
+	}
+	blob, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("table: encoding store metadata: %w", err)
+	}
+	if _, err := f.Write(blob); err != nil {
+		return fmt.Errorf("table: writing store metadata: %w", err)
+	}
+	binary.LittleEndian.PutUint64(header[8:], dataOff)
+	if _, err := f.WriteAt(header[8:16], 8); err != nil {
+		return fmt.Errorf("table: writing store meta offset: %w", err)
+	}
+	return nil
+}
+
+func allBlockBacked(t *Table) bool {
+	for _, c := range t.cols {
+		switch c.(type) {
+		case *F64BlockCol, *I64BlockCol, *StrBlockCol:
+		default:
+			return false
+		}
+	}
+	return len(t.cols) > 0
+}
+
+// OpenStore maps the store at path and reconstructs its table. Column data
+// stays in the file mapping (unix) and is decoded lazily per block; zone
+// maps come straight from metadata, so skipped blocks cost no I/O. The
+// returned closer releases the mapping; the table must not be used after
+// Close.
+func OpenStore(path string) (*Table, io.Closer, error) {
+	data, closer, err := mapFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	t, err := storeFromBytes(data)
+	if err != nil {
+		closer.Close()
+		return nil, nil, err
+	}
+	return t, closer, nil
+}
+
+func storeFromBytes(data []byte) (*Table, error) {
+	if len(data) < 16 || string(data[:8]) != storeMagic {
+		return nil, fmt.Errorf("table: not a block store (bad magic)")
+	}
+	metaOff := binary.LittleEndian.Uint64(data[8:16])
+	if metaOff < 16 || metaOff > uint64(len(data)) {
+		return nil, fmt.Errorf("table: corrupt store (meta offset %d of %d bytes)",
+			metaOff, len(data))
+	}
+	var meta storeMeta
+	if err := json.Unmarshal(data[metaOff:], &meta); err != nil {
+		return nil, fmt.Errorf("table: decoding store metadata: %w", err)
+	}
+	schema := make(Schema, len(meta.Columns))
+	cols := make([]Column, len(meta.Columns))
+	for i, sc := range meta.Columns {
+		schema[i] = Field{Name: sc.Name, Type: sc.Type}
+		end := sc.DataOff + sc.DataLen
+		if sc.DataOff < 16 || end > metaOff {
+			return nil, fmt.Errorf("table: corrupt store (column %q data range)",
+				sc.Name)
+		}
+		payload := data[sc.DataOff:end]
+		nb := numBlocksFor(meta.Rows)
+		if len(sc.Offs) != nb+1 {
+			return nil, fmt.Errorf("table: corrupt store (column %q has %d offsets, want %d)",
+				sc.Name, len(sc.Offs), nb+1)
+		}
+		switch sc.Type {
+		case Float64:
+			cols[i] = &F64BlockCol{data: payload, offs: sc.Offs, codecs: sc.Codecs,
+				mins: bitsToF64s(sc.MinBits), maxs: bitsToF64s(sc.MaxBits),
+				rows: meta.Rows}
+		case Int64:
+			cols[i] = &I64BlockCol{data: payload, offs: sc.Offs, codecs: sc.Codecs,
+				mins: bitsToF64s(sc.MinBits), maxs: bitsToF64s(sc.MaxBits),
+				rows: meta.Rows}
+		case String:
+			cols[i] = &StrBlockCol{data: payload, offs: sc.Offs, widths: sc.Codecs,
+				dict: sc.Dict, rows: meta.Rows, logical: sc.Logical}
+		default:
+			return nil, fmt.Errorf("table: corrupt store (column %q type %d)",
+				sc.Name, sc.Type)
+		}
+	}
+	t, err := New(schema, cols...)
+	if err != nil {
+		return nil, err
+	}
+	t.rows = meta.Rows
+	t.BuildZones()
+	return t, nil
+}

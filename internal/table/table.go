@@ -73,7 +73,15 @@ type Column interface {
 	slice(i, j int) Column
 	// gather returns a new column of the rows at idx.
 	gather(idx []int) Column
+	// sizeBytes is the LOGICAL size: what the decoded values occupy. It is
+	// backing-invariant, so BytesScanned stays comparable across backings.
 	sizeBytes() int64
+	// physBytes is the resident size of the physical representation
+	// (encoded payloads + block metadata for block columns).
+	physBytes() int64
+	// lazy reports whether access decodes blocks rather than reading a raw
+	// slice; the executor uses it to pick the block-walk path.
+	lazy() bool
 }
 
 // Float64Col is a vector of float64 values.
@@ -151,9 +159,10 @@ type Table struct {
 	cols   []Column
 	rows   int
 	// zones holds per-block min/max envelopes for numeric columns, built
-	// once via BuildZones on stored tables. Views (Slice, Partition,
-	// Gather, WithColumn) leave it nil: their row numbering no longer
-	// matches the base table's blocks, and nil simply disables skipping.
+	// once via BuildZones on stored tables. Views inherit them when their
+	// row numbering still lines up with block boundaries (block-aligned
+	// Slice/Partition, WithColumn); Gather views and unaligned slices leave
+	// it nil, which simply disables skipping.
 	zones *Zones
 }
 
@@ -228,12 +237,21 @@ func (t *Table) Float64ColumnByName(name string) ([]float64, error) {
 			out[i] = float64(v)
 		}
 		return out, nil
-	default:
-		return nil, fmt.Errorf("table: column %q is %v, not numeric", name, c.Type())
 	}
+	if r, ok := c.(F64Reader); ok {
+		out := make([]float64, r.Len())
+		r.ReadF64(out, 0)
+		return out, nil
+	}
+	return nil, fmt.Errorf("table: column %q is %v, not numeric", name, c.Type())
 }
 
-// Slice returns a zero-copy view of rows [i, j).
+// Slice returns a zero-copy view of rows [i, j). When i falls on a zone
+// block boundary the view inherits the base table's zone maps (sliced to
+// the covered blocks): the view's row b*ZoneBlockRows is exactly row
+// i+b*ZoneBlockRows of the base, so each inherited envelope covers a
+// superset of the view's block and skipping stays conservative. Unaligned
+// slices get nil zones, which degrades to "never skip".
 func (t *Table) Slice(i, j int) *Table {
 	if i < 0 || j > t.rows || i > j {
 		panic(fmt.Sprintf("table: Slice(%d, %d) out of range [0, %d]", i, j, t.rows))
@@ -242,7 +260,11 @@ func (t *Table) Slice(i, j int) *Table {
 	for k, c := range t.cols {
 		cols[k] = c.slice(i, j)
 	}
-	return &Table{schema: t.schema, cols: cols, rows: j - i}
+	out := &Table{schema: t.schema, cols: cols, rows: j - i}
+	if i%ZoneBlockRows == 0 {
+		out.zones = t.zones.slice(i, j)
+	}
+	return out
 }
 
 // Partition splits the table into k contiguous, zero-copy views of
@@ -263,6 +285,40 @@ func (t *Table) Partition(k int) []*Table {
 		}
 		parts[i] = t.Slice(start, start+size)
 		start += size
+	}
+	return parts
+}
+
+// PartitionAligned splits the table into k contiguous views whose
+// boundaries fall on zone-block multiples (except the final row). Aligned
+// partitions inherit zone maps and decode whole blocks, so the executor
+// prefers this over Partition for scan scheduling. Row order across the
+// concatenated partitions is identical to Partition's input order, which is
+// what keeps answers bit-identical regardless of the split. Trailing
+// partitions may be empty when the table has fewer blocks than k.
+func (t *Table) PartitionAligned(k int) []*Table {
+	if k < 1 {
+		panic("table: PartitionAligned with k < 1")
+	}
+	nb := (t.rows + ZoneBlockRows - 1) / ZoneBlockRows
+	parts := make([]*Table, k)
+	base := nb / k
+	rem := nb % k
+	start := 0
+	for i := 0; i < k; i++ {
+		blocks := base
+		if i < rem {
+			blocks++
+		}
+		end := start + blocks*ZoneBlockRows
+		if end > t.rows || i == k-1 {
+			end = t.rows
+		}
+		if start > end {
+			start = end
+		}
+		parts[i] = t.Slice(start, end)
+		start = end
 	}
 	return parts
 }
@@ -293,17 +349,45 @@ func (t *Table) WithColumn(f Field, c Column) (*Table, error) {
 	cols := make([]Column, 0, len(t.cols)+1)
 	cols = append(cols, t.cols...)
 	cols = append(cols, c)
-	return &Table{schema: schema, cols: cols, rows: t.rows}, nil
+	out := &Table{schema: schema, cols: cols, rows: t.rows}
+	// Row numbering is unchanged, so existing envelopes stay valid; extend
+	// them with an envelope for the new column when it is numeric.
+	out.zones = t.zones.withColumn(len(t.cols), c)
+	return out, nil
 }
 
-// SizeBytes estimates the in-memory footprint of the table's data; the
-// cluster cost model uses it to convert views into scan times.
+// SizeBytes estimates the LOGICAL in-memory footprint of the table's data —
+// what the decoded values occupy. It is deliberately backing-invariant so
+// BytesScanned (and the cluster cost model built on it) reads the same for
+// raw, compressed and mmap backings of the same data.
 func (t *Table) SizeBytes() int64 {
 	var n int64
 	for _, c := range t.cols {
 		n += c.sizeBytes()
 	}
 	return n
+}
+
+// PhysicalSizeBytes reports the resident footprint of the table's physical
+// representation: raw slices for raw columns, encoded payloads plus block
+// metadata for compressed and mmap-backed columns.
+func (t *Table) PhysicalSizeBytes() int64 {
+	var n int64
+	for _, c := range t.cols {
+		n += c.physBytes()
+	}
+	return n
+}
+
+// Lazy reports whether any column decodes on access (block-compressed or
+// mmap-backed).
+func (t *Table) Lazy() bool {
+	for _, c := range t.cols {
+		if c.lazy() {
+			return true
+		}
+	}
+	return false
 }
 
 // Builder accumulates rows for a schema and produces an immutable Table.

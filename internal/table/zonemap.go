@@ -9,10 +9,17 @@ package table
 // Zone maps are conservative by construction: a block is only skippable
 // when its [min, max] envelope is disjoint from the predicate's feasible
 // range for some column, so skipping never changes which rows survive the
-// filter (pinned by TestZoneSkipPreservesSelection). Views produced by
-// Slice, Partition, Gather and WithColumn do not inherit zone maps — their
-// row numbering no longer lines up with the base table's blocks — which
-// degrades them to "never skip", not to wrong answers.
+// filter (pinned by TestZoneSkipPreservesSelection). Views inherit zone
+// maps when their row numbering still lines up with the base table's
+// blocks: block-aligned Slice/Partition views get the covered sub-range of
+// envelopes, and WithColumn keeps the base envelopes (row numbering is
+// unchanged) plus a freshly computed one for the new column. Gather views
+// and unaligned slices do not inherit — which degrades them to "never
+// skip", not to wrong answers.
+//
+// Block columns (block.go) capture per-block min/max during encoding, so
+// BuildZones on a compressed or mmap-backed table adopts the stored
+// envelopes instead of re-scanning.
 
 // ZoneBlockRows is the number of rows summarized per zone-map block: 1024
 // float64 values = 8 KiB, the same block the resampling kernel streams.
@@ -50,6 +57,39 @@ func (z *Zones) Column(i int) (ColumnZones, bool) {
 	return cz, ok
 }
 
+// slice returns the zones covering base rows [i, j), where i is a block
+// multiple. The final inherited envelope may cover rows past j; that keeps
+// it a superset of the view's last block, which is still conservative. Nil
+// receiver or empty range yields nil.
+func (z *Zones) slice(i, j int) *Zones {
+	if z == nil || i >= j {
+		return nil
+	}
+	lo := i / ZoneBlockRows
+	hi := (j + ZoneBlockRows - 1) / ZoneBlockRows
+	out := &Zones{rows: j - i, byCol: make(map[int]ColumnZones, len(z.byCol))}
+	for ci, cz := range z.byCol {
+		out.byCol[ci] = ColumnZones{Mins: cz.Mins[lo:hi], Maxs: cz.Maxs[lo:hi]}
+	}
+	return out
+}
+
+// withColumn extends the zones with an envelope for a newly appended
+// column at index ci (numeric columns only). Nil receiver stays nil.
+func (z *Zones) withColumn(ci int, c Column) *Zones {
+	if z == nil {
+		return nil
+	}
+	out := &Zones{rows: z.rows, byCol: make(map[int]ColumnZones, len(z.byCol)+1)}
+	for k, v := range z.byCol {
+		out.byCol[k] = v
+	}
+	if cz, ok := envelopeFor(c, z.NumBlocks()); ok {
+		out.byCol[ci] = cz
+	}
+	return out
+}
+
 // BuildZones computes per-block min/max envelopes for every numeric column
 // and attaches them to the table. It is idempotent and cheap relative to a
 // single scan (one pass per numeric column); call it once at registration
@@ -62,23 +102,43 @@ func (t *Table) BuildZones() {
 	z := &Zones{rows: t.rows, byCol: map[int]ColumnZones{}}
 	nb := (t.rows + ZoneBlockRows - 1) / ZoneBlockRows
 	for ci, col := range t.cols {
-		var cz ColumnZones
-		switch c := col.(type) {
-		case Float64Col:
-			cz = buildZonesF64(c, nb)
-		case Int64Col:
-			cz = buildZonesI64(c, nb)
-		default:
-			continue
+		if cz, ok := envelopeFor(col, nb); ok {
+			z.byCol[ci] = cz
 		}
-		z.byCol[ci] = cz
 	}
 	t.zones = z
+}
+
+// zoneSource is implemented by block columns that captured per-block
+// envelopes during encoding.
+type zoneSource interface {
+	zoneEnvelope() (ColumnZones, bool)
+}
+
+// envelopeFor computes (or adopts) the per-block envelope of a numeric
+// column spanning nb blocks.
+func envelopeFor(col Column, nb int) (ColumnZones, bool) {
+	switch c := col.(type) {
+	case Float64Col:
+		return buildZonesF64(c, nb), true
+	case Int64Col:
+		return buildZonesI64(c, nb), true
+	}
+	if zs, ok := col.(zoneSource); ok {
+		return zs.zoneEnvelope()
+	}
+	return ColumnZones{}, false
 }
 
 // Zones returns the table's zone maps, or nil when none were built (views
 // and unregistered tables).
 func (t *Table) Zones() *Zones { return t.zones }
+
+// DropZones detaches the table's zone maps (the DisableZoneMaps ablation:
+// Compress attaches envelopes as an encoding by-product, and the ablation
+// must observe a table without them). Call before sharing the table across
+// queries — Tables are treated as immutable once published.
+func (t *Table) DropZones() { t.zones = nil }
 
 func buildZonesF64(c Float64Col, nb int) ColumnZones {
 	mins := make([]float64, nb)

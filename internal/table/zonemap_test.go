@@ -90,27 +90,86 @@ func TestBuildZonesIdempotent(t *testing.T) {
 	}
 }
 
-func TestViewsDoNotInheritZones(t *testing.T) {
+func TestViewZoneInheritance(t *testing.T) {
 	tbl := zoneTestTable(2*ZoneBlockRows + 10)
 	tbl.BuildZones()
+
+	// Unaligned views and gathers must not inherit: their row numbering no
+	// longer matches block boundaries.
 	if v := tbl.Slice(5, 100); v.Zones() != nil {
-		t.Error("Slice view inherited zones")
+		t.Error("unaligned Slice view inherited zones")
 	}
 	if v := tbl.Gather([]int{3, 1, 2}); v.Zones() != nil {
 		t.Error("Gather view inherited zones")
 	}
-	for _, p := range tbl.Partition(3) {
-		if p.Zones() != nil {
-			t.Error("Partition view inherited zones")
+
+	// Block-aligned slices inherit the covered envelopes.
+	v := tbl.Slice(ZoneBlockRows, tbl.NumRows())
+	z := v.Zones()
+	if z == nil {
+		t.Fatal("aligned Slice view did not inherit zones")
+	}
+	if got, want := z.NumBlocks(), 2; got != want {
+		t.Fatalf("aligned slice has %d blocks, want %d", got, want)
+	}
+	base, _ := tbl.Zones().Column(0)
+	cz, ok := z.Column(0)
+	if !ok || cz.Mins[0] != base.Mins[1] || cz.Maxs[1] != base.Maxs[2] {
+		t.Error("aligned slice envelopes are not the covered sub-range")
+	}
+
+	// PartitionAligned partitions all start on block boundaries.
+	for i, p := range tbl.PartitionAligned(3) {
+		if p.NumRows() > 0 && p.Zones() == nil {
+			t.Errorf("aligned partition %d did not inherit zones", i)
 		}
 	}
-	v, err := tbl.WithColumn(Field{Name: "f2", Type: Float64},
+
+	// WithColumn keeps row numbering, so it inherits and extends.
+	wv, err := tbl.WithColumn(Field{Name: "f2", Type: Float64},
 		Float64Col(make([]float64, tbl.NumRows())))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v.Zones() != nil {
-		t.Error("WithColumn view inherited zones")
+	wz := wv.Zones()
+	if wz == nil {
+		t.Fatal("WithColumn view did not inherit zones")
+	}
+	ncz, ok := wz.Column(wv.Schema().Index("f2"))
+	if !ok {
+		t.Fatal("WithColumn did not build an envelope for the new column")
+	}
+	if ncz.Mins[0] != 0 || ncz.Maxs[0] != 0 {
+		t.Error("new column envelope wrong for all-zero column")
+	}
+}
+
+func TestPartitionAlignedCoversAllRowsInOrder(t *testing.T) {
+	for _, n := range []int{0, 1, ZoneBlockRows, 2*ZoneBlockRows + 10, 5 * ZoneBlockRows} {
+		for k := 1; k <= 7; k++ {
+			tbl := zoneTestTable(n)
+			parts := tbl.PartitionAligned(k)
+			if len(parts) != k {
+				t.Fatalf("n=%d k=%d: got %d partitions", n, k, len(parts))
+			}
+			total := 0
+			f := tbl.ColumnByName("f").(Float64Col)
+			for _, p := range parts {
+				if p.NumRows() > 0 && total%ZoneBlockRows != 0 {
+					t.Fatalf("n=%d k=%d: partition starts at unaligned row %d", n, k, total)
+				}
+				pf := p.ColumnByName("f").(Float64Col)
+				for i, v := range pf {
+					if v != f[total+i] {
+						t.Fatalf("n=%d k=%d: row %d out of order", n, k, total+i)
+					}
+				}
+				total += p.NumRows()
+			}
+			if total != n {
+				t.Fatalf("n=%d k=%d: partitions cover %d rows", n, k, total)
+			}
+		}
 	}
 }
 
