@@ -19,7 +19,10 @@
 // zone-map block-skipping sweep, which writes machine-readable
 // BENCH_shared_scan.json), and storage (per-backing footprint, exact-scan
 // throughput, and the sample-query latency-vs-data-volume sweep, which
-// writes machine-readable BENCH_storage.json).
+// writes machine-readable BENCH_storage.json), and history (the durable
+// telemetry store's write-path overhead, append throughput per fsync
+// policy, replay scaling, and workload-profile convergence, which writes
+// machine-readable BENCH_history.json).
 package main
 
 import (
@@ -77,6 +80,7 @@ func main() {
 		"ablation":     func() result { return experiments.DiagnosticAblation(cfg) },
 		"stages":       func() result { return experiments.Stages(cfg) },
 		"obs-overhead": func() result { return experiments.ObsOverhead(cfg) },
+		"history":      func() result { return experiments.HistoryBench(cfg) },
 		"kernel": func() result {
 			n, iters := 100000, 3
 			if *full {
@@ -112,7 +116,7 @@ func main() {
 			return storageBench(rows, sample, int(cfg.Seed))
 		},
 	}
-	order := []string{"1", "3", "4b", "4c", "7", "8ab", "8c", "8d", "8ef", "9", "ablation", "stages", "obs-overhead", "kernel", "concurrency", "shared-scan", "storage"}
+	order := []string{"1", "3", "4b", "4c", "7", "8ab", "8c", "8d", "8ef", "9", "ablation", "stages", "obs-overhead", "history", "kernel", "concurrency", "shared-scan", "storage"}
 
 	var selected []string
 	switch strings.ToLower(*fig) {

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/history"
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/table"
@@ -39,7 +40,7 @@ import (
 
 const demoRows = 1000000
 
-func buildDemo(metricsAddr string, elog *obs.EventLog, audit float64) (*core.Engine, *watchdog.Watchdog, error) {
+func buildDemo(metricsAddr string, elog *obs.EventLog, audit float64, obsCfg obs.Config, profileDir string) (*core.Engine, *watchdog.Watchdog, *history.Store, error) {
 	src := rng.New(42)
 	times := make(table.Float64Col, demoRows)
 	cities := make(table.StringCol, demoRows)
@@ -57,13 +58,29 @@ func buildDemo(metricsAddr string, elog *obs.EventLog, audit float64) (*core.Eng
 		{Name: "KB", Type: table.Float64},
 	}, times, cities, bytes)
 
-	tracer := obs.NewTracer(obs.Options{})
+	tracer := obs.NewTracer(obsCfg)
 	var wd *watchdog.Watchdog
 	if audit > 0 {
 		wd = watchdog.New(watchdog.Config{
 			AuditFraction: audit,
 			Metrics:       tracer.Registry(),
 		})
+	}
+	var hist *history.Store
+	if profileDir != "" {
+		var err error
+		hist, err = history.Open(profileDir, history.Options{
+			Registry: tracer.Registry(),
+			SLOs: []history.SLOSpec{
+				{Name: "latency-p99", Kind: history.SLOLatency,
+					Objective: 0.99, ThresholdMs: 1000},
+				{Name: "coverage", Kind: history.SLOCoverage, Objective: 0.93},
+				{Name: "availability", Kind: history.SLOAvailability, Objective: 0.999},
+			},
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
 	}
 	e := core.New(core.Config{
 		Seed:        42,
@@ -72,9 +89,10 @@ func buildDemo(metricsAddr string, elog *obs.EventLog, audit float64) (*core.Eng
 		MetricsAddr: metricsAddr,
 		EventLog:    elog,
 		Watchdog:    wd,
+		History:     hist,
 	})
 	if err := e.RegisterTable("Sessions", tbl); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	e.RegisterUDF("TRIMMEDMEAN", func(values, weights []float64) float64 {
 		var m stats.Moments
@@ -101,9 +119,9 @@ func buildDemo(metricsAddr string, elog *obs.EventLog, audit float64) (*core.Eng
 		return c.Mean()
 	})
 	if err := e.BuildSamples("Sessions", 10000, 100000); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return e, wd, nil
+	return e, wd, hist, nil
 }
 
 func main() {
@@ -117,13 +135,33 @@ func main() {
 		"structured query event log: 'json' writes one JSON record per query to stderr")
 	audit := flag.Float64("audit", 0,
 		"calibration watchdog: audit this fraction of queries exactly (e.g. 0.1; with -metrics, serves /debug/calibration)")
+	profileDir := flag.String("profile", "",
+		"persist query history to this directory and enable the \\profile workload summary (with -metrics, serves /debug/workload, /debug/slo, /debug/history)")
+	historyPath := flag.String("history", "",
+		"offline mode: replay a history segment file or directory from a dead process, print the workload summary, and exit")
+	slowMs := flag.Float64("slowms", 0,
+		"slow-query threshold in ms for the trace ring and event log (0 = 1000)")
+	maxRelErr := flag.Float64("maxrelerr", 0,
+		"event-log miscalibration threshold: flag aggregates whose relative error exceeds this (0 = off)")
+	ringSize := flag.Int("ring", 0,
+		"trace ring capacity for /debug/queries (0 = 64)")
 	flag.Parse()
+
+	obsCfg := obs.Config{RingSize: *ringSize, SlowQueryMs: *slowMs, MaxRelErr: *maxRelErr}
+
+	if *historyPath != "" {
+		if err := replayHistory(*historyPath); err != nil {
+			fmt.Fprintln(os.Stderr, "aqpshell:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var elog *obs.EventLog
 	switch *logFormat {
 	case "":
 	case "json":
-		elog = obs.NewEventLog(os.Stderr, obs.EventLogOptions{})
+		elog = obs.NewEventLog(os.Stderr, obsCfg)
 	default:
 		fmt.Fprintf(os.Stderr, "aqpshell: unknown -log format %q (only 'json')\n", *logFormat)
 		os.Exit(2)
@@ -133,13 +171,14 @@ func main() {
 	fmt.Println("demo table: Sessions(Time FLOAT64, City STRING, KB FLOAT64),",
 		demoRows, "rows; samples: 10k, 100k")
 	fmt.Println(`type \help for commands`)
-	engine, wd, err := buildDemo(*metricsAddr, elog, *audit)
+	engine, wd, hist, err := buildDemo(*metricsAddr, elog, *audit, obsCfg, *profileDir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aqpshell:", err)
 		os.Exit(1)
 	}
 	defer engine.Close()
 	defer wd.Close()
+	defer hist.Close()
 	if addr, err := engine.MetricsEndpoint(); err != nil {
 		fmt.Fprintln(os.Stderr, "aqpshell: metrics endpoint:", err)
 		os.Exit(1)
@@ -147,6 +186,10 @@ func main() {
 		fmt.Printf("metrics: http://%s/metrics  traces: http://%s/debug/queries\n", addr, addr)
 		if wd != nil {
 			fmt.Printf("calibration: http://%s/debug/calibration\n", addr)
+		}
+		if hist != nil {
+			fmt.Printf("workload: http://%s/debug/workload  slo: http://%s/debug/slo  history: http://%s/debug/history\n",
+				addr, addr, addr)
 		}
 	}
 
@@ -196,7 +239,14 @@ func main() {
   \time <s> <sql>   answer within a time budget of s seconds
   \load <csv> <name> <types> [rows]  load a CSV table and sample it
   \tables           list tables
+  \profile          workload profile summary (requires -profile <dir>)
   \quit             exit`)
+		case line == `\profile`:
+			if hist == nil {
+				fmt.Println("no history store; start with -profile <dir>")
+				continue
+			}
+			fmt.Print(history.FormatWorkload(hist.Profiles()))
 		case strings.HasPrefix(line, `\load `):
 			// \load <csv-path> <table-name> <type,type,...> [sample-rows]
 			args := strings.Fields(strings.TrimPrefix(line, `\load `))
@@ -258,6 +308,32 @@ func main() {
 			show(ans, err)
 		}
 	}
+}
+
+// replayHistory loads a history segment file (or a whole history
+// directory) from a dead process and prints the same workload summary
+// /debug/workload would have served.
+func replayHistory(path string) error {
+	profiles, segs, err := history.Replay(path)
+	if err != nil {
+		return err
+	}
+	records, skipped := 0, 0
+	for _, s := range segs {
+		records += s.Records
+		if s.TailSkipped {
+			skipped++
+			fmt.Fprintf(os.Stderr, "aqpshell: %s: corrupt tail skipped: %s\n",
+				s.Name, s.TailErr)
+		}
+	}
+	fmt.Printf("replayed %d record(s) from %d segment(s)", records, len(segs))
+	if skipped > 0 {
+		fmt.Printf(" (%d corrupt tail(s) skipped)", skipped)
+	}
+	fmt.Println()
+	fmt.Print(history.FormatWorkload(profiles))
+	return nil
 }
 
 // loadCSV registers a CSV file as a table and builds a sample over it.

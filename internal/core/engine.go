@@ -24,6 +24,7 @@ import (
 	"repro/internal/estimator"
 	"repro/internal/exec"
 	"repro/internal/obs"
+	"repro/internal/obs/history"
 	"repro/internal/plan"
 	"repro/internal/rng"
 	"repro/internal/sample"
@@ -84,6 +85,11 @@ type Config struct {
 	// every query (see internal/obs). Nil disables telemetry; answers are
 	// bit-identical either way.
 	Obs *obs.Tracer
+	// ObsConfig tunes the tracer the engine auto-creates when MetricsAddr
+	// is set without Obs (trace ring size; the event-log thresholds are
+	// read by callers constructing an EventLog). Ignored when Obs is set —
+	// a caller-supplied tracer is already configured.
+	ObsConfig obs.Config
 	// MetricsAddr, when non-empty, serves the tracer's /metrics and
 	// /debug/queries endpoints on this address (e.g. "127.0.0.1:9090";
 	// ":0" picks a free port, see Engine.MetricsEndpoint). Setting it
@@ -100,6 +106,14 @@ type Config struct {
 	// watchdog's /debug/calibration page is mounted on the same server.
 	// The engine does not own the watchdog — Close it separately.
 	Watchdog *watchdog.Watchdog
+	// History, when set, receives one durable record per finished query
+	// (and, when a watchdog is also attached, per audit outcome), feeding
+	// the persistent workload profiler and SLO monitor. Provably inert:
+	// answers are bit-identical with history on or off. When MetricsAddr
+	// is set, /debug/workload, /debug/slo and /debug/history are mounted
+	// on the same server. The engine does not own the store — Close it
+	// separately.
+	History *history.Store
 }
 
 func (c Config) workers() int {
@@ -158,6 +172,7 @@ type Engine struct {
 	obsErr error
 	elog   *obs.EventLog
 	wd     *watchdog.Watchdog
+	hist   *history.Store
 	qid    atomic.Uint64 // untraced query ids for error wrapping
 }
 
@@ -171,19 +186,30 @@ func New(cfg Config) *Engine {
 		obs:    cfg.Obs,
 		elog:   cfg.EventLog,
 		wd:     cfg.Watchdog,
+		hist:   cfg.History,
 	}
 	if e.wd != nil {
 		e.wd.Bind(e.auditExact)
+		if e.hist != nil {
+			e.wd.SetAuditObserver(e.observeAudit)
+		}
 	}
 	if cfg.MetricsAddr != "" {
 		if e.obs == nil {
-			e.obs = obs.NewTracer(obs.Options{})
+			e.obs = obs.NewTracer(cfg.ObsConfig)
 		}
 		var extra []obs.Route
 		if e.wd != nil {
 			extra = append(extra, obs.Route{
 				Pattern: "/debug/calibration", Handler: e.wd.Handler(),
 			})
+		}
+		if e.hist != nil {
+			extra = append(extra,
+				obs.Route{Pattern: "/debug/workload", Handler: e.hist.WorkloadHandler()},
+				obs.Route{Pattern: "/debug/slo", Handler: e.hist.SLOHandler()},
+				obs.Route{Pattern: "/debug/history", Handler: e.hist.StatsHandler()},
+			)
 		}
 		e.obsSrv, e.obsErr = obs.Serve(cfg.MetricsAddr, e.obs, extra...)
 	}
@@ -377,6 +403,18 @@ type Answer struct {
 	Groups []GroupAnswer
 	// SampleRows is the size of the sample used (0 for exact execution).
 	SampleRows int
+	// PopulationRows is the full table's row count at execution time —
+	// with SampleRows it gives the sample fraction the workload profiler
+	// records.
+	PopulationRows int
+	// Selectivity is the fraction of scanned rows that survived the
+	// predicate in the main execution pass, before any fallback re-run
+	// (-1 when nothing was scanned).
+	Selectivity float64
+	// BootstrapKUsed is the largest bootstrap replicate count the adaptive
+	// stopping rule actually ran across the query's aggregates (0 when no
+	// bootstrap ran). It is at most Plan.Opt.BootstrapK, the budget.
+	BootstrapKUsed int
 	// Plan is the executed logical plan.
 	Plan *plan.Plan
 	// Counters meters the physical work.

@@ -209,10 +209,12 @@ func (e *Engine) runExact(ctx context.Context, qt *obs.QueryTrace, parent *obs.S
 		return nil, fmt.Errorf("core: %s: exact execution: %w", e.queryID(qt, query), err)
 	}
 	ans := &Answer{
-		SQL:      query,
-		Plan:     p,
-		Counters: res.Counters,
-		Elapsed:  time.Since(start),
+		SQL:            query,
+		Plan:           p,
+		Counters:       res.Counters,
+		PopulationRows: rt.full.NumRows(),
+		Selectivity:    scanSelectivity(res.Counters),
+		Elapsed:        time.Since(start),
 	}
 	for _, g := range res.Groups {
 		ga := GroupAnswer{Key: g.Key}
@@ -273,10 +275,12 @@ func (e *Engine) buildApproxPlan(qt *obs.QueryTrace, query string, def *plan.Que
 // cluster simulation.
 func (e *Engine) answerFromResult(qt *obs.QueryTrace, query string, def *plan.QueryDef, opt plan.Options, p *plan.Plan, res *exec.Result, st *exec.StoredTable, start time.Time) (*Answer, error) {
 	ans := &Answer{
-		SQL:        query,
-		SampleRows: res.SampleRows,
-		Plan:       p,
-		Counters:   res.Counters,
+		SQL:            query,
+		SampleRows:     res.SampleRows,
+		Plan:           p,
+		Counters:       res.Counters,
+		PopulationRows: st.PopRows,
+		Selectivity:    scanSelectivity(res.Counters),
 	}
 	alpha := e.cfg.alpha()
 	estSpan := qt.StartSpan(obs.StageEstimate)
@@ -298,6 +302,9 @@ func (e *Engine) answerFromResult(qt *obs.QueryTrace, query string, def *plan.Qu
 			aa.ErrorBar = iv
 			aa.Technique = technique
 			aa.RelErr = iv.RelativeError()
+			if len(out.Bootstrap) > ans.BootstrapKUsed {
+				ans.BootstrapKUsed = len(out.Bootstrap)
+			}
 			if !math.IsNaN(aa.RelErr) && aa.RelErr > maxRel {
 				maxRel = aa.RelErr
 			}
@@ -318,6 +325,15 @@ func (e *Engine) answerFromResult(qt *obs.QueryTrace, query string, def *plan.Qu
 		ans.Simulated = &b
 	}
 	return ans, nil
+}
+
+// scanSelectivity derives the predicate pass rate from one execution's
+// counters (-1 when nothing was scanned).
+func scanSelectivity(c exec.Counters) float64 {
+	if c.RowsScanned <= 0 {
+		return -1
+	}
+	return float64(c.RowsAfterFilter) / float64(c.RowsScanned)
 }
 
 // errorBar computes the confidence interval for one aggregate output using

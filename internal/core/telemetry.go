@@ -5,7 +5,10 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/estimator"
 	"repro/internal/obs"
+	"repro/internal/obs/history"
+	"repro/internal/plan"
 	"repro/internal/watchdog"
 )
 
@@ -22,7 +25,7 @@ import (
 func (e *Engine) finishQuery(qt *obs.QueryTrace, query string, ans *Answer, err error, observeWatchdog bool) {
 	qt.Finish(err)
 	watch := observeWatchdog && e.wd != nil && err == nil && ans != nil
-	if e.elog == nil && !watch {
+	if e.elog == nil && !watch && e.hist == nil {
 		return
 	}
 	snap, ok := qt.Snapshot()
@@ -67,9 +70,96 @@ func (e *Engine) finishQuery(qt *obs.QueryTrace, query string, ans *Answer, err 
 		}
 		e.elog.Emit(ev)
 	}
+	if e.hist != nil {
+		e.hist.AppendQuery(historyRecord(snap, query, ans, err))
+	}
 	if watch {
 		e.wd.Observe(watchdogRecord(snap.ID, ans))
 	}
+}
+
+// historyRecord converts a finished query into the durable history
+// record. Failed queries still produce a (minimal) record — availability
+// SLOs must see them — but carry no plan shape to profile.
+func historyRecord(snap obs.TraceSnapshot, query string, ans *Answer, err error) history.QueryRecord {
+	q := history.QueryRecord{
+		QID:         snap.ID,
+		SQL:         query,
+		Outcome:     snap.Outcome,
+		TotalMs:     snap.TotalMs,
+		QueueWaitMs: snap.QueueWaitMs,
+		StagesMs:    obs.StageLatencies(snap.Spans),
+		Selectivity: -1,
+	}
+	if q.Outcome == "" {
+		q.Outcome = obs.Outcome(err)
+	}
+	if ans == nil {
+		return q
+	}
+	q.Sample = sampleLabel(ans.SampleRows)
+	q.Selectivity = ans.Selectivity
+	q.KUsed = ans.BootstrapKUsed
+	q.SharedScan = ans.SharedScan
+	q.FellBack = ans.FellBack()
+	if ans.SampleRows > 0 && ans.PopulationRows > 0 {
+		q.SampleFraction = float64(ans.SampleRows) / float64(ans.PopulationRows)
+	} else if ans.SampleRows == 0 {
+		q.SampleFraction = 1 // exact execution reads the population
+	}
+	var def *plan.QueryDef
+	if ans.Plan != nil {
+		def = ans.Plan.Def
+		q.KBudget = ans.Plan.Opt.BootstrapK
+	}
+	if def != nil {
+		q.Table = def.Table
+		q.Predicate = history.PredicateSignature(def.Where)
+	}
+	for _, g := range ans.Groups {
+		for ai, a := range g.Aggs {
+			q.Aggs = append(q.Aggs, history.AggSample{
+				Kind:      aggKindLabel(def, ai),
+				RelErr:    a.RelErr,
+				Technique: a.Technique,
+				Rejected:  !a.DiagnosticOK,
+				Exact:     a.Exact,
+			})
+		}
+	}
+	return q
+}
+
+// aggKindLabel names the ai-th aggregate's kind ("AVG", ..., or the UDF
+// name) from the executed plan's definition.
+func aggKindLabel(def *plan.QueryDef, ai int) string {
+	if def == nil || ai >= len(def.Aggs) {
+		return ""
+	}
+	spec := def.Aggs[ai]
+	if spec.Kind == estimator.UDF && spec.UDFName != "" {
+		return spec.UDFName
+	}
+	return spec.Kind.String()
+}
+
+// observeAudit is the watchdog→history bridge: every audit outcome
+// becomes a durable audit record and folds into the matching workload
+// profile's empirical-coverage window.
+func (e *Engine) observeAudit(o watchdog.AuditOutcome) {
+	e.hist.AppendAudit(history.AuditRecord{
+		QID:       o.QID,
+		Table:     o.Table,
+		Sample:    o.Sample,
+		Predicate: o.Predicate,
+		Kind:      o.Kind,
+		Agg:       o.Agg,
+		Group:     o.Group,
+		Covered:   o.Covered,
+		Truth:     o.Truth,
+		Lo:        o.Interval.Lo(),
+		Hi:        o.Interval.Hi(),
+	})
 }
 
 func verdict(ok bool) string {
@@ -83,11 +173,20 @@ func verdict(ok bool) string {
 // AggRecord per aggregate output, keyed by the sample it was answered on.
 func watchdogRecord(qid uint64, ans *Answer) watchdog.Record {
 	rec := watchdog.Record{QID: qid, SQL: ans.SQL, Sample: sampleLabel(ans.SampleRows)}
+	var def *plan.QueryDef
+	if ans.Plan != nil {
+		def = ans.Plan.Def
+	}
+	if def != nil {
+		rec.Table = def.Table
+		rec.Predicate = history.PredicateSignature(def.Where)
+	}
 	for _, g := range ans.Groups {
-		for _, a := range g.Aggs {
+		for ai, a := range g.Aggs {
 			rec.Aggs = append(rec.Aggs, watchdog.AggRecord{
 				Group:     g.Key,
 				Agg:       a.Name,
+				Kind:      aggKindLabel(def, ai),
 				Interval:  a.ErrorBar,
 				Technique: a.Technique,
 				Rejected:  !a.DiagnosticOK,

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"context"
+	"fmt"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -174,6 +175,79 @@ func TestRunSharedBackingBitEquality(t *testing.T) {
 		}
 		if scans != 1 {
 			t.Errorf("%s: batch-summed Scans = %d, want 1", name, scans)
+		}
+	}
+}
+
+// TestRunSharedDecodeChargedOnce pins the decode accounting of the shared
+// pass over lazy backings: the whole batch's BlocksDecoded/DecodeNanos are
+// charged to exactly one member (the one that also carries Scans=1), every
+// follower reports zero, and the batch total is bounded by what the same
+// queries would have decoded run solo — never double-charged across the
+// fan-out on top of the per-evaluation decode cost.
+func TestRunSharedDecodeChargedOnce(t *testing.T) {
+	variants := backingVariants(t, sessionsTable(6*table.BlockRows+100, 45))
+	queries := make([]string, 8)
+	for i := range queries {
+		queries[i] = fmt.Sprintf(
+			"SELECT AVG(Time), COUNT(*) FROM Sessions WHERE Time > %d", 30+2*i)
+	}
+	for _, name := range []string{"compressed", "mmap"} {
+		tables := map[string]*StoredTable{
+			"Sessions": {Data: variants[name], PopRows: 1 << 20},
+		}
+		solo, err := Run(context.Background(),
+			mustPlan(t, queries[0], backingOpts()), tables, nil,
+			Config{Workers: 4, Seed: 600})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if solo.Counters.BlocksDecoded == 0 {
+			t.Fatalf("%s: solo run decoded no blocks; batch assertion would be vacuous", name)
+		}
+
+		items := make([]SharedItem, len(queries))
+		for i, q := range queries {
+			items[i] = SharedItem{
+				Plan: mustPlan(t, q, backingOpts()),
+				Cfg:  Config{Workers: 4, Seed: uint64(600 + i)},
+			}
+		}
+		results, errs := RunShared(context.Background(), items, tables, nil)
+		var decoded, nanos int64
+		scans, carriers := 0, 0
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("%s %q: %v", name, queries[i], err)
+			}
+			c := results[i].Counters
+			decoded += c.BlocksDecoded
+			nanos += c.DecodeNanos
+			scans += c.Scans
+			if c.BlocksDecoded > 0 || c.DecodeNanos > 0 {
+				carriers++
+				if c.Scans != 1 {
+					t.Errorf("%s: member %d carries decode counters but Scans=%d, want the physical-pass member",
+						name, i, c.Scans)
+				}
+			}
+		}
+		if carriers != 1 {
+			t.Errorf("%s: %d members carry decode counters, want exactly 1", name, carriers)
+		}
+		if scans != 1 {
+			t.Errorf("%s: batch summed Scans = %d, want 1", name, scans)
+		}
+		if nanos <= 0 {
+			t.Errorf("%s: batch summed DecodeNanos = 0, want the pass's decode time charged", name)
+		}
+		// The shared pass still evaluates each member's predicate and
+		// projection, so decodes scale with members — but a regression that
+		// re-ran the physical scan per member would at least double this.
+		lo, hi := solo.Counters.BlocksDecoded, int64(len(queries))*solo.Counters.BlocksDecoded
+		if decoded < lo || decoded > hi {
+			t.Errorf("%s: batch summed BlocksDecoded = %d, want within [%d, %d] (solo run decoded %d)",
+				name, decoded, lo, hi, solo.Counters.BlocksDecoded)
 		}
 	}
 }

@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/history"
 	"repro/internal/rng"
 	"repro/internal/table"
 	"repro/internal/watchdog"
@@ -25,7 +27,8 @@ var obsOverheadQueries = []string{
 
 // ObsOverheadMode is one telemetry configuration's measured cost.
 type ObsOverheadMode struct {
-	// Mode is "off", "spans", "spans+eventlog" or "spans+watchdog".
+	// Mode is "off", "spans", "spans+eventlog", "spans+watchdog" or
+	// "spans+history".
 	Mode string `json:"mode"`
 	// Queries is the number of timed queries.
 	Queries int `json:"queries"`
@@ -77,6 +80,7 @@ func ObsOverhead(cfg Config) *ObsOverheadResult {
 			BootstrapK: cfg.BootstrapK,
 		}
 		var wd *watchdog.Watchdog
+		var hist *history.Store
 		switch mode {
 		case "off":
 		case "spans":
@@ -91,6 +95,18 @@ func ObsOverhead(cfg Config) *ObsOverheadResult {
 				Metrics:       ecfg.Obs.Registry(),
 			})
 			ecfg.Watchdog = wd
+		case "spans+history":
+			ecfg.Obs = obs.NewTracer(obs.Options{})
+			dir, err := os.MkdirTemp("", "aqphist-obs")
+			if err != nil {
+				panic(err)
+			}
+			defer os.RemoveAll(dir)
+			hist, err = history.Open(dir, history.Options{SampleInterval: -1})
+			if err != nil {
+				panic(err)
+			}
+			ecfg.History = hist
 		}
 		e := core.New(ecfg)
 		if err := e.RegisterTable("T", tbl); err != nil {
@@ -120,7 +136,8 @@ func ObsOverhead(cfg Config) *ObsOverheadResult {
 			}
 		}
 		total := time.Since(start)
-		wd.Close() // drain background audits outside the timed loop
+		wd.Close()   // drain background audits outside the timed loop
+		hist.Close() // flush history outside the timed loop
 		totalMs := float64(total) / float64(time.Millisecond)
 		return ObsOverheadMode{
 			Mode:    mode,
@@ -132,7 +149,7 @@ func ObsOverhead(cfg Config) *ObsOverheadResult {
 
 	res := &ObsOverheadResult{Baseline: "off"}
 	var base float64
-	for _, mode := range []string{"off", "spans", "spans+eventlog", "spans+watchdog"} {
+	for _, mode := range []string{"off", "spans", "spans+eventlog", "spans+watchdog", "spans+history"} {
 		m := run(mode)
 		if mode == "off" {
 			base = m.MeanMs

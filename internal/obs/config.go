@@ -1,0 +1,42 @@
+package obs
+
+// Config collects the telemetry knobs shared by the tracer and the event
+// log. The zero value means "defaults everywhere", so existing call sites
+// that construct Options or EventLogOptions literals keep working — both
+// names are aliases of Config and the tracer and event log each read only
+// the fields they care about.
+type Config struct {
+	// RingSize bounds the in-memory ring of recent query traces
+	// (0 = 64). Read by NewTracer.
+	RingSize int
+	// SlowQueryMs is the latency threshold above which a query's event is
+	// emitted at Warn level with slow=true (0 = 1000). Read by NewEventLog.
+	SlowQueryMs float64
+	// MaxRelErr, when positive, marks queries whose worst aggregate
+	// relative error exceeds it as miscalibrated=true (Warn level), in
+	// addition to queries with a rejected diagnostic verdict. Read by
+	// NewEventLog.
+	MaxRelErr float64
+}
+
+// Options configures a Tracer. It is an alias of Config: a tracer reads
+// only RingSize.
+type Options = Config
+
+// EventLogOptions tunes an EventLog. It is an alias of Config: an event
+// log reads only SlowQueryMs and MaxRelErr.
+type EventLogOptions = Config
+
+func (o Config) slowMs() float64 {
+	if o.SlowQueryMs <= 0 {
+		return 1000
+	}
+	return o.SlowQueryMs
+}
+
+func (o Config) ringSize() int {
+	if o.RingSize <= 0 {
+		return 64
+	}
+	return o.RingSize
+}

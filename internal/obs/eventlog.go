@@ -7,24 +7,6 @@ import (
 	"sync"
 )
 
-// EventLogOptions tunes an EventLog.
-type EventLogOptions struct {
-	// SlowQueryMs is the latency threshold above which a query's event is
-	// emitted at Warn level with slow=true (0 = 1000).
-	SlowQueryMs float64
-	// MaxRelErr, when positive, marks queries whose worst aggregate
-	// relative error exceeds it as miscalibrated=true (Warn level), in
-	// addition to queries with a rejected diagnostic verdict.
-	MaxRelErr float64
-}
-
-func (o EventLogOptions) slowMs() float64 {
-	if o.SlowQueryMs <= 0 {
-		return 1000
-	}
-	return o.SlowQueryMs
-}
-
 // EventLog emits one structured JSON record per query — the flight
 // recorder next to the trace ring's flight deck: greppable, shippable to
 // a log pipeline, and carrying enough to answer "which queries were slow
@@ -159,7 +141,7 @@ func (l *EventLog) Emit(ev QueryEvent) {
 	if t.Err != "" {
 		attrs = append(attrs, slog.String("error", t.Err))
 	}
-	if stages := stageLatencies(t.Spans); len(stages) > 0 {
+	if stages := StageLatencies(t.Spans); len(stages) > 0 {
 		attrs = append(attrs, slog.Any("stages_ms", stages))
 	}
 	if len(ev.Aggs) > 0 {
@@ -172,9 +154,10 @@ func (l *EventLog) Emit(ev QueryEvent) {
 	l.log.LogAttrs(context.Background(), level, "query", attrs...)
 }
 
-// stageLatencies flattens the top-level stage spans to a name→ms map;
+// StageLatencies flattens the top-level stage spans to a name→ms map;
 // repeated stages (e.g. two diagnostics in a GROUP BY fan-out) accumulate.
-func stageLatencies(spans []SpanSnapshot) map[string]float64 {
+// The event log and the history store share this breakdown.
+func StageLatencies(spans []SpanSnapshot) map[string]float64 {
 	if len(spans) == 0 {
 		return nil
 	}

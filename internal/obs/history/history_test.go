@@ -1,0 +1,500 @@
+package history
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sql"
+)
+
+func testQueryRecord(qid uint64, sel float64) QueryRecord {
+	return QueryRecord{
+		QID:            qid,
+		SQL:            "SELECT AVG(X) FROM T WHERE X < 10",
+		Table:          "T",
+		Sample:         "1000",
+		Predicate:      "(x < ?)",
+		Outcome:        "ok",
+		TotalMs:        2.5,
+		StagesMs:       map[string]float64{"scan": 1.5, "estimate": 0.5},
+		Selectivity:    sel,
+		SampleFraction: 0.1,
+		KBudget:        100,
+		KUsed:          40,
+		Aggs:           []AggSample{{Kind: "AVG", RelErr: 0.02, Technique: "closed-form"}},
+	}
+}
+
+func testKey() Key {
+	return Key{Table: "T", Sample: "1000", Agg: "AVG", Predicate: "(x < ?)"}
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SampleInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AppendQuery(testQueryRecord(1, 0.5))
+	s.AppendAudit(AuditRecord{QID: 1, Table: "T", Sample: "1000",
+		Predicate: "(x < ?)", Kind: "AVG", Agg: "AVG(X)",
+		Covered: true, Truth: 5, Lo: 4, Hi: 6})
+	s.AppendReject("queue_full")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var kinds []string
+	segs, err := ReplayDir(dir, func(rec *Record) {
+		kinds = append(kinds, rec.Kind)
+		if rec.TS <= 0 {
+			t.Errorf("record %q has no timestamp", rec.Kind)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0].TailSkipped {
+		t.Fatalf("segments = %+v, want one clean segment", segs)
+	}
+	want := []string{KindQuery, KindAudit, KindReject}
+	if len(kinds) != len(want) {
+		t.Fatalf("replayed %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("replayed %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{MaxSegmentBytes: 2048, SampleInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		s.AppendQuery(testQueryRecord(uint64(i), 0.5))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	segs, err := ReplayDir(dir, func(*Record) { count++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("%d records in %d segment(s), want rotation under a 2KiB cap",
+			n, len(segs))
+	}
+	if count != n {
+		t.Fatalf("replayed %d records across rotated segments, want %d", count, n)
+	}
+}
+
+// TestCorruptTailSkipped pins the fail-soft contract: a torn or corrupted
+// segment tail loses only the records after the tear — replay keeps the
+// prefix and reports the skip instead of failing the open.
+func TestCorruptTailSkipped(t *testing.T) {
+	write := func(t *testing.T) (dir, seg string, records int) {
+		dir = t.TempDir()
+		s, err := Open(dir, Options{SampleInterval: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			s.AppendQuery(testQueryRecord(uint64(i), 0.5))
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir, filepath.Join(dir, segmentName(0)), 10
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		_, seg, n := write(t)
+		st, err := os.Stat(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(seg, st.Size()-5); err != nil {
+			t.Fatal(err)
+		}
+		stats, err := ReplaySegment(seg, func(*Record) {})
+		if err != nil {
+			t.Fatalf("truncated tail failed the replay: %v", err)
+		}
+		if !stats.TailSkipped || stats.Records != int(n-1) {
+			t.Fatalf("replay = %+v, want %d records with tail skipped", stats, n-1)
+		}
+	})
+
+	t.Run("corrupt-crc", func(t *testing.T) {
+		_, seg, n := write(t)
+		data, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)-1] ^= 0xFF // flip a payload byte of the last record
+		if err := os.WriteFile(seg, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		stats, err := ReplaySegment(seg, func(*Record) {})
+		if err != nil {
+			t.Fatalf("corrupt tail failed the replay: %v", err)
+		}
+		if !stats.TailSkipped || stats.Records != int(n-1) {
+			t.Fatalf("replay = %+v, want %d records with tail skipped", stats, n-1)
+		}
+	})
+
+	t.Run("garbage-appended", func(t *testing.T) {
+		dir, seg, n := write(t)
+		f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("\x99\x99garbage after the last frame")); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		// The whole-store open must also survive it.
+		s, err := Open(dir, Options{SampleInterval: -1})
+		if err != nil {
+			t.Fatalf("Open over corrupt tail: %v", err)
+		}
+		defer s.Close()
+		st := s.Stats()
+		if st.Replay.Records != int64(n) || st.Replay.SkippedTails != 1 {
+			t.Fatalf("replay stats = %+v, want %d records and 1 skipped tail",
+				st.Replay, n)
+		}
+	})
+}
+
+// TestKillAndReopen simulates a crash: the first store is abandoned
+// without Close after a sync point, and a fresh Open must resume profiles,
+// lifetime counters, and coverage with no record loss before the fsync.
+func TestKillAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, Options{FsyncEvery: 1, SampleInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 25
+	for i := 0; i < n; i++ {
+		s1.AppendQuery(testQueryRecord(uint64(i), 0.3))
+	}
+	for i := 0; i < 4; i++ {
+		s1.AppendAudit(AuditRecord{QID: uint64(i), Table: "T", Sample: "1000",
+			Predicate: "(x < ?)", Kind: "AVG", Agg: "AVG(X)",
+			Covered: i != 0, Truth: 5, Lo: 4, Hi: 6})
+	}
+	if err := s1.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: the process "dies" here. (The leaked descriptor is
+	// harmless to the test; a dead process would have dropped it.)
+
+	s2, err := Open(dir, Options{SampleInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Stats().Replay.Records; got != n+4 {
+		t.Fatalf("replayed %d records, want %d (no loss before the fsync point)",
+			got, n+4)
+	}
+	prof, ok := s2.Profile(testKey())
+	if !ok {
+		t.Fatal("profile did not survive the restart")
+	}
+	if prof.Queries != n {
+		t.Fatalf("resumed profile has %d queries, want %d", prof.Queries, n)
+	}
+	if prof.Selectivity.N != n || math.Abs(prof.Selectivity.Mean-0.3) > 1e-9 {
+		t.Fatalf("resumed selectivity dist = %+v, want n=%d mean=0.3",
+			prof.Selectivity, n)
+	}
+	if prof.Audits != 4 || prof.Covered != 3 {
+		t.Fatalf("resumed audits = %d covered = %d, want 4/3",
+			prof.Audits, prof.Covered)
+	}
+	if math.Abs(prof.Coverage-0.75) > 1e-9 {
+		t.Fatalf("resumed coverage = %v, want 0.75", prof.Coverage)
+	}
+	// A second restart must still see everything, including the records
+	// that the second run's lifetime counters attribute to replay.
+	lt := s2.Stats().Lifetime
+	if lt[KindQuery] != n || lt[KindAudit] != 4 {
+		t.Fatalf("lifetime = %v, want %d queries and 4 audits", lt, n)
+	}
+}
+
+func TestProfilerFold(t *testing.T) {
+	p := newProfiler(0)
+	sels := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	for i, sel := range sels {
+		q := testQueryRecord(uint64(i), sel)
+		q.FellBack = i == 0
+		p.foldQuery(&q)
+	}
+	// Non-ok and table-less records must not fold.
+	bad := testQueryRecord(99, 0.9)
+	bad.Outcome = "error"
+	p.foldQuery(&bad)
+	anon := testQueryRecord(100, 0.9)
+	anon.Table = ""
+	p.foldQuery(&anon)
+
+	prof, ok := p.profile(testKey())
+	if !ok {
+		t.Fatal("profile missing after folds")
+	}
+	if prof.Queries != int64(len(sels)) {
+		t.Fatalf("queries = %d, want %d", prof.Queries, len(sels))
+	}
+	if math.Abs(prof.Selectivity.Mean-0.3) > 1e-9 {
+		t.Fatalf("selectivity mean = %v, want 0.3", prof.Selectivity.Mean)
+	}
+	if prof.Selectivity.P50 < 0.2 || prof.Selectivity.P50 > 0.4 {
+		t.Fatalf("selectivity p50 = %v, want within [0.2, 0.4]", prof.Selectivity.P50)
+	}
+	if math.Abs(prof.KUsedMean-40) > 1e-9 || prof.KUsedMax != 40 {
+		t.Fatalf("k used mean/max = %v/%d, want 40/40", prof.KUsedMean, prof.KUsedMax)
+	}
+	if math.Abs(prof.SampleFraction-0.1) > 1e-9 {
+		t.Fatalf("sample fraction = %v, want 0.1", prof.SampleFraction)
+	}
+	if prof.FellBack != 1 {
+		t.Fatalf("fell back = %d, want 1", prof.FellBack)
+	}
+	if prof.Techniques["closed-form"] != int64(len(sels)) {
+		t.Fatalf("techniques = %v, want closed-form=%d", prof.Techniques, len(sels))
+	}
+	if d, ok := prof.StagesMs["scan"]; !ok || d.N != int64(len(sels)) {
+		t.Fatalf("scan stage dist = %+v, want %d observations", prof.StagesMs, len(sels))
+	}
+	if len(p.accs) != 1 {
+		t.Fatalf("%d profile keys, want 1 (bad records must not fold)", len(p.accs))
+	}
+}
+
+func TestSLOMonitorMath(t *testing.T) {
+	specs := []SLOSpec{
+		{Name: "lat", Kind: SLOLatency, Objective: 0.9, ThresholdMs: 100, WindowSec: 60},
+		{Name: "cov", Kind: SLOCoverage, Objective: 0.93, Table: "T", WindowSec: 60},
+		{Name: "avail", Kind: SLOAvailability, Objective: 0.99, WindowSec: 60},
+	}
+	m := newMonitor(specs, nil)
+	now := int64(100000)
+	for i := 0; i < 8; i++ {
+		m.recordQuery(now, 10, "ok") // fast and good
+	}
+	m.recordQuery(now, 500, "error") // slow and bad
+	m.recordQuery(now, 500, "error")
+	m.recordReject(now)
+	m.recordReject(now)
+	for i := 0; i < 8; i++ {
+		m.recordAudit(now, "T", i < 6) // 6 covered, 2 not
+	}
+
+	byName := map[string]SLOStatus{}
+	for _, st := range m.evaluate(now + 1) {
+		byName[st.Spec.Name] = st
+	}
+
+	lat := byName["lat"]
+	if lat.Events != 10 || lat.Bad != 2 {
+		t.Fatalf("latency events/bad = %d/%d, want 10/2", lat.Events, lat.Bad)
+	}
+	// bad fraction 0.2 against a 0.1 budget: burn 2, breaching.
+	if math.Abs(lat.BurnRate-2) > 1e-9 || !lat.Breaching {
+		t.Fatalf("latency burn = %v breaching = %v, want 2/true",
+			lat.BurnRate, lat.Breaching)
+	}
+
+	cov := byName["cov"]
+	if cov.Events != 8 || cov.Bad != 2 {
+		t.Fatalf("coverage events/bad = %d/%d, want 8/2", cov.Events, cov.Bad)
+	}
+	wantBurn := 0.25 / 0.07
+	if math.Abs(cov.BurnRate-wantBurn) > 1e-6 || !cov.Breaching {
+		t.Fatalf("coverage burn = %v, want %v", cov.BurnRate, wantBurn)
+	}
+
+	av := byName["avail"]
+	// 10 finished + 2 rejected events; 2 errors + 2 rejects bad.
+	if av.Events != 12 || av.Bad != 4 {
+		t.Fatalf("availability events/bad = %d/%d, want 12/4", av.Events, av.Bad)
+	}
+	if !av.Breaching {
+		t.Fatal("availability not breaching at 1/3 bad against a 1% budget")
+	}
+
+	// An idle window burns nothing.
+	for _, st := range m.evaluate(now + 10000) {
+		if st.Events != 0 || st.BurnRate != 0 || st.Breaching {
+			t.Fatalf("idle window status = %+v, want zero burn", st)
+		}
+		if st.GoodFraction != 1 {
+			t.Fatalf("idle good fraction = %v, want 1", st.GoodFraction)
+		}
+	}
+}
+
+// TestSLOWindowResolution pins the multi-resolution ring: an event 500s
+// in the past is outside a 60s window (1s ring) but inside a 600s window
+// (10s ring).
+func TestSLOWindowResolution(t *testing.T) {
+	m := newMonitor([]SLOSpec{
+		{Name: "short", Kind: SLOLatency, Objective: 0.5, ThresholdMs: 1, WindowSec: 60},
+		{Name: "long", Kind: SLOLatency, Objective: 0.5, ThresholdMs: 1, WindowSec: 600},
+	}, nil)
+	now := int64(200000)
+	m.recordQuery(now-500, 50, "ok")
+	byName := map[string]SLOStatus{}
+	for _, st := range m.evaluate(now) {
+		byName[st.Spec.Name] = st
+	}
+	if byName["short"].Events != 0 {
+		t.Fatalf("60s window saw %d events, want 0", byName["short"].Events)
+	}
+	if byName["long"].Events != 1 {
+		t.Fatalf("600s window saw %d events, want 1", byName["long"].Events)
+	}
+}
+
+func TestPredicateSignature(t *testing.T) {
+	cases := []struct {
+		expr sql.Expr
+		want string
+	}{
+		{nil, NoPredicate},
+		{
+			&sql.Binary{Op: "=",
+				L: &sql.ColumnRef{Name: "City"},
+				R: &sql.Literal{Str: "NYC", IsStr: true}},
+			"(city = ?)",
+		},
+		{
+			&sql.Binary{Op: "AND",
+				L: &sql.Binary{Op: ">",
+					L: &sql.ColumnRef{Name: "Time"},
+					R: &sql.Literal{Num: 100}},
+				R: &sql.Binary{Op: "=",
+					L: &sql.ColumnRef{Name: "Browser"},
+					R: &sql.Literal{Str: "chrome", IsStr: true}}},
+			"((time > ?) AND (browser = ?))",
+		},
+		{
+			&sql.Unary{Op: "NOT", E: &sql.ColumnRef{Name: "Flag"}},
+			"(NOT flag)",
+		},
+		{
+			&sql.FuncCall{Name: "ABS", Args: []sql.Expr{&sql.ColumnRef{Name: "X"}}},
+			"ABS(x)",
+		},
+	}
+	for _, c := range cases {
+		if got := PredicateSignature(c.expr); got != c.want {
+			t.Errorf("signature = %q, want %q", got, c.want)
+		}
+	}
+	// Literal-only difference must collapse to one signature.
+	a := &sql.Binary{Op: ">", L: &sql.ColumnRef{Name: "T"}, R: &sql.Literal{Num: 1}}
+	b := &sql.Binary{Op: ">", L: &sql.ColumnRef{Name: "t"}, R: &sql.Literal{Num: 999}}
+	if PredicateSignature(a) != PredicateSignature(b) {
+		t.Error("predicates differing only in literals got distinct signatures")
+	}
+}
+
+// TestStoreWriteErrorsAreSwallowed pins the inertness contract on the I/O
+// path: append failures are counted, never raised.
+func TestStoreWriteErrorsAreSwallowed(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SampleInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	s.f.Close() // sabotage the active segment
+	s.mu.Unlock()
+	s.AppendQuery(testQueryRecord(1, 0.5)) // must not panic or error out
+	st := s.Stats()
+	if st.WriteErrors == 0 || st.LastErr == "" {
+		t.Fatalf("stats = %+v, want the write failure counted", st)
+	}
+	// The in-memory fold still happened: telemetry degrades, profiles don't.
+	if _, ok := s.Profile(testKey()); !ok {
+		t.Fatal("profile fold skipped on write error")
+	}
+	s.mu.Lock()
+	s.f = nil // avoid double-close in Close
+	s.mu.Unlock()
+	s.Close()
+}
+
+func TestNilStoreIsNoOp(t *testing.T) {
+	var s *Store
+	s.AppendQuery(QueryRecord{})
+	s.AppendAudit(AuditRecord{})
+	s.AppendReject("x")
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Profiles() != nil || s.SLOStatuses() != nil || s.Rates(60) != nil {
+		t.Fatal("nil store returned data")
+	}
+	if _, ok := s.Profile(Key{}); ok {
+		t.Fatal("nil store returned a profile")
+	}
+	if st := s.Stats(); st.Records != nil {
+		t.Fatal("nil store returned stats")
+	}
+}
+
+// TestReplayRecentWindowResumes pins replay's monitor contract: records
+// inside the retention window land in the rings at their recorded time,
+// older ones only in the profiles.
+func TestReplayRecentWindowResumes(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, Options{
+		SampleInterval: -1,
+		SLOs: []SLOSpec{
+			{Name: "lat", Kind: SLOLatency, Objective: 0.5,
+				ThresholdMs: 1000, WindowSec: maxRetentionSec},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.AppendQuery(testQueryRecord(1, 0.5))
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{
+		SampleInterval: -1,
+		SLOs: []SLOSpec{
+			{Name: "lat", Kind: SLOLatency, Objective: 0.5,
+				ThresholdMs: 1000, WindowSec: maxRetentionSec},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	sts := s2.SLOStatuses()
+	if len(sts) != 1 || sts[0].Events != 1 {
+		t.Fatalf("post-restart SLO window = %+v, want the replayed event", sts)
+	}
+}

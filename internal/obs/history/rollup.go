@@ -1,0 +1,149 @@
+package history
+
+// Registry rollups: the store's background tick samples every registered
+// counter (and each histogram's count/sum) and writes the cumulative
+// value into the same 1s/10s/60s ring geometry the SLO monitor uses.
+// Windowed deltas over those rings turn the engine's cumulative metrics
+// into rates — "rows scanned per second over the last minute" — without
+// an external scraper.
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// cumSlot holds the last cumulative value observed inside a time slot.
+type cumSlot struct {
+	start int64
+	val   float64
+}
+
+type cumRing struct {
+	res [][]cumSlot
+}
+
+func newCumRing() *cumRing {
+	r := &cumRing{res: make([][]cumSlot, len(ringRes))}
+	for i, g := range ringRes {
+		r.res[i] = make([]cumSlot, g.slots)
+	}
+	return r
+}
+
+func (r *cumRing) record(sec int64, val float64) {
+	for i, g := range ringRes {
+		aligned := (sec / g.step) * g.step
+		s := &r.res[i][int(aligned/g.step)%g.slots]
+		s.start, s.val = aligned, val
+	}
+}
+
+// delta returns the value change across (now-windowSec, now] and the
+// actual span covered; ok is false with fewer than two samples retained.
+func (r *cumRing) delta(now, windowSec int64) (d float64, spanSec int64, ok bool) {
+	if windowSec > maxRetentionSec {
+		windowSec = maxRetentionSec
+	}
+	ri := len(ringRes) - 1
+	for i, g := range ringRes {
+		if windowSec <= g.step*int64(g.slots) {
+			ri = i
+			break
+		}
+	}
+	lo := now - windowSec
+	var oldest, newest *cumSlot
+	for j := range r.res[ri] {
+		s := &r.res[ri][j]
+		if s.start == 0 || s.start <= lo-ringRes[ri].step+1 || s.start > now {
+			continue
+		}
+		if oldest == nil || s.start < oldest.start {
+			oldest = s
+		}
+		if newest == nil || s.start > newest.start {
+			newest = s
+		}
+	}
+	if oldest == nil || newest == nil || newest.start == oldest.start {
+		return 0, 0, false
+	}
+	return newest.val - oldest.val, newest.start - oldest.start, true
+}
+
+// SeriesRate is one metric series' windowed delta, as served by
+// /debug/history.
+type SeriesRate struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"`
+	Delta  float64 `json:"delta"`
+	PerSec float64 `json:"per_sec"`
+	// SpanSec is the actual sampled span the delta covers (at most the
+	// requested window).
+	SpanSec int64 `json:"span_sec"`
+}
+
+type rollup struct {
+	mu     sync.Mutex
+	series map[string]*cumRing
+}
+
+func newRollup() *rollup {
+	return &rollup{series: map[string]*cumRing{}}
+}
+
+func seriesKey(name, labels string) string { return name + "{" + labels + "}" }
+
+// sample captures the current value of every counter and histogram series.
+func (r *rollup) sample(sec int64, reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec := func(name, labels string, val float64) {
+		key := seriesKey(name, labels)
+		ring, ok := r.series[key]
+		if !ok {
+			ring = newCumRing()
+			r.series[key] = ring
+		}
+		ring.record(sec, val)
+	}
+	for _, c := range reg.CounterSamples() {
+		rec(c.Name, c.Labels, float64(c.Value))
+	}
+	for _, h := range reg.HistogramStats() {
+		rec(h.Name+"_count", h.Labels, float64(h.Count))
+		rec(h.Name+"_sum", h.Labels, h.Sum)
+	}
+}
+
+// rates returns every series' delta over the window, sorted by series key;
+// series without two retained samples are omitted.
+func (r *rollup) rates(now, windowSec int64) []SeriesRate {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	keys := make([]string, 0, len(r.series))
+	for k := range r.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []SeriesRate
+	for _, k := range keys {
+		d, span, ok := r.series[k].delta(now, windowSec)
+		if !ok {
+			continue
+		}
+		name, labels, _ := strings.Cut(k, "{")
+		labels = strings.TrimSuffix(labels, "}")
+		out = append(out, SeriesRate{
+			Name: name, Labels: labels, Delta: d,
+			PerSec: d / float64(span), SpanSec: span,
+		})
+	}
+	return out
+}

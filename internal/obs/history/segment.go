@@ -1,0 +1,197 @@
+package history
+
+// On-disk segment format. A history directory holds size-rotated segment
+// files named seg-XXXXXXXX.hist (XXXXXXXX = zero-padded decimal sequence
+// number). Each segment is:
+//
+//	[8]  magic "AQPHIST1"
+//	[4]  little-endian uint32 format version (currently 1)
+//	[4]  reserved (zero)
+//	[..] records, back to back
+//
+// and each record is framed as
+//
+//	[4]  little-endian uint32 payload length
+//	[4]  little-endian uint32 CRC-32 (IEEE) of the payload
+//	[..] JSON payload (one Record)
+//
+// A process run never appends to a pre-existing segment: OpenHistory
+// starts a fresh segment numbered one past the highest on disk, so a
+// torn tail left by a crash is confined to the last segment of the dead
+// run and can never be written past. Replay reads segments in sequence
+// order and, inside a segment, stops at the first frame that fails the
+// length, CRC or JSON checks — the bad tail is skipped and counted, the
+// records before it survive.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	segMagic      = "AQPHIST1"
+	segVersion    = 1
+	segHeaderLen  = 16
+	frameOverhead = 8 // length + CRC
+	// maxRecordLen bounds a single record frame; anything larger is treated
+	// as a corrupt length field rather than an allocation request.
+	maxRecordLen = 16 << 20
+)
+
+func segmentName(seq int) string {
+	return fmt.Sprintf("seg-%08d.hist", seq)
+}
+
+// segmentSeq parses a segment file name; ok is false for foreign files.
+func segmentSeq(name string) (int, bool) {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".hist") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".hist"))
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSegments returns the segment file names in dir in sequence order.
+func listSegments(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("history: reading dir: %w", err)
+	}
+	type seg struct {
+		name string
+		seq  int
+	}
+	var segs []seg
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := segmentSeq(e.Name()); ok {
+			segs = append(segs, seg{e.Name(), seq})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	names := make([]string, len(segs))
+	for i, s := range segs {
+		names[i] = s.name
+	}
+	return names, nil
+}
+
+func writeSegmentHeader(w io.Writer) error {
+	var h [segHeaderLen]byte
+	copy(h[:8], segMagic)
+	binary.LittleEndian.PutUint32(h[8:12], segVersion)
+	if _, err := w.Write(h[:]); err != nil {
+		return fmt.Errorf("history: writing segment header: %w", err)
+	}
+	return nil
+}
+
+// encodeFrame renders one record as a framed payload ready to append.
+func encodeFrame(rec *Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("history: encoding record: %w", err)
+	}
+	buf := make([]byte, frameOverhead+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[frameOverhead:], payload)
+	return buf, nil
+}
+
+// SegmentStats summarizes one replayed segment file.
+type SegmentStats struct {
+	Name    string `json:"name"`
+	Records int    `json:"records"`
+	Bytes   int64  `json:"bytes"`
+	// TailSkipped marks a segment whose final frames failed validation
+	// (torn write or corruption); replay kept the records before the tear.
+	TailSkipped bool   `json:"tail_skipped,omitempty"`
+	TailErr     string `json:"tail_err,omitempty"`
+}
+
+// ReplaySegment streams the records of one segment file through fn,
+// stopping (without error) at the first corrupt or torn frame. A segment
+// whose header is missing or malformed yields zero records and a
+// TailSkipped stat — a fail-closed read, never a guess.
+func ReplaySegment(path string, fn func(*Record)) (SegmentStats, error) {
+	st := SegmentStats{Name: filepath.Base(path)}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return st, fmt.Errorf("history: reading segment: %w", err)
+	}
+	st.Bytes = int64(len(data))
+	if len(data) < segHeaderLen || string(data[:8]) != segMagic {
+		st.TailSkipped = true
+		st.TailErr = "bad segment header"
+		return st, nil
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != segVersion {
+		st.TailSkipped = true
+		st.TailErr = fmt.Sprintf("unsupported segment version %d", v)
+		return st, nil
+	}
+	off := segHeaderLen
+	for off < len(data) {
+		if len(data)-off < frameOverhead {
+			st.TailSkipped = true
+			st.TailErr = "torn frame header"
+			return st, nil
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n > maxRecordLen || len(data)-off-frameOverhead < n {
+			st.TailSkipped = true
+			st.TailErr = "torn record payload"
+			return st, nil
+		}
+		payload := data[off+frameOverhead : off+frameOverhead+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			st.TailSkipped = true
+			st.TailErr = "record checksum mismatch"
+			return st, nil
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			st.TailSkipped = true
+			st.TailErr = "record decode: " + err.Error()
+			return st, nil
+		}
+		fn(&rec)
+		st.Records++
+		off += frameOverhead + n
+	}
+	return st, nil
+}
+
+// ReplayDir streams every record in dir's segments, in segment order,
+// through fn. It returns per-segment stats; corruption inside a segment
+// truncates that segment's contribution but never aborts the replay.
+func ReplayDir(dir string, fn func(*Record)) ([]SegmentStats, error) {
+	names, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []SegmentStats
+	for _, name := range names {
+		st, err := ReplaySegment(filepath.Join(dir, name), fn)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}

@@ -38,13 +38,6 @@ const (
 	StageClusterSim = "cluster-sim"
 )
 
-// Options configures a Tracer.
-type Options struct {
-	// RingSize bounds the in-memory ring of recent query traces
-	// (0 = 64).
-	RingSize int
-}
-
 // Tracer records per-query traces into a bounded ring and aggregates
 // metrics into a Registry. Nil disables everything.
 type Tracer struct {
@@ -55,11 +48,8 @@ type Tracer struct {
 
 // NewTracer returns a tracer with an empty registry and trace ring.
 func NewTracer(opt Options) *Tracer {
-	size := opt.RingSize
-	if size <= 0 {
-		size = 64
-	}
-	return &Tracer{reg: NewRegistry(), ring: &traceRing{buf: make([]TraceSnapshot, size)}}
+	return &Tracer{reg: NewRegistry(),
+		ring: &traceRing{buf: make([]TraceSnapshot, opt.ringSize())}}
 }
 
 // Registry returns the tracer's metrics registry (nil for a nil tracer).

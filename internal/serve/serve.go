@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/history"
 )
 
 // Rejection and lifecycle errors. Both are permanent for the submitted
@@ -62,6 +63,11 @@ type Config struct {
 	BatchHold time.Duration
 	// Metrics, when non-nil, receives the serving gauges and counters.
 	Metrics *obs.Registry
+	// History, when non-nil, receives a durable RejectRecord for every
+	// query refused admission. Rejected queries never reach the engine's
+	// finishQuery path, so this hook is the only place availability SLOs
+	// can learn about them.
+	History *history.Store
 }
 
 func (c Config) maxInFlight() int {
@@ -143,6 +149,7 @@ func New(eng *core.Engine, cfg Config) *Server {
 func (s *Server) reject(reason string) {
 	s.cfg.Metrics.Counter("aqp_serve_rejected_total",
 		"Queries refused admission, by reason.", "reason", reason).Inc()
+	s.cfg.History.AppendReject(reason)
 }
 
 // Submit answers one query under admission control: it waits for an

@@ -2,23 +2,10 @@
 
 package table
 
-import (
-	"fmt"
-	"io"
-	"os"
-)
+import "io"
 
 // mapFile reads path fully into memory on platforms without the unix mmap
-// path; the store still decodes lazily per block, it just loses the
-// skip-avoids-page-faults property.
+// path, via the build-tag-neutral fallback that unix tests also cover.
 func mapFile(path string) ([]byte, io.Closer, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, nil, fmt.Errorf("table: reading store: %w", err)
-	}
-	return data, nopCloser{}, nil
+	return readFileFallback(path)
 }
-
-type nopCloser struct{}
-
-func (nopCloser) Close() error { return nil }

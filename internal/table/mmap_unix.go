@@ -35,7 +35,3 @@ func mapFile(path string) ([]byte, io.Closer, error) {
 type mmapCloser struct{ data []byte }
 
 func (m mmapCloser) Close() error { return syscall.Munmap(m.data) }
-
-type nopCloser struct{}
-
-func (nopCloser) Close() error { return nil }

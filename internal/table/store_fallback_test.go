@@ -1,0 +1,69 @@
+package table
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestStoreFallbackRoundTrip covers the !unix mapFile path on every
+// platform: the read-into-memory fallback must reconstruct the identical
+// table, zones included.
+func TestStoreFallbackRoundTrip(t *testing.T) {
+	raw := blockTestTable(2*BlockRows + 41)
+	raw.BuildZones()
+	path := filepath.Join(t.TempDir(), "t.aqps")
+	if err := WriteStore(path, raw); err != nil {
+		t.Fatal(err)
+	}
+	got, closer, err := openStoreFallback(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	assertTablesEqual(t, raw, got)
+	if got.Zones() == nil {
+		t.Fatal("fallback open did not attach zones from metadata")
+	}
+}
+
+// TestStoreFallbackErrors pins the fallback's failure modes: a missing
+// file, a truncated store, and corrupt magic must all surface errors
+// instead of a half-built table.
+func TestStoreFallbackErrors(t *testing.T) {
+	dir := t.TempDir()
+
+	if _, _, err := openStoreFallback(filepath.Join(dir, "absent.aqps")); err == nil {
+		t.Fatal("opening a missing store succeeded")
+	}
+
+	raw := blockTestTable(BlockRows + 13)
+	path := filepath.Join(dir, "t.aqps")
+	if err := WriteStore(path, raw); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trunc := filepath.Join(dir, "trunc.aqps")
+	if err := os.WriteFile(trunc, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := openStoreFallback(trunc); err == nil {
+		t.Fatal("opening a truncated store succeeded")
+	}
+
+	bad := append([]byte(nil), data...)
+	copy(bad, "NOTSTORE")
+	badPath := filepath.Join(dir, "bad.aqps")
+	if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = openStoreFallback(badPath)
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("corrupt magic error = %v, want bad-magic error", err)
+	}
+}

@@ -49,6 +49,9 @@ type AggRecord struct {
 	Group string
 	// Agg is the output alias.
 	Agg string
+	// Kind is the aggregate kind ("AVG", "SUM", ...) — an opaque
+	// pass-through to the audit observer, like Record.Table.
+	Kind string
 	// Interval is the reported confidence interval.
 	Interval estimator.Interval
 	// Technique names the error-estimation method used.
@@ -61,12 +64,18 @@ type AggRecord struct {
 	Exact bool
 }
 
-// Record is one served query as the watchdog sees it.
+// Record is one served query as the watchdog sees it. Table and
+// Predicate are opaque pass-throughs: the watchdog keys its own windows
+// by (aggregate, sample) only, but hands both to the audit observer so
+// downstream consumers (the history store's workload profiles) can file
+// coverage outcomes under richer keys.
 type Record struct {
-	QID    uint64
-	SQL    string
-	Sample string // sample label: row count, or "exact"
-	Aggs   []AggRecord
+	QID       uint64
+	SQL       string
+	Sample    string // sample label: row count, or "exact"
+	Table     string
+	Predicate string
+	Aggs      []AggRecord
 }
 
 // AggInstance identifies one aggregate output within a query for audit
@@ -80,6 +89,27 @@ type AggInstance struct {
 // every aggregate output. The engine binds its exact execution path here;
 // tests bind synthetic truths.
 type AuditFunc func(ctx context.Context, sql string) (map[AggInstance]float64, error)
+
+// AuditOutcome is one audited aggregate's ground-truth comparison, as
+// handed to the audit observer the moment the coverage window absorbs it.
+type AuditOutcome struct {
+	QID       uint64
+	SQL       string
+	Table     string
+	Sample    string
+	Predicate string
+	Group     string
+	Agg       string // output alias, e.g. "AVG(Time)"
+	Kind      string // aggregate kind, e.g. "AVG"
+	Covered   bool
+	Truth     float64
+	Interval  estimator.Interval
+}
+
+// AuditObserver receives every audit outcome. It runs outside the
+// watchdog's lock, after the outcome has entered the coverage windows; a
+// slow observer delays subsequent audits, never the serving path.
+type AuditObserver func(AuditOutcome)
 
 // AlertKind types the watchdog's alerts.
 type AlertKind string
@@ -315,17 +345,22 @@ type keyState struct {
 
 // auditJob carries one query's reported intervals to the audit worker.
 type auditJob struct {
-	sql  string
-	seq  uint64
-	key  func(g AggRecord) Key
-	aggs []AggRecord
+	sql       string
+	seq       uint64
+	qid       uint64
+	table     string
+	sample    string
+	predicate string
+	key       func(g AggRecord) Key
+	aggs      []AggRecord
 }
 
 // Watchdog monitors calibration online. Construct with New; a nil
 // *Watchdog is a no-op observer, so callers thread it unconditionally.
 type Watchdog struct {
-	cfg   Config
-	audit AuditFunc
+	cfg      Config
+	audit    AuditFunc
+	observer AuditObserver
 
 	mu       sync.Mutex
 	keys     map[Key]*keyState
@@ -413,6 +448,17 @@ func (w *Watchdog) Bind(fn AuditFunc) {
 	w.audit = fn
 }
 
+// SetAuditObserver registers a sink for audit outcomes. Call once,
+// before the first Observe, alongside Bind.
+func (w *Watchdog) SetAuditObserver(fn AuditObserver) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.observer = fn
+	w.mu.Unlock()
+}
+
 // Close stops the background audit worker, draining queued audits.
 func (w *Watchdog) Close() {
 	if w == nil {
@@ -468,7 +514,8 @@ func (w *Watchdog) Observe(rec Record) {
 	if !doAudit {
 		return
 	}
-	job := auditJob{sql: rec.SQL, seq: seq, aggs: rec.Aggs,
+	job := auditJob{sql: rec.SQL, seq: seq, qid: rec.QID, table: rec.Table,
+		sample: rec.Sample, predicate: rec.Predicate, aggs: rec.Aggs,
 		key: func(a AggRecord) Key { return Key{Agg: a.Agg, Sample: rec.Sample} }}
 	if w.cfg.Synchronous || w.auditCh == nil {
 		w.runAudit(job)
@@ -519,8 +566,9 @@ func (w *Watchdog) runAudit(job auditJob) {
 		w.mAudits("error").Inc()
 		return
 	}
+	var outcomes []AuditOutcome
 	w.mu.Lock()
-	defer w.mu.Unlock()
+	observer := w.observer
 	for _, a := range job.aggs {
 		if a.Exact || math.IsNaN(a.Interval.HalfWidth) {
 			continue // no estimated interval to hold to account
@@ -541,6 +589,18 @@ func (w *Watchdog) runAudit(job auditJob) {
 		cov, _ := st.coverage.rate()
 		w.mCoverage(k).Set(cov)
 		w.checkCoverageLocked(k, st, job.seq)
+		if observer != nil {
+			outcomes = append(outcomes, AuditOutcome{
+				QID: job.qid, SQL: job.sql, Table: job.table,
+				Sample: job.sample, Predicate: job.predicate,
+				Group: a.Group, Agg: a.Agg, Kind: a.Kind,
+				Covered: covered, Truth: truth, Interval: a.Interval,
+			})
+		}
+	}
+	w.mu.Unlock()
+	for _, o := range outcomes {
+		observer(o)
 	}
 }
 
