@@ -22,7 +22,10 @@
 // writes machine-readable BENCH_storage.json), and history (the durable
 // telemetry store's write-path overhead, append throughput per fsync
 // policy, replay scaling, and workload-profile convergence, which writes
-// machine-readable BENCH_history.json).
+// machine-readable BENCH_history.json), and serve-e2e (the network
+// front-end load sweep: hundreds of concurrent MySQL-wire and HTTP
+// connections driven through a full in-process aqpd stack, which writes
+// machine-readable BENCH_serve_e2e.json).
 package main
 
 import (
@@ -115,8 +118,20 @@ func main() {
 			}
 			return storageBench(rows, sample, int(cfg.Seed))
 		},
+		"serve-e2e": func() result {
+			rows, sample, perConn := 100000, 10000, 4
+			connCounts := []int{16, 64, 128}
+			if *full {
+				rows, sample, perConn = 1000000, 100000, 8
+				connCounts = []int{32, 128, 256}
+			}
+			if *queries > 0 {
+				perConn = *queries
+			}
+			return serveBench(rows, sample, perConn, connCounts, int(cfg.Seed))
+		},
 	}
-	order := []string{"1", "3", "4b", "4c", "7", "8ab", "8c", "8d", "8ef", "9", "ablation", "stages", "obs-overhead", "history", "kernel", "concurrency", "shared-scan", "storage"}
+	order := []string{"1", "3", "4b", "4c", "7", "8ab", "8c", "8d", "8ef", "9", "ablation", "stages", "obs-overhead", "history", "kernel", "concurrency", "shared-scan", "storage", "serve-e2e"}
 
 	var selected []string
 	switch strings.ToLower(*fig) {

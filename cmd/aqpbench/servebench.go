@@ -1,0 +1,288 @@
+package main
+
+// The serve-e2e fixture: a load generator driving hundreds of concurrent
+// socket connections — half MySQL wire, half HTTP/JSON — through a full
+// in-process aqpd stack (serve admission + both listeners), measuring
+// end-to-end latency where a client actually stands: TCP, framing,
+// admission queue, engine, response encode. CI gates on the ≥100-conn
+// point finishing with zero errors and p99 under the admission deadline.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/serve"
+	"repro/internal/table"
+	"repro/internal/wire"
+)
+
+type servePoint struct {
+	// Conns is total concurrent client connections (WireConns over the
+	// MySQL listener + HTTPConns over keep-alive HTTP sockets).
+	Conns     int `json:"conns"`
+	WireConns int `json:"wire_conns"`
+	HTTPConns int `json:"http_conns"`
+	// QPS is completed queries per second across both transports.
+	QPS    float64 `json:"qps"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	// QueueWait percentiles come from the admission layer's histogram:
+	// how long admitted queries waited for an execution slot.
+	QueueWaitP50Ms float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP99Ms float64 `json:"queue_wait_p99_ms"`
+	// Errors counts failed queries (any transport); Rejected counts
+	// admission-layer rejections. Both must be zero: the queue is sized
+	// to the offered load.
+	Errors   int64 `json:"errors"`
+	Rejected int64 `json:"rejected"`
+}
+
+// serveBenchResult serializes to BENCH_serve_e2e.json.
+type serveBenchResult struct {
+	Rows           int          `json:"rows"`
+	SampleRows     int          `json:"sample_rows"`
+	QueriesPerConn int          `json:"queries_per_conn"`
+	DeadlineMs     float64      `json:"deadline_ms"`
+	Points         []servePoint `json:"points"`
+}
+
+// JSONName routes this result's machine-readable output to its own file.
+func (*serveBenchResult) JSONName() string { return "BENCH_serve_e2e.json" }
+
+var serveBenchQueries = []string{
+	"SELECT AVG(Time) FROM Sessions",
+	"SELECT AVG(Time) FROM Sessions WHERE City = 'NYC'",
+	"SELECT SUM(Time), COUNT(Time) FROM Sessions WHERE City = 'SF'",
+	"SELECT AVG(Time) FROM Sessions GROUP BY City",
+}
+
+// serveBench sweeps concurrent connection counts through a full network
+// stack on one shared engine. Each point gets a fresh admission server
+// and listeners; the queue is sized to the connection count so a clean
+// run rejects nothing.
+func serveBench(rows, sampleRows, queriesPerConn int, connCounts []int, seed int) *serveBenchResult {
+	src := rng.New(uint64(seed))
+	times := make(table.Float64Col, rows)
+	cities := make(table.StringCol, rows)
+	names := []string{"NYC", "SF", "LA", "CHI"}
+	for i := 0; i < rows; i++ {
+		times[i] = src.LogNormal(4, 0.6)
+		cities[i] = names[src.Intn(len(names))]
+	}
+	tbl := table.MustNew(table.Schema{
+		{Name: "Time", Type: table.Float64},
+		{Name: "City", Type: table.String},
+	}, times, cities)
+	eng := core.New(core.Config{Seed: uint64(seed)})
+	defer eng.Close()
+	if err := eng.RegisterTable("Sessions", tbl); err != nil {
+		panic(err)
+	}
+	if err := eng.BuildSamples("Sessions", sampleRows); err != nil {
+		panic(err)
+	}
+
+	const deadline = 30 * time.Second
+	res := &serveBenchResult{
+		Rows: rows, SampleRows: sampleRows, QueriesPerConn: queriesPerConn,
+		DeadlineMs: float64(deadline.Milliseconds()),
+	}
+	for _, conns := range connCounts {
+		res.Points = append(res.Points, serveBenchPoint(eng, conns, queriesPerConn, deadline))
+	}
+	return res
+}
+
+func serveBenchPoint(eng *core.Engine, conns, queriesPerConn int, deadline time.Duration) servePoint {
+	reg := obs.NewRegistry()
+	srv := serve.New(eng, serve.Config{
+		MaxInFlight: 8,
+		MaxQueue:    conns, // sized to the offered load: no rejections
+		Timeout:     deadline,
+		Metrics:     reg,
+	})
+	wln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	wl := wire.Serve(wln, srv, wire.Config{MaxConns: conns + 8, Metrics: reg})
+	hln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	hs := &http.Server{Handler: serve.NewHTTPHandler(srv, serve.HTTPOptions{})}
+	go hs.Serve(hln) //nolint:errcheck
+	httpURL := "http://" + hln.Addr().String() + "/query"
+
+	wireConns := conns / 2
+	httpConns := conns - wireConns
+	var (
+		errs      atomic.Int64
+		latMu     sync.Mutex
+		latencies []float64
+	)
+	record := func(ms []float64) {
+		latMu.Lock()
+		latencies = append(latencies, ms...)
+		latMu.Unlock()
+	}
+
+	// Connect everything first, then release all clients at once so the
+	// point measures steady concurrent load, not a connection ramp.
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < wireConns; i++ {
+		cli, err := wire.Dial(wln.Addr().String(), wire.ClientOptions{
+			User: "bench", Timeout: deadline + 10*time.Second})
+		if err != nil {
+			panic(fmt.Sprintf("serve-e2e: wire dial %d: %v", i, err))
+		}
+		wg.Add(1)
+		go func(i int, cli *wire.Client) {
+			defer wg.Done()
+			defer cli.Close()
+			<-start
+			ms := make([]float64, 0, queriesPerConn)
+			for q := 0; q < queriesPerConn; q++ {
+				sql := serveBenchQueries[(i+q)%len(serveBenchQueries)]
+				t0 := time.Now()
+				if _, err := cli.Query(sql); err != nil {
+					errs.Add(1)
+					continue
+				}
+				ms = append(ms, float64(time.Since(t0).Microseconds())/1000)
+			}
+			record(ms)
+		}(i, cli)
+	}
+	for i := 0; i < httpConns; i++ {
+		// A dedicated transport per client so each goroutine holds its
+		// own TCP socket for the whole point (keep-alive, pool of one).
+		tr := &http.Transport{MaxIdleConns: 1, MaxIdleConnsPerHost: 1}
+		hc := &http.Client{Transport: tr, Timeout: deadline + 10*time.Second}
+		wg.Add(1)
+		go func(i int, hc *http.Client, tr *http.Transport) {
+			defer wg.Done()
+			defer tr.CloseIdleConnections()
+			<-start
+			ms := make([]float64, 0, queriesPerConn)
+			for q := 0; q < queriesPerConn; q++ {
+				sql := serveBenchQueries[(i+q)%len(serveBenchQueries)]
+				body, _ := json.Marshal(serve.QueryRequest{SQL: sql})
+				t0 := time.Now()
+				resp, err := hc.Post(httpURL, "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+					continue
+				}
+				ms = append(ms, float64(time.Since(t0).Microseconds())/1000)
+			}
+			record(ms)
+		}(i, hc, tr)
+	}
+
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	// Tear the point's stack down before reading the counters.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	wl.Drain()
+	srv.Shutdown(ctx) //nolint:errcheck
+	hs.Shutdown(ctx)  //nolint:errcheck
+	wl.Shutdown(ctx)  //nolint:errcheck
+
+	var rejected int64
+	for _, c := range reg.CounterSamples() {
+		if c.Name == "aqp_serve_rejected_total" || c.Name == "aqp_conn_rejected_total" {
+			rejected += c.Value
+		}
+	}
+	var qwP50, qwP99 float64
+	for _, h := range reg.HistogramStats() {
+		if h.Name == "aqp_serve_queue_wait_seconds" {
+			qwP50, qwP99 = h.P50*1000, h.P99*1000
+		}
+	}
+	p := servePoint{
+		Conns: conns, WireConns: wireConns, HTTPConns: httpConns,
+		MeanMs:         mean(latencies),
+		P50Ms:          servePctl(latencies, 0.50),
+		P99Ms:          servePctl(latencies, 0.99),
+		QueueWaitP50Ms: qwP50,
+		QueueWaitP99Ms: qwP99,
+		Errors:         errs.Load(),
+		Rejected:       rejected,
+	}
+	if elapsed > 0 {
+		p.QPS = float64(len(latencies)) / elapsed.Seconds()
+	}
+	return p
+}
+
+// servePctl is the q-quantile of xs (nearest-rank on a sorted copy).
+func servePctl(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Render implements result.
+func (r *serveBenchResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "serve-e2e network sweep (rows=%d, sample=%d, %d queries/conn, deadline %.0fms)\n",
+		r.Rows, r.SampleRows, r.QueriesPerConn, r.DeadlineMs)
+	fmt.Fprintf(w, "  %-6s %5s %5s %10s %9s %9s %9s %8s %8s %7s %8s\n",
+		"conns", "wire", "http", "qps", "mean ms", "p50 ms", "p99 ms", "qw p50", "qw p99", "errors", "rejected")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "  %-6d %5d %5d %10.1f %9.2f %9.2f %9.2f %8.2f %8.2f %7d %8d\n",
+			p.Conns, p.WireConns, p.HTTPConns, p.QPS, p.MeanMs, p.P50Ms, p.P99Ms,
+			p.QueueWaitP50Ms, p.QueueWaitP99Ms, p.Errors, p.Rejected)
+	}
+}
+
+// WriteCSV implements result.
+func (r *serveBenchResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "conns,wire_conns,http_conns,qps,mean_ms,p50_ms,p99_ms,queue_wait_p50_ms,queue_wait_p99_ms,errors,rejected"); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%.2f,%.3f,%.3f,%.3f,%.3f,%.3f,%d,%d\n",
+			p.Conns, p.WireConns, p.HTTPConns, p.QPS, p.MeanMs, p.P50Ms, p.P99Ms,
+			p.QueueWaitP50Ms, p.QueueWaitP99Ms, p.Errors, p.Rejected); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON emits the machine-readable form consumed by CI and tooling.
+func (r *serveBenchResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

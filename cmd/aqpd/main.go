@@ -1,0 +1,351 @@
+// Command aqpd is the network front end for the approximate query engine:
+// one process, two listeners, one admission layer.
+//
+//   - HTTP/JSON: POST /query {"sql": "...", "timeout_ms": 0} returns
+//     per-aggregate estimates, confidence intervals, relative errors and
+//     diagnostic verdicts; GET /healthz reports readiness (503 while
+//     draining).
+//   - MySQL wire: a text-protocol subset (handshake, mysql_native_password,
+//     COM_QUERY/COM_PING/COM_INIT_DB/COM_QUIT) so any stock MySQL client
+//     or driver can issue approximate queries and read error bars out of
+//     ordinary resultset columns.
+//
+// Both listeners route into the same serve.Server, so connection traffic is
+// governed by the same in-flight bounds, FIFO queue, per-query deadlines
+// and shared-scan batching regardless of transport, and both transports
+// return bit-identical answers for the same SQL.
+//
+// Data comes from -csv (with -coltypes) or, by default, a synthetic
+// Sessions demo table. On SIGINT/SIGTERM the daemon drains: listeners stop
+// accepting, queued queries are refused with a retryable error, in-flight
+// queries finish (bounded by -drain), and the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obs/history"
+	"repro/internal/rng"
+	"repro/internal/serve"
+	"repro/internal/table"
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		httpAddr  = flag.String("http", "127.0.0.1:8632", "HTTP/JSON listener address ('' = disabled; port 0 = ephemeral)")
+		mysqlAddr = flag.String("mysql", "127.0.0.1:3632", "MySQL wire listener address ('' = disabled; port 0 = ephemeral)")
+		metrics   = flag.String("metrics", "", "serve /metrics and /debug endpoints on this address")
+
+		csvPath  = flag.String("csv", "", "load this CSV file instead of the synthetic demo table")
+		tblName  = flag.String("table", "Data", "table name for -csv")
+		colTypes = flag.String("coltypes", "", "comma-separated column types for -csv: float|int|string")
+		genRows  = flag.Int("gen", 200000, "rows in the synthetic Sessions demo table (ignored with -csv)")
+		sample   = flag.Int("sample", 0, "sample size to build (0 = rows/10)")
+		seed     = flag.Uint64("seed", 42, "RNG seed: all sampling and resampling derives from it")
+		workers  = flag.Int("workers", 0, "engine execution parallelism (0 = 4)")
+
+		maxInFlight = flag.Int("max-inflight", 0, "concurrently executing queries (0 = 4)")
+		maxQueue    = flag.Int("max-queue", 0, "admission queue depth (0 = 16; negative = reject when saturated)")
+		timeout     = flag.Duration("timeout", 0, "per-query deadline applied on admission (0 = none)")
+		maxK        = flag.Int("max-k", 0, "per-query bootstrap resample cap (0 = engine default)")
+		maxBatch    = flag.Int("max-batch", 0, "shared-scan batch size (0 or 1 = batching off)")
+		batchHold   = flag.Duration("batch-hold", 0, "shared-scan group-commit window (0 = 500µs)")
+
+		maxConns  = flag.Int("max-conns", 0, "concurrently open wire connections (0 = 256)")
+		maxPacket = flag.Int("max-packet", 0, "wire command payload cap in bytes (0 = 1 MiB)")
+		users     = flag.String("users", "", "user:password[,user:password...] auth table; empty admits everyone (HTTP uses basic auth, wire uses mysql_native_password)")
+
+		historyDir = flag.String("history", "", "persist durable query/reject history to this directory")
+		logFormat  = flag.String("log", "", "structured event log: 'json' writes one record per query/connection to stderr")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget before stragglers are force-closed")
+	)
+	flag.Parse()
+
+	if err := run(daemonConfig{
+		httpAddr: *httpAddr, mysqlAddr: *mysqlAddr, metricsAddr: *metrics,
+		csvPath: *csvPath, tblName: *tblName, colTypes: *colTypes,
+		genRows: *genRows, sample: *sample, seed: *seed, workers: *workers,
+		maxInFlight: *maxInFlight, maxQueue: *maxQueue, timeout: *timeout,
+		maxK: *maxK, maxBatch: *maxBatch, batchHold: *batchHold,
+		maxConns: *maxConns, maxPacket: *maxPacket, users: *users,
+		historyDir: *historyDir, logFormat: *logFormat, drain: *drain,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "aqpd:", err)
+		os.Exit(1)
+	}
+}
+
+type daemonConfig struct {
+	httpAddr, mysqlAddr, metricsAddr string
+	csvPath, tblName, colTypes       string
+	genRows, sample                  int
+	seed                             uint64
+	workers                          int
+	maxInFlight, maxQueue            int
+	timeout                          time.Duration
+	maxK, maxBatch                   int
+	batchHold                        time.Duration
+	maxConns, maxPacket              int
+	users                            string
+	historyDir, logFormat            string
+	drain                            time.Duration
+}
+
+func run(cfg daemonConfig) error {
+	obsCfg := obs.Config{}
+	var elog *obs.EventLog
+	switch cfg.logFormat {
+	case "":
+	case "json":
+		elog = obs.NewEventLog(os.Stderr, obsCfg)
+	default:
+		return fmt.Errorf("unknown -log format %q (only 'json')", cfg.logFormat)
+	}
+	tracer := obs.NewTracer(obsCfg)
+
+	var hist *history.Store
+	if cfg.historyDir != "" {
+		var err error
+		hist, err = history.Open(cfg.historyDir, history.Options{
+			Registry: tracer.Registry(),
+			SLOs: []history.SLOSpec{
+				{Name: "latency-p99", Kind: history.SLOLatency,
+					Objective: 0.99, ThresholdMs: 1000},
+				{Name: "availability", Kind: history.SLOAvailability, Objective: 0.999},
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer hist.Close()
+	}
+
+	engine := core.New(core.Config{
+		Seed:        cfg.seed,
+		Workers:     cfg.workers,
+		Obs:         tracer,
+		MetricsAddr: cfg.metricsAddr,
+		EventLog:    elog,
+		History:     hist,
+	})
+	defer engine.Close()
+	if err := loadData(engine, cfg); err != nil {
+		return err
+	}
+	if addr, err := engine.MetricsEndpoint(); err != nil {
+		return fmt.Errorf("metrics endpoint: %w", err)
+	} else if addr != "" {
+		fmt.Printf("aqpd: metrics http://%s/metrics\n", addr)
+	}
+
+	srv := serve.New(engine, serve.Config{
+		MaxInFlight:   cfg.maxInFlight,
+		MaxQueue:      cfg.maxQueue,
+		Timeout:       cfg.timeout,
+		MaxBootstrapK: cfg.maxK,
+		MaxBatch:      cfg.maxBatch,
+		BatchHold:     cfg.batchHold,
+		Metrics:       tracer.Registry(),
+		History:       hist,
+	})
+
+	userTable, err := parseUsers(cfg.users)
+	if err != nil {
+		return err
+	}
+
+	// MySQL wire listener.
+	var wl *wire.Listener
+	if cfg.mysqlAddr != "" {
+		ln, err := net.Listen("tcp", cfg.mysqlAddr)
+		if err != nil {
+			return fmt.Errorf("mysql listener: %w", err)
+		}
+		wcfg := wire.Config{
+			MaxConns:  cfg.maxConns,
+			MaxPacket: cfg.maxPacket,
+			Metrics:   tracer.Registry(),
+			EventLog:  elog,
+		}
+		if userTable != nil {
+			wcfg.Auth = wire.NativePassword(userTable)
+		}
+		wl = wire.Serve(ln, srv, wcfg)
+		fmt.Printf("aqpd: mysql listening on %s\n", wl.Addr())
+	}
+
+	// HTTP/JSON listener.
+	var hs *http.Server
+	if cfg.httpAddr != "" {
+		ln, err := net.Listen("tcp", cfg.httpAddr)
+		if err != nil {
+			return fmt.Errorf("http listener: %w", err)
+		}
+		opt := serve.HTTPOptions{EventLog: elog}
+		if userTable != nil {
+			opt.Authorize = basicAuth(userTable)
+		}
+		hs = &http.Server{Handler: serve.NewHTTPHandler(srv, opt)}
+		go func() {
+			if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "aqpd: http serve:", err)
+			}
+		}()
+		fmt.Printf("aqpd: http listening on %s\n", ln.Addr())
+	}
+	if wl == nil && hs == nil {
+		return fmt.Errorf("both listeners disabled; nothing to serve")
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("aqpd: %s, draining (budget %s)\n", s, cfg.drain)
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+	defer cancel()
+	// Drain order: stop accepting wire connections and wake idle ones
+	// first, then fail the admission queue (queued queries get a
+	// retryable shutting-down error, busy connections surface it as ERR
+	// 1053 / HTTP 503), then close the HTTP listener, and finally wait
+	// for wire connections — force-closing stragglers at the budget.
+	if wl != nil {
+		wl.Drain()
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "aqpd: serve drain:", err)
+	}
+	if hs != nil {
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "aqpd: http drain:", err)
+		}
+	}
+	if wl != nil {
+		if err := wl.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "aqpd: wire drain:", err)
+		}
+	}
+	fmt.Println("aqpd: drained")
+	return nil
+}
+
+// loadData registers the serving table: a CSV file, or the synthetic
+// Sessions demo (same distributions as aqpshell's demo, sized by -gen).
+func loadData(engine *core.Engine, cfg daemonConfig) error {
+	if cfg.csvPath != "" {
+		if cfg.colTypes == "" {
+			return fmt.Errorf("-csv requires -coltypes")
+		}
+		var types []table.Type
+		for _, tname := range strings.Split(cfg.colTypes, ",") {
+			switch strings.ToLower(strings.TrimSpace(tname)) {
+			case "float", "float64":
+				types = append(types, table.Float64)
+			case "int", "int64":
+				types = append(types, table.Int64)
+			case "string", "str":
+				types = append(types, table.String)
+			default:
+				return fmt.Errorf("unknown column type %q", tname)
+			}
+		}
+		f, err := os.Open(cfg.csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tbl, err := table.ReadCSV(f, types)
+		if err != nil {
+			return err
+		}
+		if err := engine.RegisterTable(cfg.tblName, tbl); err != nil {
+			return err
+		}
+		return buildSample(engine, cfg.tblName, tbl.NumRows(), cfg.sample)
+	}
+
+	rows := cfg.genRows
+	if rows <= 0 {
+		rows = 200000
+	}
+	src := rng.New(cfg.seed)
+	times := make(table.Float64Col, rows)
+	cities := make(table.StringCol, rows)
+	kb := make(table.Float64Col, rows)
+	names := []string{"NYC", "SF", "LA", "CHI", "SEA", "BOS"}
+	zipf := rng.NewZipf(src, len(names), 1.1)
+	for i := 0; i < rows; i++ {
+		cities[i] = names[zipf.Next()]
+		times[i] = src.LogNormal(4, 0.6)
+		kb[i] = src.Pareto(10000, 1.3) / 1000
+	}
+	tbl := table.MustNew(table.Schema{
+		{Name: "Time", Type: table.Float64},
+		{Name: "City", Type: table.String},
+		{Name: "KB", Type: table.Float64},
+	}, times, cities, kb)
+	if err := engine.RegisterTable("Sessions", tbl); err != nil {
+		return err
+	}
+	fmt.Printf("aqpd: demo table Sessions(Time FLOAT64, City STRING, KB FLOAT64), %d rows\n", rows)
+	return buildSample(engine, "Sessions", rows, cfg.sample)
+}
+
+func buildSample(engine *core.Engine, name string, rows, sample int) error {
+	if sample == 0 {
+		sample = rows / 10
+	}
+	if sample <= 0 || sample >= rows {
+		fmt.Printf("aqpd: %s unsampled; queries run exactly\n", name)
+		return nil
+	}
+	if err := engine.BuildSamples(name, sample); err != nil {
+		return err
+	}
+	fmt.Printf("aqpd: sampled %s at %d rows\n", name, sample)
+	return nil
+}
+
+// parseUsers decodes the -users flag into a user→password table.
+func parseUsers(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		user, pass, ok := strings.Cut(pair, ":")
+		if !ok || user == "" {
+			return nil, fmt.Errorf("bad -users entry %q (want user:password)", pair)
+		}
+		out[user] = pass
+	}
+	return out, nil
+}
+
+// basicAuth returns an HTTP authorize hook checking Basic credentials
+// against the same user table the wire listener uses.
+func basicAuth(users map[string]string) func(*http.Request) error {
+	return func(r *http.Request) error {
+		user, pass, ok := r.BasicAuth()
+		if !ok {
+			return fmt.Errorf("missing credentials")
+		}
+		if want, found := users[user]; !found || want != pass {
+			return fmt.Errorf("bad credentials for user %s", strconv.Quote(user))
+		}
+		return nil
+	}
+}

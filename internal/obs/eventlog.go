@@ -154,6 +154,69 @@ func (l *EventLog) Emit(ev QueryEvent) {
 	l.log.LogAttrs(context.Background(), level, "query", attrs...)
 }
 
+// ConnEvent is one connection-lifecycle record from a network front end:
+// a MySQL-wire connection opening or closing, an auth failure, a protocol
+// violation, or a connection-limit rejection. It lands in the same JSON
+// event stream as query records, distinguished by kind=conn.
+type ConnEvent struct {
+	// Transport is the listener that produced the event: "mysql" | "http".
+	Transport string
+	// ConnID is the listener-scoped connection id (the id the MySQL
+	// handshake advertised); zero for transports without one.
+	ConnID uint64
+	// Remote is the peer address.
+	Remote string
+	// User is the authenticated user, when known.
+	User string
+	// Event is the lifecycle step: "open" | "close" | "auth_error" |
+	// "protocol_error" | "too_many_connections".
+	Event string
+	// Queries counts commands served over the connection (close events).
+	Queries int64
+	// DurMs is the connection's lifetime (close events).
+	DurMs float64
+	// Err carries the error that ended or rejected the connection.
+	Err string
+}
+
+// EmitConn writes one connection-lifecycle record. Errors (auth failures,
+// protocol violations, limit rejections, or any event carrying Err) log
+// at Warn, clean opens and closes at Info.
+func (l *EventLog) EmitConn(ev ConnEvent) {
+	if l == nil {
+		return
+	}
+	attrs := []slog.Attr{
+		slog.String("kind", "conn"),
+		slog.String("transport", ev.Transport),
+		slog.String("event", ev.Event),
+	}
+	if ev.ConnID != 0 {
+		attrs = append(attrs, slog.Uint64("conn_id", ev.ConnID))
+	}
+	if ev.Remote != "" {
+		attrs = append(attrs, slog.String("remote", ev.Remote))
+	}
+	if ev.User != "" {
+		attrs = append(attrs, slog.String("user", ev.User))
+	}
+	if ev.Queries > 0 {
+		attrs = append(attrs, slog.Int64("queries", ev.Queries))
+	}
+	if ev.DurMs > 0 {
+		attrs = append(attrs, slog.Float64("dur_ms", ev.DurMs))
+	}
+	if ev.Err != "" {
+		attrs = append(attrs, slog.String("error", ev.Err))
+	}
+	level := slog.LevelInfo
+	if ev.Err != "" || ev.Event == "auth_error" ||
+		ev.Event == "protocol_error" || ev.Event == "too_many_connections" {
+		level = slog.LevelWarn
+	}
+	l.log.LogAttrs(context.Background(), level, "conn", attrs...)
+}
+
 // StageLatencies flattens the top-level stage spans to a name→ms map;
 // repeated stages (e.g. two diagnostics in a GROUP BY fan-out) accumulate.
 // The event log and the history store share this breakdown.

@@ -34,6 +34,29 @@ var (
 	ErrShuttingDown = errors.New("serve: shutting down")
 )
 
+// Classify maps a Submit error to a transport-neutral rejection code, so
+// the HTTP and MySQL-wire front ends turn the same admission outcome into
+// the same client-visible error class instead of an abrupt connection
+// reset. retryable marks load-shedding outcomes a client should back off
+// and retry; "bad_query" covers everything the engine itself refused
+// (parse errors, unknown tables, ...).
+func Classify(err error) (code string, retryable bool) {
+	switch {
+	case err == nil:
+		return "", false
+	case errors.Is(err, ErrQueueFull):
+		return "queue_full", true
+	case errors.Is(err, ErrShuttingDown):
+		return "shutting_down", true
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline", false
+	case errors.Is(err, context.Canceled):
+		return "cancelled", false
+	default:
+		return "bad_query", false
+	}
+}
+
 // Config tunes a Server.
 type Config struct {
 	// MaxInFlight bounds concurrently executing queries (0 = 4).
@@ -277,19 +300,23 @@ func (s *Server) release() {
 }
 
 // Shutdown stops admitting queries, fails all waiters with
-// ErrShuttingDown, and waits for in-flight queries to finish. It returns
-// ctx.Err() if the drain outlives ctx; in-flight queries keep their own
-// contexts and are not force-cancelled — pair Shutdown with a per-query
-// Timeout to bound the drain. Shutdown is idempotent only in effect; call
-// it once.
+// ErrShuttingDown (each waiter's rejection is metered and recorded in the
+// history store, so availability SLOs see drained queries), and waits for
+// in-flight queries to finish. It returns ctx.Err() if the drain outlives
+// ctx; in-flight queries keep their own contexts and are not
+// force-cancelled — pair Shutdown with a per-query Timeout to bound the
+// drain. Shutdown is idempotent: concurrent and repeated calls all wait
+// for the same drain.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
-	s.draining = true
-	for _, w := range s.queue {
-		w <- ErrShuttingDown
+	if !s.draining {
+		s.draining = true
+		for _, w := range s.queue {
+			w <- ErrShuttingDown
+		}
+		s.queue = nil
+		s.gQueued.Set(0)
 	}
-	s.queue = nil
-	s.gQueued.Set(0)
 	idle := s.inflight == 0
 	s.mu.Unlock()
 	if idle {
@@ -301,6 +328,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		return fmt.Errorf("serve: drain: %w", ctx.Err())
 	}
+}
+
+// Draining reports whether Shutdown has begun: the server no longer
+// admits queries. Front ends use it to flip health checks before refusing
+// traffic.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // InFlight returns the number of currently executing queries.

@@ -1,0 +1,588 @@
+package wire_test
+
+// End-to-end tests that hold the network front end to the engine's core
+// guarantee: the transport must not perturb the answer. The same SQL
+// through core.Engine.Query, the HTTP/JSON API, and a real MySQL wire
+// client (our own, speaking the text protocol over TCP) must produce
+// bit-identical estimates, CI bounds and verdicts — and the connection
+// machinery must survive churn, abrupt disconnects and drain without
+// leaking goroutines or miscounting gauges.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obs/history"
+	"repro/internal/rng"
+	"repro/internal/serve"
+	"repro/internal/table"
+	"repro/internal/wire"
+)
+
+// testEngine registers a sampled Orders table on a fresh engine.
+func testEngine(t *testing.T, cfg core.Config) *core.Engine {
+	t.Helper()
+	const n = 4000
+	src := rng.New(321)
+	price := make(table.Float64Col, n)
+	region := make(table.StringCol, n)
+	names := []string{"east", "west", "north"}
+	for i := 0; i < n; i++ {
+		price[i] = 10 + 5*src.NormFloat64()
+		region[i] = names[src.Intn(len(names))]
+	}
+	tbl := table.MustNew(table.Schema{
+		{Name: "Price", Type: table.Float64},
+		{Name: "Region", Type: table.String},
+	}, price, region)
+	e := core.New(cfg)
+	if err := e.RegisterTable("Orders", tbl); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.BuildSamples("Orders", 1000); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// stack is a full in-process front end: engine, admission layer, both
+// listeners.
+type stack struct {
+	eng  *core.Engine
+	srv  *serve.Server
+	wl   *wire.Listener
+	hs   *httptest.Server
+	reg  *obs.Registry
+	addr string // wire listener address
+}
+
+func startStack(t *testing.T, eng *core.Engine, scfg serve.Config, wcfg wire.Config) *stack {
+	t.Helper()
+	reg := scfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+		scfg.Metrics = reg
+	}
+	if wcfg.Metrics == nil {
+		wcfg.Metrics = reg
+	}
+	srv := serve.New(eng, scfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := wire.Serve(ln, srv, wcfg)
+	hs := httptest.NewServer(serve.NewHTTPHandler(srv, serve.HTTPOptions{}))
+	st := &stack{eng: eng, srv: srv, wl: wl, hs: hs, reg: reg, addr: ln.Addr().String()}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		wl.Drain()
+		srv.Shutdown(ctx) //nolint:errcheck
+		hs.Close()
+		wl.Shutdown(ctx) //nolint:errcheck
+		eng.Close()
+	})
+	return st
+}
+
+// httpQuery posts one query to the JSON API and decodes the response.
+func httpQuery(t *testing.T, url, sql string) (*serve.QueryResponse, *http.Response) {
+	t.Helper()
+	body, _ := json.Marshal(serve.QueryRequest{SQL: sql})
+	resp, err := http.Post(url+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e serve.ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("status %d with undecodable body: %v", resp.StatusCode, err)
+		}
+		t.Fatalf("status %d: %s (%s)", resp.StatusCode, e.Error, e.Code)
+	}
+	var out serve.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return &out, resp
+}
+
+// sameBits asserts two floats are bit-identical (NaN == NaN).
+func sameBits(t *testing.T, what string, got, want float64) {
+	t.Helper()
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("%s: got %x (%v) want %x (%v)", what,
+			math.Float64bits(got), got, math.Float64bits(want), want)
+	}
+}
+
+// parseCell parses a wire text-protocol float cell.
+func parseCell(t *testing.T, what, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("%s: bad float cell %q: %v", what, cell, err)
+	}
+	return v
+}
+
+// TestTransportEquality is the headline satellite: the same query via
+// core.Engine.Query, POST /query, and a MySQL wire client returns
+// bit-identical estimates, interval endpoints, relative errors, and
+// identical technique/verdict strings.
+func TestTransportEquality(t *testing.T) {
+	eng := testEngine(t, core.Config{Seed: 7})
+	st := startStack(t, eng, serve.Config{MaxInFlight: 4}, wire.Config{})
+
+	cli, err := wire.Dial(st.addr, wire.ClientOptions{User: "root", Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	queries := []string{
+		"SELECT AVG(Price) FROM Orders",
+		"SELECT SUM(Price), COUNT(Price) FROM Orders WHERE Region = 'east'",
+		"SELECT AVG(Price) FROM Orders GROUP BY Region",
+	}
+	for _, q := range queries {
+		want, err := eng.Query(q)
+		if err != nil {
+			t.Fatalf("%s: direct: %v", q, err)
+		}
+
+		// HTTP path.
+		hr, _ := httpQuery(t, st.hs.URL, q)
+		if len(hr.Groups) != len(want.Groups) {
+			t.Fatalf("%s: http groups %d want %d", q, len(hr.Groups), len(want.Groups))
+		}
+		for i, g := range want.Groups {
+			hg := hr.Groups[i]
+			if hg.Key != g.Key {
+				t.Errorf("%s: http group %d key %q want %q", q, i, hg.Key, g.Key)
+			}
+			for j, a := range g.Aggs {
+				ha := hg.Aggs[j]
+				pre := fmt.Sprintf("%s: http group %d agg %s", q, i, a.Name)
+				sameBits(t, pre+" estimate", float64(ha.Estimate), a.Estimate)
+				sameBits(t, pre+" lo", float64(ha.Lo), a.ErrorBar.Lo())
+				sameBits(t, pre+" hi", float64(ha.Hi), a.ErrorBar.Hi())
+				sameBits(t, pre+" rel_err", float64(ha.RelErr), a.RelErr)
+				if ha.Technique != a.Technique {
+					t.Errorf("%s technique %q want %q", pre, ha.Technique, a.Technique)
+				}
+				if ha.Verdict != serve.Verdict(a) {
+					t.Errorf("%s verdict %q want %q", pre, ha.Verdict, serve.Verdict(a))
+				}
+			}
+		}
+
+		// Wire path.
+		rs, err := cli.Query(q)
+		if err != nil {
+			t.Fatalf("%s: wire: %v", q, err)
+		}
+		if len(rs.Rows) != len(want.Groups) {
+			t.Fatalf("%s: wire rows %d want %d", q, len(rs.Rows), len(want.Groups))
+		}
+		grouped := false
+		for _, g := range want.Groups {
+			if g.Key != "" {
+				grouped = true
+			}
+		}
+		for i, g := range want.Groups {
+			row := rs.Rows[i]
+			off := 0
+			if grouped {
+				if row[0] != g.Key {
+					t.Errorf("%s: wire row %d group %q want %q", q, i, row[0], g.Key)
+				}
+				off = 1
+			}
+			for j, a := range g.Aggs {
+				base := off + 7*j
+				pre := fmt.Sprintf("%s: wire row %d agg %s", q, i, a.Name)
+				if col := rs.Columns[base]; col != a.Name {
+					t.Errorf("%s: column %q want %q", pre, col, a.Name)
+				}
+				sameBits(t, pre+" estimate", parseCell(t, pre, row[base]), a.Estimate)
+				sameBits(t, pre+" lo", parseCell(t, pre, row[base+1]), a.ErrorBar.Lo())
+				sameBits(t, pre+" hi", parseCell(t, pre, row[base+2]), a.ErrorBar.Hi())
+				sameBits(t, pre+" rel_err", parseCell(t, pre, row[base+3]), a.RelErr)
+				if row[base+4] != a.Technique {
+					t.Errorf("%s technique %q want %q", pre, row[base+4], a.Technique)
+				}
+				if row[base+5] != serve.Verdict(a) {
+					t.Errorf("%s verdict %q want %q", pre, row[base+5], serve.Verdict(a))
+				}
+				exact := "0"
+				if a.Exact {
+					exact = "1"
+				}
+				if row[base+6] != exact {
+					t.Errorf("%s exact %q want %q", pre, row[base+6], exact)
+				}
+			}
+		}
+	}
+}
+
+// TestWirePing exercises COM_PING and COM_INIT_DB round trips.
+func TestWirePing(t *testing.T) {
+	eng := testEngine(t, core.Config{Seed: 7})
+	st := startStack(t, eng, serve.Config{}, wire.Config{})
+	cli, err := wire.Dial(st.addr, wire.ClientOptions{User: "anyone", Database: "aqp", Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWireBadQuery asserts a parse error surfaces as ERR 1064 and leaves
+// the connection usable.
+func TestWireBadQuery(t *testing.T) {
+	eng := testEngine(t, core.Config{Seed: 7})
+	st := startStack(t, eng, serve.Config{}, wire.Config{})
+	cli, err := wire.Dial(st.addr, wire.ClientOptions{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	_, err = cli.Query("SELECT FROM WHERE")
+	var se *wire.ServerError
+	if !errors.As(err, &se) || se.Code != 1064 {
+		t.Fatalf("want ERR 1064, got %v", err)
+	}
+	if _, err := cli.Query("SELECT AVG(Price) FROM Orders"); err != nil {
+		t.Fatalf("connection unusable after parse error: %v", err)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestConnChurn hammers the front end with connect/query/disconnect
+// cycles — some clients severing TCP mid-exchange, some racing tiny
+// per-query deadlines — and asserts no goroutine leaks and all
+// connection gauges back at zero after drain. Run under -race this is
+// the concurrency-safety pin for the whole wire layer.
+func TestConnChurn(t *testing.T) {
+	eng := testEngine(t, core.Config{Seed: 7})
+	reg := obs.NewRegistry()
+	st := startStack(t, eng,
+		serve.Config{MaxInFlight: 4, MaxQueue: 64, Metrics: reg},
+		wire.Config{MaxConns: 64})
+
+	// Warm every path once so lazily-created goroutines (engine workers,
+	// HTTP keep-alive readers) are part of the baseline, then flush idle
+	// client connections and measure.
+	warm, err := wire.Dial(st.addr, wire.ClientOptions{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.Query("SELECT AVG(Price) FROM Orders"); err != nil {
+		t.Fatal(err)
+	}
+	warm.Close()
+	httpQuery(t, st.hs.URL, "SELECT AVG(Price) FROM Orders")
+	http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+	runtime.GC()
+	before := runtime.NumGoroutine()
+
+	const (
+		workers = 24
+		iters   = 8
+	)
+	var wg sync.WaitGroup
+	var queries, aborted atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				cli, err := wire.Dial(st.addr, wire.ClientOptions{
+					User: "churn", Timeout: 10 * time.Second})
+				if err != nil {
+					t.Errorf("worker %d dial: %v", w, err)
+					return
+				}
+				switch (w + i) % 3 {
+				case 0: // clean query + quit
+					if _, err := cli.Query("SELECT AVG(Price) FROM Orders"); err != nil {
+						t.Errorf("worker %d query: %v", w, err)
+					} else {
+						queries.Add(1)
+					}
+					cli.Close()
+				case 1: // sever TCP with a query possibly in flight
+					go cli.Query("SELECT SUM(Price) FROM Orders GROUP BY Region") //nolint:errcheck
+					cli.CloseAbruptly()
+					aborted.Add(1)
+				case 2: // HTTP alongside, then wire ping, then quit
+					if resp, err := http.Get(st.hs.URL + "/healthz"); err != nil {
+						t.Errorf("worker %d healthz: %v", w, err)
+					} else {
+						io.Copy(io.Discard, resp.Body) //nolint:errcheck
+						resp.Body.Close()
+					}
+					if err := cli.Ping(); err != nil {
+						t.Errorf("worker %d ping: %v", w, err)
+					}
+					cli.Close()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if queries.Load() == 0 {
+		t.Fatal("no queries completed")
+	}
+
+	// Drain: all connections must unwind, gauges must return to zero.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st.wl.Drain()
+	if err := st.wl.Shutdown(ctx); err != nil {
+		t.Fatalf("wire shutdown: %v", err)
+	}
+	if n := st.wl.Open(); n != 0 {
+		t.Fatalf("connections still open after shutdown: %d", n)
+	}
+	waitFor(t, "aqp_conn_open gauge zero", func() bool {
+		return reg.Gauge("aqp_conn_open", "").Value() == 0
+	})
+	waitFor(t, "aqp_conn_queries_active gauge zero", func() bool {
+		return reg.Gauge("aqp_conn_queries_active", "").Value() == 0
+	})
+	waitFor(t, "aqp_http_inflight gauge zero", func() bool {
+		return reg.Gauge("aqp_http_inflight", "").Value() == 0
+	})
+	unwound := func() bool {
+		http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+		runtime.GC()
+		return runtime.NumGoroutine() <= before
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !unwound() {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines did not unwind: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), before, buf[:n])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Logf("churn: %d clean queries, %d aborted connections", queries.Load(), aborted.Load())
+}
+
+// blockingEngine wires a gate UDF into a test engine: every SLOW()
+// invocation blocks until release is closed, so a test can hold the
+// single execution slot deterministically.
+func blockingEngine(t *testing.T) (eng *core.Engine, started <-chan struct{}, release chan<- struct{}) {
+	t.Helper()
+	eng = testEngine(t, core.Config{Seed: 7, Workers: 1})
+	s := make(chan struct{})
+	r := make(chan struct{})
+	var once sync.Once
+	eng.RegisterUDF("SLOW", func(values, weights []float64) float64 {
+		once.Do(func() { close(s) })
+		<-r
+		return 0
+	})
+	return eng, s, r
+}
+
+// TestDrainRejectsQueuedWire is the drain-gap regression at the wire
+// layer: a query still queued when shutdown begins must come back as a
+// decodable ERR 1053 (server shutdown), not a connection reset, and must
+// leave a durable RejectRecord for availability SLOs.
+func TestDrainRejectsQueuedWire(t *testing.T) {
+	eng, started, release := blockingEngine(t)
+	reg := obs.NewRegistry()
+	hist, err := history.Open(t.TempDir(), history.Options{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hist.Close()
+	st := startStack(t, eng,
+		serve.Config{MaxInFlight: 1, MaxQueue: 4, Metrics: reg, History: hist},
+		wire.Config{})
+
+	slow, err := wire.Dial(st.addr, wire.ClientOptions{Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	slowDone := make(chan error, 1)
+	go func() {
+		_, err := slow.Query("SELECT SLOW(Price) FROM Orders")
+		slowDone <- err
+	}()
+	<-started // the slot is held
+
+	queued, err := wire.Dial(st.addr, wire.ClientOptions{Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer queued.Close()
+	queuedDone := make(chan error, 1)
+	go func() {
+		_, err := queued.Query("SELECT AVG(Price) FROM Orders")
+		queuedDone <- err
+	}()
+	waitFor(t, "second query queued", func() bool { return st.srv.Queued() == 1 })
+
+	// Shutdown while one query runs and one waits. The queued one must
+	// get a proper wire error, durably recorded as a reject.
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- st.srv.Shutdown(ctx)
+	}()
+
+	var se *wire.ServerError
+	select {
+	case err := <-queuedDone:
+		if !errors.As(err, &se) || se.Code != 1053 {
+			t.Fatalf("queued query: want ERR 1053, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("queued query did not fail during drain")
+	}
+
+	close(release) // let the in-flight query finish
+	if err := <-slowDone; err != nil {
+		t.Fatalf("in-flight query should complete during drain: %v", err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	if n := hist.Stats().Records["reject"]; n < 1 {
+		t.Fatalf("want >= 1 durable RejectRecord, got %d", n)
+	}
+	found := false
+	for _, c := range reg.CounterSamples() {
+		if c.Name == "aqp_serve_rejected_total" && c.Value > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("aqp_serve_rejected_total not incremented")
+	}
+}
+
+// TestDrainRejectsQueuedHTTP is the same regression at the HTTP layer:
+// 503 with a retryable shutting_down code, not a dropped connection.
+func TestDrainRejectsQueuedHTTP(t *testing.T) {
+	eng, started, release := blockingEngine(t)
+	reg := obs.NewRegistry()
+	st := startStack(t, eng,
+		serve.Config{MaxInFlight: 1, MaxQueue: 4, Metrics: reg},
+		wire.Config{})
+
+	slowDone := make(chan error, 1)
+	go func() {
+		body, _ := json.Marshal(serve.QueryRequest{SQL: "SELECT SLOW(Price) FROM Orders"})
+		resp, err := http.Post(st.hs.URL+"/query", "application/json", bytes.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+		}
+		slowDone <- err
+	}()
+	<-started
+
+	queuedDone := make(chan *http.Response, 1)
+	go func() {
+		body, _ := json.Marshal(serve.QueryRequest{SQL: "SELECT AVG(Price) FROM Orders"})
+		resp, err := http.Post(st.hs.URL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Errorf("queued POST: %v", err)
+			queuedDone <- nil
+			return
+		}
+		queuedDone <- resp
+	}()
+	waitFor(t, "second query queued", func() bool { return st.srv.Queued() == 1 })
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- st.srv.Shutdown(ctx)
+	}()
+
+	select {
+	case resp := <-queuedDone:
+		if resp == nil {
+			t.Fatal("no response")
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("queued query: status %d want 503", resp.StatusCode)
+		}
+		var e serve.ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("503 body not JSON: %v", err)
+		}
+		if e.Code != "shutting_down" || !e.Retryable {
+			t.Fatalf("want retryable shutting_down, got %+v", e)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Error("503 missing Retry-After")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("queued query did not fail during drain")
+	}
+
+	// healthz flips to draining.
+	hresp, err := http.Get(st.hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: status %d want 503", hresp.StatusCode)
+	}
+
+	close(release)
+	if err := <-slowDone; err != nil {
+		t.Fatalf("in-flight POST: %v", err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

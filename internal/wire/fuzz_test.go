@@ -1,0 +1,126 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// fakeSubmitter answers every query with a fixed tiny answer, so fuzzing
+// exercises the protocol layer without an engine.
+type fakeSubmitter struct{}
+
+func (fakeSubmitter) Submit(ctx context.Context, query string) (*core.Answer, error) {
+	return &core.Answer{
+		SQL: query,
+		Groups: []core.GroupAnswer{{
+			Aggs: []core.AggAnswer{{Name: "avg", Estimate: 1.5, Technique: "closed-form"}},
+		}},
+	}, nil
+}
+
+var fuzzServer struct {
+	once sync.Once
+	addr string
+}
+
+// fuzzServerAddr lazily boots one shared wire listener for the whole fuzz
+// process.
+func fuzzServerAddr(f *testing.F) string {
+	fuzzServer.once.Do(func() {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			f.Fatal(err)
+		}
+		Serve(ln, fakeSubmitter{}, Config{MaxPacket: 64 << 10})
+		fuzzServer.addr = ln.Addr().String()
+	})
+	return fuzzServer.addr
+}
+
+// validHandshakeResponse frames a well-formed HandshakeResponse41 (empty
+// auth, no database) at sequence id 1, as a real client would send it.
+func validHandshakeResponse() []byte {
+	caps := uint32(capProtocol41 | capSecureConnection | capPluginAuth)
+	p := []byte{byte(caps), byte(caps >> 8), byte(caps >> 16), byte(caps >> 24),
+		0, 0, 0, 1, charsetUTF8}
+	p = append(p, make([]byte, 23)...)
+	p = append(p, "fuzz"...)
+	p = append(p, 0, 0) // user NUL, zero-length auth
+	p = append(p, authPluginName...)
+	p = append(p, 0)
+	var buf bytes.Buffer
+	seq := uint8(1)
+	writePacket(&buf, &seq, p) //nolint:errcheck
+	return buf.Bytes()
+}
+
+// frame frames one payload at the given starting sequence id.
+func frame(seq uint8, payload []byte) []byte {
+	var buf bytes.Buffer
+	writePacket(&buf, &seq, payload) //nolint:errcheck
+	return buf.Bytes()
+}
+
+// FuzzWirePacket throws adversarial bytes at every decoding layer: the
+// frame reader, the handshake-response parser, the lenenc primitives, the
+// client-side greeting/ERR parsers, and a live server connection fed the
+// bytes as its post-greeting client stream. The invariant under fuzz: no
+// panic, no unbounded allocation; a live connection either proceeds or
+// closes.
+func FuzzWirePacket(f *testing.F) {
+	// Seed corpus: one valid exchange and the classic protocol attacks.
+	f.Add(validHandshakeResponse())
+	f.Add(append(validHandshakeResponse(), frame(0, append([]byte{0x03}, "SELECT AVG(Price) FROM Orders"...))...))
+	f.Add(append(validHandshakeResponse(), frame(0, []byte{0x0e})...))                         // ping
+	f.Add(append(validHandshakeResponse(), frame(0, []byte{0x01})...))                         // quit
+	f.Add(frame(0, []byte("wrong sequence")))                                                  // seq 0, server expects 1
+	f.Add([]byte{0xff, 0xff, 0xff, 0x01})                                                      // 16MB length header, no body
+	f.Add([]byte{0x05, 0x00, 0x00, 0x01, 0xfb})                                                // NULL marker payload
+	f.Add([]byte{0x02, 0x00, 0x00})                                                            // truncated header
+	f.Add(frame(1, []byte{0xfe}))                                                              // lone lenenc-8 marker
+	f.Add(frame(1, bytes.Repeat([]byte{0xff}, 64)))                                            // ERR-marker soup
+	f.Add(frame(1, append([]byte{0x00, 0x02, 0x00, 0x00}, bytes.Repeat([]byte{0xcc}, 40)...))) // 4.1 caps, garbage body
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Pure decoders: must never panic, whatever the bytes.
+		seq := uint8(0)
+		readPacket(bytes.NewReader(data), &seq, 64<<10) //nolint:errcheck
+		parseHandshakeResponse(data)                    //nolint:errcheck
+		parseErrPayload(data)
+		parseGreeting(data) //nolint:errcheck
+		lenencInt(data)
+		lenencBytes(data)
+		nullTermBytes(data)
+		if _, err := columnName(data); err == nil && len(data) < 5 {
+			t.Fatalf("column name decoded from %d bytes", len(data))
+		}
+
+		// Live connection: data is the raw client stream after the
+		// greeting. The server must answer, refuse, or close — never
+		// panic (a panic crashes this process and fails the fuzz run).
+		nc, err := net.Dial("tcp", fuzzServerAddr(f))
+		if err != nil {
+			t.Skip("dial:", err)
+		}
+		defer nc.Close()
+		nc.SetDeadline(time.Now().Add(500 * time.Millisecond)) //nolint:errcheck
+		greet := make([]byte, 4)
+		if _, err := io.ReadFull(nc, greet); err != nil {
+			t.Skip("greeting:", err)
+		}
+		n := int(greet[0]) | int(greet[1])<<8 | int(greet[2])<<16
+		if _, err := io.CopyN(io.Discard, nc, int64(n)); err != nil {
+			t.Skip("greeting body:", err)
+		}
+		nc.Write(data)                 //nolint:errcheck
+		nc.(*net.TCPConn).CloseWrite() //nolint:errcheck — server sees EOF after data
+		io.Copy(io.Discard, nc)        //nolint:errcheck
+	})
+}

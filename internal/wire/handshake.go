@@ -1,0 +1,202 @@
+package wire
+
+import (
+	"crypto/rand"
+	"crypto/sha1"
+	"crypto/subtle"
+	"fmt"
+)
+
+// Capability flags (the subset the daemon advertises or inspects).
+const (
+	capLongPassword     = 0x00000001
+	capConnectWithDB    = 0x00000008
+	capProtocol41       = 0x00000200
+	capTransactions     = 0x00002000
+	capSecureConnection = 0x00008000
+	capPluginAuth       = 0x00080000
+	capPluginAuthLenenc = 0x00200000
+	capDeprecateEOF     = 0x01000000 // never advertised: we speak EOF-terminated resultsets
+)
+
+const serverCapabilityFlags uint32 = capLongPassword | capConnectWithDB | capProtocol41 |
+	capTransactions | capSecureConnection | capPluginAuth
+
+// authPluginName is the only auth method the daemon speaks. Its scramble
+// needs no TLS to avoid sending plaintext passwords, and every stock
+// client supports it.
+const authPluginName = "mysql_native_password"
+
+// charsetUTF8 is utf8_general_ci, the charset byte advertised both ways.
+const charsetUTF8 = 0x21
+
+// saltLen is the auth-plugin-data length for mysql_native_password.
+const saltLen = 20
+
+// newSalt draws the random handshake scramble. Bytes are printable ASCII
+// (classic server behaviour: some clients mishandle NUL bytes in the
+// salt).
+func newSalt() []byte {
+	salt := make([]byte, saltLen)
+	if _, err := rand.Read(salt); err != nil {
+		// crypto/rand failing means the process is in a bad way; a
+		// deterministic salt only weakens auth replay resistance, never
+		// correctness.
+		for i := range salt {
+			salt[i] = byte(i + 1)
+		}
+	}
+	for i := range salt {
+		salt[i] = '!' + salt[i]%94 // 0x21..0x7e
+	}
+	return salt
+}
+
+// handshakeV10 builds the server greeting payload.
+func handshakeV10(connID uint32, salt []byte, version string) []byte {
+	b := make([]byte, 0, 64+len(version))
+	b = append(b, 0x0a) // protocol version
+	b = append(b, version...)
+	b = append(b, 0)
+	b = append(b, byte(connID), byte(connID>>8), byte(connID>>16), byte(connID>>24))
+	b = append(b, salt[:8]...)
+	caps := serverCapabilityFlags
+	b = append(b, 0)                              // filler
+	b = append(b, byte(caps&0xff), byte(caps>>8)) // caps lower
+	b = append(b, charsetUTF8)
+	b = append(b, 0x02, 0x00) // status: autocommit
+	b = append(b, byte(caps>>16&0xff), byte(caps>>24))
+	b = append(b, byte(saltLen+1)) // auth plugin data length (incl. NUL)
+	b = append(b, make([]byte, 10)...)
+	b = append(b, salt[8:]...)
+	b = append(b, 0)
+	b = append(b, authPluginName...)
+	b = append(b, 0)
+	return b
+}
+
+// handshakeResponse is a parsed HandshakeResponse41.
+type handshakeResponse struct {
+	caps      uint32
+	maxPacket uint32
+	charset   byte
+	User      string
+	Database  string
+	Plugin    string
+	AuthResp  []byte
+}
+
+// parseHandshakeResponse decodes a HandshakeResponse41 payload. Every
+// field is bounds-checked; violations return ErrMalformed.
+func parseHandshakeResponse(p []byte) (*handshakeResponse, error) {
+	if len(p) < 32 {
+		return nil, fmt.Errorf("%w: handshake response %d bytes, want >= 32", ErrMalformed, len(p))
+	}
+	r := &handshakeResponse{
+		caps:      uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24,
+		maxPacket: uint32(p[4]) | uint32(p[5])<<8 | uint32(p[6])<<16 | uint32(p[7])<<24,
+		charset:   p[8],
+	}
+	if r.caps&capProtocol41 == 0 {
+		return nil, fmt.Errorf("%w: pre-4.1 clients are not supported", ErrMalformed)
+	}
+	rest := p[32:] // 4+4+1+23 bytes of fixed header
+	user, rest, ok := nullTermBytes(rest)
+	if !ok {
+		return nil, fmt.Errorf("%w: unterminated username", ErrMalformed)
+	}
+	r.User = string(user)
+	switch {
+	case r.caps&capPluginAuthLenenc != 0:
+		auth, n, ok := lenencBytes(rest)
+		if !ok {
+			return nil, fmt.Errorf("%w: truncated lenenc auth response", ErrMalformed)
+		}
+		r.AuthResp = append([]byte(nil), auth...)
+		rest = rest[n:]
+	case r.caps&capSecureConnection != 0:
+		if len(rest) < 1 || len(rest) < 1+int(rest[0]) {
+			return nil, fmt.Errorf("%w: truncated auth response", ErrMalformed)
+		}
+		r.AuthResp = append([]byte(nil), rest[1:1+int(rest[0])]...)
+		rest = rest[1+int(rest[0]):]
+	default:
+		auth, after, ok := nullTermBytes(rest)
+		if !ok {
+			return nil, fmt.Errorf("%w: unterminated auth response", ErrMalformed)
+		}
+		r.AuthResp = append([]byte(nil), auth...)
+		rest = after
+	}
+	if r.caps&capConnectWithDB != 0 && len(rest) > 0 {
+		db, after, ok := nullTermBytes(rest)
+		if !ok {
+			// Tolerate an unterminated trailing database name.
+			db, after = rest, nil
+		}
+		r.Database = string(db)
+		rest = after
+	}
+	if r.caps&capPluginAuth != 0 && len(rest) > 0 {
+		plugin, _, ok := nullTermBytes(rest)
+		if !ok {
+			plugin = rest
+		}
+		r.Plugin = string(plugin)
+	}
+	return r, nil
+}
+
+// nativeScramble computes the mysql_native_password token:
+// SHA1(password) XOR SHA1(salt ‖ SHA1(SHA1(password))). Empty passwords
+// send an empty token.
+func nativeScramble(salt []byte, password string) []byte {
+	if password == "" {
+		return nil
+	}
+	h1 := sha1.Sum([]byte(password))
+	h2 := sha1.Sum(h1[:])
+	mix := sha1.New()
+	mix.Write(salt)
+	mix.Write(h2[:])
+	h3 := mix.Sum(nil)
+	out := make([]byte, sha1.Size)
+	for i := range out {
+		out[i] = h1[i] ^ h3[i]
+	}
+	return out
+}
+
+// ConnInfo identifies one wire connection to the auth hook and the event
+// log: the tenancy handle.
+type ConnInfo struct {
+	ID       uint64
+	Remote   string
+	User     string
+	Database string
+}
+
+// AuthFunc vets one connection after the handshake: it receives the
+// connection identity, the salt the server sent, and the client's auth
+// response (the mysql_native_password scramble, or whatever the client's
+// plugin produced). A non-nil error refuses the connection with
+// ER_ACCESS_DENIED_ERROR. A nil AuthFunc admits everyone.
+type AuthFunc func(info ConnInfo, salt, authResponse []byte) error
+
+// NativePassword returns an AuthFunc checking mysql_native_password
+// scrambles against a user→password table (constant-time comparison).
+// Unknown users are refused.
+func NativePassword(users map[string]string) AuthFunc {
+	return func(info ConnInfo, salt, authResponse []byte) error {
+		password, ok := users[info.User]
+		if !ok {
+			return fmt.Errorf("unknown user %q", info.User)
+		}
+		want := nativeScramble(salt, password)
+		if len(want) != len(authResponse) ||
+			subtle.ConstantTimeCompare(want, authResponse) != 1 {
+			return fmt.Errorf("bad password for user %q", info.User)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,165 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestPacketRoundTrip(t *testing.T) {
+	for _, size := range []int{0, 1, 100, maxChunk - 1, maxChunk, maxChunk + 1, 2*maxChunk + 5} {
+		payload := make([]byte, size)
+		for i := range payload {
+			payload[i] = byte(i * 31)
+		}
+		var buf bytes.Buffer
+		wseq := uint8(3)
+		if err := writePacket(&buf, &wseq, payload); err != nil {
+			t.Fatalf("size %d: write: %v", size, err)
+		}
+		rseq := uint8(3)
+		got, err := readPacket(&buf, &rseq, 3*maxChunk)
+		if err != nil {
+			t.Fatalf("size %d: read: %v", size, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("size %d: payload corrupted", size)
+		}
+		if rseq != wseq {
+			t.Fatalf("size %d: reader seq %d, writer seq %d", size, rseq, wseq)
+		}
+		if buf.Len() != 0 {
+			t.Fatalf("size %d: %d trailing bytes", size, buf.Len())
+		}
+	}
+}
+
+func TestPacketSequenceMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	seq := uint8(0)
+	if err := writePacket(&buf, &seq, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	rseq := uint8(5)
+	if _, err := readPacket(&buf, &rseq, 1024); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("want ErrMalformed on sequence mismatch, got %v", err)
+	}
+}
+
+func TestPacketOversize(t *testing.T) {
+	var buf bytes.Buffer
+	seq := uint8(0)
+	if err := writePacket(&buf, &seq, make([]byte, 2048)); err != nil {
+		t.Fatal(err)
+	}
+	rseq := uint8(0)
+	if _, err := readPacket(&buf, &rseq, 1024); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("want ErrMalformed on oversize payload, got %v", err)
+	}
+	// A header that lies about its length must hit the cap before any
+	// allocation-by-header-value.
+	hdr := []byte{0xff, 0xff, 0xff, 0x00}
+	rseq = 0
+	if _, err := readPacket(bytes.NewReader(hdr), &rseq, 1024); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("want ErrMalformed on lying header, got %v", err)
+	}
+}
+
+func TestLenencRoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 0xfa, 0xfb, 0xffff, 0x10000, 0xffffff, 0x1000000, 1 << 40} {
+		b := appendLenencInt(nil, v)
+		got, n, ok := lenencInt(b)
+		if !ok || got != v || n != len(b) {
+			t.Fatalf("lenenc %d: got %d n=%d ok=%v", v, got, n, ok)
+		}
+	}
+	for _, s := range []string{"", "x", "hello world"} {
+		b := appendLenencBytes(nil, []byte(s))
+		got, n, ok := lenencBytes(b)
+		if !ok || string(got) != s || n != len(b) {
+			t.Fatalf("lenenc %q: got %q n=%d ok=%v", s, got, n, ok)
+		}
+	}
+	// Truncations must fail, not over-read.
+	if _, _, ok := lenencInt([]byte{0xfc, 0x01}); ok {
+		t.Fatal("truncated 2-byte lenenc int accepted")
+	}
+	if _, _, ok := lenencBytes([]byte{0x05, 'a', 'b'}); ok {
+		t.Fatal("truncated lenenc string accepted")
+	}
+}
+
+func TestErrPayloadRoundTrip(t *testing.T) {
+	e := parseErrPayload(errPayload(errServerShutdown, "08S01", "shutting down"))
+	if e.Code != errServerShutdown || e.State != "08S01" || e.Message != "shutting down" {
+		t.Fatalf("round trip: %+v", e)
+	}
+}
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	salt := newSalt()
+	if len(salt) != saltLen {
+		t.Fatalf("salt length %d", len(salt))
+	}
+	greeting := handshakeV10(42, salt, "8.0.0-aqpd")
+	got, err := parseGreeting(greeting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, salt) {
+		t.Fatalf("client recovered salt %x, server sent %x", got, salt)
+	}
+}
+
+func TestParseHandshakeResponse(t *testing.T) {
+	// Build a well-formed HandshakeResponse41 the way the client does.
+	salt := newSalt()
+	auth := nativeScramble(salt, "sesame")
+	caps := uint32(capProtocol41 | capSecureConnection | capPluginAuth | capConnectWithDB)
+	p := []byte{byte(caps), byte(caps >> 8), byte(caps >> 16), byte(caps >> 24),
+		0, 0, 0, 1, charsetUTF8}
+	p = append(p, make([]byte, 23)...)
+	p = append(p, "alice"...)
+	p = append(p, 0)
+	p = append(p, byte(len(auth)))
+	p = append(p, auth...)
+	p = append(p, "aqp"...)
+	p = append(p, 0)
+	p = append(p, authPluginName...)
+	p = append(p, 0)
+
+	r, err := parseHandshakeResponse(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.User != "alice" || r.Database != "aqp" || r.Plugin != authPluginName {
+		t.Fatalf("parsed %+v", r)
+	}
+	if !bytes.Equal(r.AuthResp, auth) {
+		t.Fatal("auth response corrupted")
+	}
+
+	// The auth table must accept this exchange and refuse wrong secrets.
+	ok := NativePassword(map[string]string{"alice": "sesame"})
+	if err := ok(ConnInfo{User: "alice"}, salt, r.AuthResp); err != nil {
+		t.Fatalf("valid credentials refused: %v", err)
+	}
+	if err := ok(ConnInfo{User: "alice"}, salt, nativeScramble(salt, "wrong")); err == nil {
+		t.Fatal("bad password accepted")
+	}
+	if err := ok(ConnInfo{User: "mallory"}, salt, r.AuthResp); err == nil {
+		t.Fatal("unknown user accepted")
+	}
+
+	// Truncations and pre-4.1 clients are malformed, never a panic.
+	for i := 0; i < len(p); i += 7 {
+		if _, err := parseHandshakeResponse(p[:i]); err == nil && i < 33 {
+			t.Fatalf("truncated response (%d bytes) accepted", i)
+		}
+	}
+	old := append([]byte(nil), p...)
+	old[1] &^= 0x02 // clear capProtocol41
+	if _, err := parseHandshakeResponse(old); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("pre-4.1 response: want ErrMalformed, got %v", err)
+	}
+}
