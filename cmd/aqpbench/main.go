@@ -10,8 +10,11 @@
 // Figures: 1, 3 (includes the §3 table), 4b, 4c, 7, 8ab, 8c, 8d, 8ef, 9,
 // ablation, stages (the traced per-stage latency breakdown, which writes
 // machine-readable BENCH_stages.json), obs-overhead (per-query latency
-// with telemetry off vs spans vs spans+event-log vs spans+watchdog, which
-// writes BENCH_obs_overhead.json), kernel (the §5.3.1 loop-order
+// with telemetry off vs spans vs spans+event-log vs spans+watchdog vs
+// spans+history vs spans+export — the last posting OTLP batches to a
+// local stub collector — interleaved round-robin after a shared warmup
+// so run order cannot bias the baseline; writes BENCH_obs_overhead.json),
+// kernel (the §5.3.1 loop-order
 // ablation, which also writes machine-readable BENCH_kernel.json), and
 // concurrency (serving throughput vs client count through the admission
 // layer, which writes machine-readable BENCH_concurrency.json), and

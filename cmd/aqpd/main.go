@@ -25,6 +25,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -36,10 +37,12 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/alert"
 	"repro/internal/obs/history"
 	"repro/internal/rng"
 	"repro/internal/serve"
 	"repro/internal/table"
+	"repro/internal/watchdog"
 	"repro/internal/wire"
 )
 
@@ -71,6 +74,11 @@ func main() {
 		historyDir = flag.String("history", "", "persist durable query/reject history to this directory")
 		logFormat  = flag.String("log", "", "structured event log: 'json' writes one record per query/connection to stderr")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget before stragglers are force-closed")
+
+		otlpURL      = flag.String("otlp", "", "export query spans to this OTLP/HTTP collector endpoint (e.g. http://localhost:4318/v1/traces)")
+		otlpFile     = flag.String("otlp-file", "", "append OTLP JSON span batches to this file (air-gapped fallback; combines with -otlp)")
+		alertWebhook = flag.String("alert-webhook", "", "POST alert events (firing/resolved JSON) to this URL")
+		auditFrac    = flag.Float64("audit-fraction", 0, "fraction of approximate queries the calibration watchdog re-executes exactly (0 = watchdog off)")
 	)
 	flag.Parse()
 
@@ -82,6 +90,8 @@ func main() {
 		maxK: *maxK, maxBatch: *maxBatch, batchHold: *batchHold,
 		maxConns: *maxConns, maxPacket: *maxPacket, users: *users,
 		historyDir: *historyDir, logFormat: *logFormat, drain: *drain,
+		otlpURL: *otlpURL, otlpFile: *otlpFile,
+		alertWebhook: *alertWebhook, auditFraction: *auditFrac,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "aqpd:", err)
 		os.Exit(1)
@@ -102,10 +112,13 @@ type daemonConfig struct {
 	users                            string
 	historyDir, logFormat            string
 	drain                            time.Duration
+	otlpURL, otlpFile                string
+	alertWebhook                     string
+	auditFraction                    float64
 }
 
 func run(cfg daemonConfig) error {
-	obsCfg := obs.Config{}
+	obsCfg := obs.Config{ExportURL: cfg.otlpURL, ExportPath: cfg.otlpFile}
 	var elog *obs.EventLog
 	switch cfg.logFormat {
 	case "":
@@ -116,11 +129,27 @@ func run(cfg daemonConfig) error {
 	}
 	tracer := obs.NewTracer(obsCfg)
 
+	// Unified alert pipeline: watchdog calibration breaches, SLO burn, and
+	// admission spikes all land on one bus, fanning out to the configured
+	// sinks and /debug/alerts (mounted by the engine when -metrics is set).
+	bus := alert.New(alert.Config{Metrics: tracer.Registry()})
+	if cfg.logFormat == "json" {
+		bus.AddSink(alert.NewLogSink(slog.New(slog.NewJSONHandler(os.Stderr, nil))))
+	}
+	if cfg.alertWebhook != "" {
+		webhook := alert.NewWebhookSink(cfg.alertWebhook, alert.WebhookOptions{
+			Metrics: tracer.Registry(),
+		})
+		defer webhook.Close()
+		bus.AddSink(webhook)
+	}
+
 	var hist *history.Store
 	if cfg.historyDir != "" {
 		var err error
 		hist, err = history.Open(cfg.historyDir, history.Options{
 			Registry: tracer.Registry(),
+			Alerts:   bus,
 			SLOs: []history.SLOSpec{
 				{Name: "latency-p99", Kind: history.SLOLatency,
 					Objective: 0.99, ThresholdMs: 1000},
@@ -133,13 +162,25 @@ func run(cfg daemonConfig) error {
 		defer hist.Close()
 	}
 
+	var wd *watchdog.Watchdog
+	if cfg.auditFraction > 0 {
+		wd = watchdog.New(watchdog.Config{
+			AuditFraction: cfg.auditFraction,
+			Metrics:       tracer.Registry(),
+		})
+		defer wd.Close()
+	}
+
 	engine := core.New(core.Config{
 		Seed:        cfg.seed,
 		Workers:     cfg.workers,
 		Obs:         tracer,
+		ObsConfig:   obsCfg,
 		MetricsAddr: cfg.metricsAddr,
 		EventLog:    elog,
+		Watchdog:    wd,
 		History:     hist,
+		Alerts:      bus,
 	})
 	defer engine.Close()
 	if err := loadData(engine, cfg); err != nil {
@@ -160,6 +201,7 @@ func run(cfg daemonConfig) error {
 		BatchHold:     cfg.batchHold,
 		Metrics:       tracer.Registry(),
 		History:       hist,
+		Alerts:        bus,
 	})
 
 	userTable, err := parseUsers(cfg.users)

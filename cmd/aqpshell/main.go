@@ -86,6 +86,7 @@ func buildDemo(metricsAddr string, elog *obs.EventLog, audit float64, obsCfg obs
 		Seed:        42,
 		Workers:     8,
 		Obs:         tracer,
+		ObsConfig:   obsCfg,
 		MetricsAddr: metricsAddr,
 		EventLog:    elog,
 		Watchdog:    wd,
@@ -145,9 +146,14 @@ func main() {
 		"event-log miscalibration threshold: flag aggregates whose relative error exceeds this (0 = off)")
 	ringSize := flag.Int("ring", 0,
 		"trace ring capacity for /debug/queries (0 = 64)")
+	otlpURL := flag.String("otlp", "",
+		"export query spans to this OTLP/HTTP collector endpoint")
+	otlpFile := flag.String("otlp-file", "",
+		"append OTLP JSON span batches to this file (combines with -otlp)")
 	flag.Parse()
 
-	obsCfg := obs.Config{RingSize: *ringSize, SlowQueryMs: *slowMs, MaxRelErr: *maxRelErr}
+	obsCfg := obs.Config{RingSize: *ringSize, SlowQueryMs: *slowMs, MaxRelErr: *maxRelErr,
+		ExportURL: *otlpURL, ExportPath: *otlpFile}
 
 	if *historyPath != "" {
 		if err := replayHistory(*historyPath); err != nil {

@@ -102,7 +102,10 @@ func (e *Engine) RunSharedBatch(reqs []BatchRequest) []BatchResponse {
 		if ms.ctx == nil {
 			ms.ctx = context.Background()
 		}
+		var tc obs.TraceContext
+		ms.ctx, tc = obs.EnsureTrace(ms.ctx)
 		ms.qt = e.obs.StartQuery(r.Query)
+		ms.qt.SetTraceContext(tc)
 		if r.Opts.QueueWait > 0 {
 			ms.qt.SetQueueWait(r.Opts.QueueWait)
 		}
@@ -110,7 +113,7 @@ func (e *Engine) RunSharedBatch(reqs []BatchRequest) []BatchResponse {
 		def, rt, err := e.analyze(ms.qt, r.Query)
 		if err != nil {
 			out[i].Err = err
-			e.finishQuery(ms.qt, r.Query, nil, err, true)
+			e.finishQuery(ms.ctx, ms.qt, r.Query, nil, err, true)
 			continue
 		}
 		ms.def, ms.rt = def, rt
@@ -131,7 +134,7 @@ func (e *Engine) RunSharedBatch(reqs []BatchRequest) []BatchResponse {
 		p, opt, err := e.buildApproxPlan(ms.qt, r.Query, def, ms.st, r.Opts.BootstrapK)
 		if err != nil {
 			out[i].Err = err
-			e.finishQuery(ms.qt, r.Query, nil, err, true)
+			e.finishQuery(ms.ctx, ms.qt, r.Query, nil, err, true)
 			continue
 		}
 		ms.p, ms.opt = p, opt
@@ -160,11 +163,11 @@ func (e *Engine) RunSharedBatch(reqs []BatchRequest) []BatchResponse {
 			}
 			if err != nil {
 				out[i].Err = err
-				e.finishQuery(ms.qt, q, nil, err, true)
+				e.finishQuery(ms.ctx, ms.qt, q, nil, err, true)
 				return
 			}
 			out[i] = BatchResponse{Ans: ans}
-			e.finishQuery(ms.qt, q, ans, nil, true)
+			e.finishQuery(ms.ctx, ms.qt, q, ans, nil, true)
 		}(i)
 	}
 
@@ -219,11 +222,11 @@ func (e *Engine) RunSharedBatch(reqs []BatchRequest) []BatchResponse {
 			}
 			if err != nil {
 				out[i].Err = err
-				e.finishQuery(ms.qt, q, nil, err, true)
+				e.finishQuery(ms.ctx, ms.qt, q, nil, err, true)
 				continue
 			}
 			out[i] = BatchResponse{Ans: ans}
-			e.finishQuery(ms.qt, q, ans, nil, true)
+			e.finishQuery(ms.ctx, ms.qt, q, ans, nil, true)
 		}
 	}
 	wg.Wait()

@@ -6,6 +6,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sample"
 )
 
@@ -63,8 +64,10 @@ func (e *Engine) RunWithTimeBudget(ctx context.Context, query string, budget tim
 	if budget <= 0 {
 		return nil, fmt.Errorf("core: time budget must be positive")
 	}
+	ctx, tc := obs.EnsureTrace(ctx)
 	qt := e.obs.StartQuery(query)
-	defer func() { e.finishQuery(qt, query, ans, err, true) }()
+	qt.SetTraceContext(tc)
+	defer func() { e.finishQuery(ctx, qt, query, ans, err, true) }()
 	def, rt, err := e.analyze(qt, query)
 	if err != nil {
 		return nil, err

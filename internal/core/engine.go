@@ -24,6 +24,8 @@ import (
 	"repro/internal/estimator"
 	"repro/internal/exec"
 	"repro/internal/obs"
+	"repro/internal/obs/alert"
+	"repro/internal/obs/export"
 	"repro/internal/obs/history"
 	"repro/internal/plan"
 	"repro/internal/rng"
@@ -87,8 +89,11 @@ type Config struct {
 	Obs *obs.Tracer
 	// ObsConfig tunes the tracer the engine auto-creates when MetricsAddr
 	// is set without Obs (trace ring size; the event-log thresholds are
-	// read by callers constructing an EventLog). Ignored when Obs is set —
-	// a caller-supplied tracer is already configured.
+	// read by callers constructing an EventLog). A caller-supplied Obs
+	// tracer ignores the ring-size knob (it is already configured), but
+	// ExportURL/ExportPath still apply: when either is set and the engine
+	// has a tracer, New builds a span exporter (internal/obs/export),
+	// attaches it to the tracer, and owns its shutdown via Engine.Close.
 	ObsConfig obs.Config
 	// MetricsAddr, when non-empty, serves the tracer's /metrics and
 	// /debug/queries endpoints on this address (e.g. "127.0.0.1:9090";
@@ -114,6 +119,12 @@ type Config struct {
 	// on the same server. The engine does not own the store — Close it
 	// separately.
 	History *history.Store
+	// Alerts, when set, is the unified alert bus the engine bridges the
+	// watchdog's raise/clear lifecycle onto (source="watchdog"); when
+	// MetricsAddr is set, /debug/alerts is mounted on the same server.
+	// Provably inert like the rest of the obs tree. The engine does not
+	// own the bus — close its sinks separately.
+	Alerts *alert.Bus
 }
 
 func (c Config) workers() int {
@@ -173,6 +184,8 @@ type Engine struct {
 	elog   *obs.EventLog
 	wd     *watchdog.Watchdog
 	hist   *history.Store
+	alerts *alert.Bus
+	exp    *export.Exporter
 	qid    atomic.Uint64 // untraced query ids for error wrapping
 }
 
@@ -187,17 +200,35 @@ func New(cfg Config) *Engine {
 		elog:   cfg.EventLog,
 		wd:     cfg.Watchdog,
 		hist:   cfg.History,
+		alerts: cfg.Alerts,
 	}
 	if e.wd != nil {
 		e.wd.Bind(e.auditExact)
 		if e.hist != nil {
 			e.wd.SetAuditObserver(e.observeAudit)
 		}
+		if e.alerts != nil {
+			e.wd.SetAlertNotifier(e.notifyWatchdogAlert)
+		}
+	}
+	if cfg.MetricsAddr != "" && e.obs == nil {
+		e.obs = obs.NewTracer(cfg.ObsConfig)
+	}
+	if e.obs != nil &&
+		(cfg.ObsConfig.ExportURL != "" || cfg.ObsConfig.ExportPath != "") {
+		exp, err := export.New(export.Config{
+			URL:     cfg.ObsConfig.ExportURL,
+			Path:    cfg.ObsConfig.ExportPath,
+			Metrics: e.obs.Registry(),
+		})
+		if err != nil {
+			e.obsErr = err
+		} else {
+			e.exp = exp
+			e.obs.SetExporter(exp)
+		}
 	}
 	if cfg.MetricsAddr != "" {
-		if e.obs == nil {
-			e.obs = obs.NewTracer(cfg.ObsConfig)
-		}
 		var extra []obs.Route
 		if e.wd != nil {
 			extra = append(extra, obs.Route{
@@ -211,9 +242,43 @@ func New(cfg Config) *Engine {
 				obs.Route{Pattern: "/debug/history", Handler: e.hist.StatsHandler()},
 			)
 		}
-		e.obsSrv, e.obsErr = obs.Serve(cfg.MetricsAddr, e.obs, extra...)
+		if e.alerts != nil {
+			extra = append(extra, obs.Route{
+				Pattern: "/debug/alerts", Handler: e.alerts.Handler(),
+			})
+		}
+		srv, err := obs.Serve(cfg.MetricsAddr, e.obs, extra...)
+		e.obsSrv = srv
+		if err != nil && e.obsErr == nil {
+			e.obsErr = err
+		}
 	}
 	return e
+}
+
+// notifyWatchdogAlert bridges the watchdog's raise/clear lifecycle onto
+// the unified alert bus. Undercoverage is the dangerous direction (the
+// paper's "optimistic and incorrect" intervals) and grades critical;
+// overcoverage and reject drift are warnings.
+func (e *Engine) notifyWatchdogAlert(a watchdog.Alert, firing bool) {
+	kind := string(a.Kind)
+	key := a.Key.String()
+	if !firing {
+		e.alerts.Resolve("watchdog", kind, key)
+		return
+	}
+	sev := alert.SeverityWarning
+	if a.Kind == watchdog.Undercoverage {
+		sev = alert.SeverityCritical
+	}
+	e.alerts.Raise(alert.Alert{
+		Source: "watchdog", Kind: kind, Key: key, Severity: sev,
+		Observed: a.Observed, Expected: a.Expected, Message: a.Message,
+		Labels: map[string]string{
+			"agg":    a.Key.Agg,
+			"sample": a.Key.Sample,
+		},
+	})
 }
 
 // Tracer returns the engine's tracer (nil when telemetry is disabled).
@@ -232,12 +297,20 @@ func (e *Engine) MetricsEndpoint() (string, error) {
 	return e.obsSrv.Addr, nil
 }
 
-// Close shuts down the metrics endpoint, if one is being served.
+// Close shuts down the metrics endpoint, if one is being served, and
+// flushes and stops the span exporter, if the engine built one.
 func (e *Engine) Close() error {
-	if e.obsSrv == nil {
-		return nil
+	var err error
+	if e.obsSrv != nil {
+		err = e.obsSrv.Close()
 	}
-	return e.obsSrv.Close()
+	if e.exp != nil {
+		e.obs.SetExporter(nil)
+		if cerr := e.exp.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // RegisterTable registers a full dataset under the given name. Samples

@@ -53,11 +53,13 @@ func (e *Engine) Run(ctx context.Context, query string) (*Answer, error) {
 
 // RunWithOptions is Run with per-query overrides.
 func (e *Engine) RunWithOptions(ctx context.Context, query string, opts RunOptions) (ans *Answer, err error) {
+	ctx, tc := obs.EnsureTrace(ctx)
 	qt := e.obs.StartQuery(query)
+	qt.SetTraceContext(tc)
 	if opts.QueueWait > 0 {
 		qt.SetQueueWait(opts.QueueWait)
 	}
-	defer func() { e.finishQuery(qt, query, ans, err, true) }()
+	defer func() { e.finishQuery(ctx, qt, query, ans, err, true) }()
 	def, rt, err := e.analyze(qt, query)
 	if err != nil {
 		return nil, err
@@ -96,8 +98,10 @@ func (e *Engine) RunWithErrorBound(ctx context.Context, query string, relErr flo
 	if relErr <= 0 {
 		return nil, fmt.Errorf("core: relative error bound must be positive")
 	}
+	ctx, tc := obs.EnsureTrace(ctx)
 	qt := e.obs.StartQuery(query)
-	defer func() { e.finishQuery(qt, query, out, err, true) }()
+	qt.SetTraceContext(tc)
+	defer func() { e.finishQuery(ctx, qt, query, out, err, true) }()
 	def, rt, err := e.analyze(qt, query)
 	if err != nil {
 		return nil, err
@@ -181,8 +185,10 @@ func (e *Engine) QueryExact(query string) (*Answer, error) {
 
 // RunExact is QueryExact honouring cancellation.
 func (e *Engine) RunExact(ctx context.Context, query string) (ans *Answer, err error) {
+	ctx, tc := obs.EnsureTrace(ctx)
 	qt := e.obs.StartQuery(query)
-	defer func() { e.finishQuery(qt, query, ans, err, false) }()
+	qt.SetTraceContext(tc)
+	defer func() { e.finishQuery(ctx, qt, query, ans, err, false) }()
 	def, rt, err := e.analyze(qt, query)
 	if err != nil {
 		return nil, err

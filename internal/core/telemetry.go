@@ -22,7 +22,11 @@ import (
 // observeWatchdog is false on the exact paths: an exact answer carries no
 // estimated interval to hold to account, and the watchdog's own audits
 // run through runExact.
-func (e *Engine) finishQuery(qt *obs.QueryTrace, query string, ans *Answer, err error, observeWatchdog bool) {
+//
+// ctx supplies the query's trace context when the tracer is disabled (the
+// tracer-built snapshot already carries it via SetTraceContext), so the
+// trace id reaches history and watchdog records either way.
+func (e *Engine) finishQuery(ctx context.Context, qt *obs.QueryTrace, query string, ans *Answer, err error, observeWatchdog bool) {
 	qt.Finish(err)
 	watch := observeWatchdog && e.wd != nil && err == nil && ans != nil
 	if e.elog == nil && !watch && e.hist == nil {
@@ -33,6 +37,11 @@ func (e *Engine) finishQuery(qt *obs.QueryTrace, query string, ans *Answer, err 
 		// Tracer disabled but an observer is attached: synthesize the
 		// identity fields the observers need.
 		snap = obs.TraceSnapshot{SQL: query, Outcome: obs.Outcome(err)}
+		if tc, tok := obs.TraceFromContext(ctx); tok {
+			snap.TraceID = tc.TraceIDString()
+			snap.SpanID = tc.SpanIDString()
+			snap.ParentSpanID = tc.ParentString()
+		}
 		if err != nil {
 			snap.Err = err.Error()
 		}
@@ -74,7 +83,7 @@ func (e *Engine) finishQuery(qt *obs.QueryTrace, query string, ans *Answer, err 
 		e.hist.AppendQuery(historyRecord(snap, query, ans, err))
 	}
 	if watch {
-		e.wd.Observe(watchdogRecord(snap.ID, ans))
+		e.wd.Observe(watchdogRecord(snap, ans))
 	}
 }
 
@@ -84,6 +93,7 @@ func (e *Engine) finishQuery(qt *obs.QueryTrace, query string, ans *Answer, err 
 func historyRecord(snap obs.TraceSnapshot, query string, ans *Answer, err error) history.QueryRecord {
 	q := history.QueryRecord{
 		QID:         snap.ID,
+		TraceID:     snap.TraceID,
 		SQL:         query,
 		Outcome:     snap.Outcome,
 		TotalMs:     snap.TotalMs,
@@ -149,6 +159,7 @@ func aggKindLabel(def *plan.QueryDef, ai int) string {
 func (e *Engine) observeAudit(o watchdog.AuditOutcome) {
 	e.hist.AppendAudit(history.AuditRecord{
 		QID:       o.QID,
+		TraceID:   o.TraceID,
 		Table:     o.Table,
 		Sample:    o.Sample,
 		Predicate: o.Predicate,
@@ -171,8 +182,9 @@ func verdict(ok bool) string {
 
 // watchdogRecord converts a finished answer into the watchdog's view: one
 // AggRecord per aggregate output, keyed by the sample it was answered on.
-func watchdogRecord(qid uint64, ans *Answer) watchdog.Record {
-	rec := watchdog.Record{QID: qid, SQL: ans.SQL, Sample: sampleLabel(ans.SampleRows)}
+func watchdogRecord(snap obs.TraceSnapshot, ans *Answer) watchdog.Record {
+	rec := watchdog.Record{QID: snap.ID, TraceID: snap.TraceID,
+		SQL: ans.SQL, Sample: sampleLabel(ans.SampleRows)}
 	var def *plan.QueryDef
 	if ans.Plan != nil {
 		def = ans.Plan.Def

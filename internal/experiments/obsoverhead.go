@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -27,8 +29,8 @@ var obsOverheadQueries = []string{
 
 // ObsOverheadMode is one telemetry configuration's measured cost.
 type ObsOverheadMode struct {
-	// Mode is "off", "spans", "spans+eventlog", "spans+watchdog" or
-	// "spans+history".
+	// Mode is "off", "spans", "spans+eventlog", "spans+watchdog",
+	// "spans+history" or "spans+export".
 	Mode string `json:"mode"`
 	// Queries is the number of timed queries.
 	Queries int `json:"queries"`
@@ -42,8 +44,9 @@ type ObsOverheadMode struct {
 
 // ObsOverheadResult quantifies the telemetry tax: the same workload on
 // the same data and seed, served with telemetry off, with trace spans,
-// with spans plus the structured event log, and with spans plus the
-// calibration watchdog (background audits enabled). The PR 2 invariant
+// with spans plus the structured event log, the calibration watchdog
+// (background audits enabled), the durable history store, and the OTLP
+// span exporter posting to a local stub collector. The PR 2 invariant
 // makes answers bit-identical across modes, so any latency difference is
 // pure observability cost.
 type ObsOverheadResult struct {
@@ -52,6 +55,13 @@ type ObsOverheadResult struct {
 }
 
 // ObsOverhead measures per-query latency under each telemetry mode.
+//
+// Methodology: every mode's engine is built and warmed BEFORE any
+// timing, then timed rounds interleave the modes round-robin. Running
+// modes back-to-back instead (off first, everything else after) let
+// slow environmental drift — CPU frequency scaling, page-cache and
+// allocator warm-up — land entirely on the baseline, which showed up as
+// impossible negative overheads for the later modes.
 func ObsOverhead(cfg Config) *ObsOverheadResult {
 	src := cfg.stream("obs-overhead-data", 0)
 	n := cfg.PopulationSize
@@ -73,14 +83,36 @@ func ObsOverhead(cfg Config) *ObsOverheadResult {
 		reps = 16
 	}
 
-	run := func(mode string) ObsOverheadMode {
+	// Local stub collector for spans+export: accepts and discards
+	// OTLP/HTTP batches, so the measurement includes encode + queue +
+	// POST cost without leaving the host.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	collector := &http.Server{Handler: http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {
+			io.Copy(io.Discard, r.Body) //nolint:errcheck
+			w.WriteHeader(http.StatusOK)
+		})}
+	go collector.Serve(ln) //nolint:errcheck
+	defer collector.Close()
+
+	type engMode struct {
+		name  string
+		eng   *core.Engine
+		done  []func() // teardown, run after ALL timing (drains audits/history/export)
+		total time.Duration
+		count int
+	}
+
+	build := func(mode string) *engMode {
+		m := &engMode{name: mode}
 		ecfg := core.Config{
 			Seed:       cfg.Seed,
 			Workers:    cfg.Workers,
 			BootstrapK: cfg.BootstrapK,
 		}
-		var wd *watchdog.Watchdog
-		var hist *history.Store
 		switch mode {
 		case "off":
 		case "spans":
@@ -90,23 +122,32 @@ func ObsOverhead(cfg Config) *ObsOverheadResult {
 			ecfg.EventLog = obs.NewEventLog(io.Discard, obs.EventLogOptions{})
 		case "spans+watchdog":
 			ecfg.Obs = obs.NewTracer(obs.Options{})
-			wd = watchdog.New(watchdog.Config{
+			wd := watchdog.New(watchdog.Config{
 				AuditFraction: 1.0 / 16,
 				Metrics:       ecfg.Obs.Registry(),
 			})
 			ecfg.Watchdog = wd
+			m.done = append(m.done, wd.Close)
 		case "spans+history":
 			ecfg.Obs = obs.NewTracer(obs.Options{})
 			dir, err := os.MkdirTemp("", "aqphist-obs")
 			if err != nil {
 				panic(err)
 			}
-			defer os.RemoveAll(dir)
-			hist, err = history.Open(dir, history.Options{SampleInterval: -1})
+			hist, err := history.Open(dir, history.Options{SampleInterval: -1})
 			if err != nil {
 				panic(err)
 			}
 			ecfg.History = hist
+			m.done = append(m.done, func() {
+				hist.Close()      //nolint:errcheck
+				os.RemoveAll(dir) //nolint:errcheck
+			})
+		case "spans+export":
+			ecfg.Obs = obs.NewTracer(obs.Options{})
+			ecfg.ObsConfig = obs.Config{
+				ExportURL: "http://" + ln.Addr().String() + "/v1/traces",
+			}
 		}
 		e := core.New(ecfg)
 		if err := e.RegisterTable("T", tbl); err != nil {
@@ -119,45 +160,66 @@ func ObsOverhead(cfg Config) *ObsOverheadResult {
 		if err := e.BuildSamples("T", sampleRows); err != nil {
 			panic(err)
 		}
-		// One untimed pass warms caches and the sample catalog.
+		m.eng = e
+		m.done = append(m.done, func() { e.Close() }) //nolint:errcheck
+		return m
+	}
+
+	modes := make([]*engMode, 0, 6)
+	for _, name := range []string{"off", "spans", "spans+eventlog",
+		"spans+watchdog", "spans+history", "spans+export"} {
+		modes = append(modes, build(name))
+	}
+
+	// One untimed pass per engine warms caches and the sample catalog —
+	// after every engine exists, before any clock starts.
+	for _, m := range modes {
 		for _, q := range obsOverheadQueries {
-			if _, err := e.Query(q); err != nil {
-				panic(fmt.Sprintf("obs-overhead %s warmup: %v", mode, err))
+			if _, err := m.eng.Query(q); err != nil {
+				panic(fmt.Sprintf("obs-overhead %s warmup: %v", m.name, err))
 			}
 		}
-		count := 0
-		start := time.Now()
-		for r := 0; r < reps; r++ {
+	}
+
+	// Interleaved timed rounds: each round visits every mode once.
+	for r := 0; r < reps; r++ {
+		for _, m := range modes {
+			start := time.Now()
 			for _, q := range obsOverheadQueries {
-				if _, err := e.Query(q); err != nil {
-					panic(fmt.Sprintf("obs-overhead %s: %v", mode, err))
+				if _, err := m.eng.Query(q); err != nil {
+					panic(fmt.Sprintf("obs-overhead %s: %v", m.name, err))
 				}
-				count++
+				m.count++
 			}
+			m.total += time.Since(start)
 		}
-		total := time.Since(start)
-		wd.Close()   // drain background audits outside the timed loop
-		hist.Close() // flush history outside the timed loop
-		totalMs := float64(total) / float64(time.Millisecond)
-		return ObsOverheadMode{
-			Mode:    mode,
-			Queries: count,
-			TotalMs: totalMs,
-			MeanMs:  totalMs / float64(count),
+	}
+
+	// Drain background work (audits, history flush, export queue) outside
+	// the timed region.
+	for _, m := range modes {
+		for _, f := range m.done {
+			f()
 		}
 	}
 
 	res := &ObsOverheadResult{Baseline: "off"}
 	var base float64
-	for _, mode := range []string{"off", "spans", "spans+eventlog", "spans+watchdog", "spans+history"} {
-		m := run(mode)
-		if mode == "off" {
-			base = m.MeanMs
+	for _, m := range modes {
+		totalMs := float64(m.total) / float64(time.Millisecond)
+		out := ObsOverheadMode{
+			Mode:    m.name,
+			Queries: m.count,
+			TotalMs: totalMs,
+			MeanMs:  totalMs / float64(m.count),
+		}
+		if m.name == "off" {
+			base = out.MeanMs
 		}
 		if base > 0 {
-			m.OverheadPct = (m.MeanMs - base) / base * 100
+			out.OverheadPct = (out.MeanMs - base) / base * 100
 		}
-		res.Modes = append(res.Modes, m)
+		res.Modes = append(res.Modes, out)
 	}
 	return res
 }

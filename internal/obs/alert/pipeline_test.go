@@ -1,0 +1,116 @@
+package alert_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/estimator"
+	"repro/internal/obs/alert"
+	"repro/internal/watchdog"
+)
+
+// TestAlertPipelineEndToEnd drives the full chain the ISSUE's alert
+// smoke requires: induced undercoverage in the calibration watchdog →
+// raise on the unified bus → webhook sink delivers a firing event; then
+// recovery → clear → the same webhook receives the resolved event.
+func TestAlertPipelineEndToEnd(t *testing.T) {
+	events := make(chan alert.Event, 16)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var ev alert.Event
+		if err := json.NewDecoder(r.Body).Decode(&ev); err != nil {
+			t.Errorf("webhook body: %v", err)
+		}
+		events <- ev
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	webhook := alert.NewWebhookSink(srv.URL, alert.WebhookOptions{})
+	defer webhook.Close()
+	bus := alert.New(alert.Config{Sinks: []alert.Sink{webhook}})
+
+	// The same watchdog→bus bridge core.New installs.
+	wd := watchdog.New(watchdog.Config{
+		Window: 16, MinAudits: 16, AuditFraction: 1,
+		Nominal: 0.5, Tolerance: 1, Synchronous: true,
+	})
+	defer wd.Close()
+	wd.SetAlertNotifier(func(a watchdog.Alert, firing bool) {
+		if !firing {
+			bus.Resolve("watchdog", string(a.Kind), a.Key.String())
+			return
+		}
+		bus.Raise(alert.Alert{
+			Source:   "watchdog",
+			Kind:     string(a.Kind),
+			Key:      a.Key.String(),
+			Severity: alert.SeverityCritical,
+			Message:  a.Message,
+			Observed: a.Observed,
+			Expected: a.Expected,
+		})
+	})
+	// Truth misses the interval for "miss" queries, covers it otherwise.
+	wd.Bind(func(_ context.Context, sql string) (map[watchdog.AggInstance]float64, error) {
+		truth := 0.0
+		if strings.Contains(sql, "miss") {
+			truth = 10
+		}
+		return map[watchdog.AggInstance]float64{{Agg: "A"}: truth}, nil
+	})
+
+	rec := func(sql string) watchdog.Record {
+		return watchdog.Record{SQL: sql, Sample: "1000", Aggs: []watchdog.AggRecord{{
+			Agg: "A", Interval: estimator.Interval{Center: 0, HalfWidth: 1},
+			Technique: "closed-form",
+		}}}
+	}
+
+	// 6 covered + 11 missed: coverage 5/16 < Band(0.5,16,1).lo = 0.375 →
+	// undercoverage fires (same arithmetic the watchdog edge test pins).
+	for i := 0; i < 6; i++ {
+		wd.Observe(rec("cover"))
+	}
+	for i := 0; i < 11; i++ {
+		wd.Observe(rec("miss"))
+	}
+
+	var firing alert.Event
+	select {
+	case firing = <-events:
+	case <-time.After(5 * time.Second):
+		t.Fatal("webhook never received the firing alert")
+	}
+	if firing.State != alert.StateFiring || firing.Source != "watchdog" ||
+		firing.Kind != "undercoverage" || firing.Key != "A@1000" {
+		t.Fatalf("firing event = %+v", firing)
+	}
+	if len(bus.Active()) != 1 {
+		t.Fatalf("bus active = %+v, want the one undercoverage episode", bus.Active())
+	}
+
+	// Recover at the nominal rate until the window re-enters the band.
+	for i := 0; i < 8; i++ {
+		wd.Observe(rec("cover"))
+		wd.Observe(rec("miss"))
+	}
+
+	var resolved alert.Event
+	select {
+	case resolved = <-events:
+	case <-time.After(5 * time.Second):
+		t.Fatal("webhook never received the resolved alert")
+	}
+	if resolved.State != alert.StateResolved || resolved.Key != "A@1000" ||
+		resolved.Kind != "undercoverage" {
+		t.Fatalf("resolved event = %+v", resolved)
+	}
+	if len(bus.Active()) != 0 {
+		t.Fatalf("bus still active after recovery: %+v", bus.Active())
+	}
+}

@@ -17,6 +17,15 @@ type Config struct {
 	// addition to queries with a rejected diagnostic verdict. Read by
 	// NewEventLog.
 	MaxRelErr float64
+	// ExportURL, when set, enables the OTLP/HTTP JSON span exporter
+	// (internal/obs/export) posting finished traces to this endpoint
+	// (e.g. "http://collector:4318/v1/traces"). Read by core.New when it
+	// wires the engine's tracer.
+	ExportURL string
+	// ExportPath, when set, enables the exporter's filesink fallback for
+	// air-gapped runs: OTLP-shaped JSON lines appended to this file. May
+	// be combined with ExportURL (spans go to both).
+	ExportPath string
 }
 
 // Options configures a Tracer. It is an alias of Config: a tracer reads

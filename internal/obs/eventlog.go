@@ -108,6 +108,9 @@ func (l *EventLog) Emit(ev QueryEvent) {
 		slog.String("outcome", t.Outcome),
 		slog.Float64("total_ms", t.TotalMs),
 	}
+	if t.TraceID != "" {
+		attrs = append(attrs, slog.String("trace_id", t.TraceID))
+	}
 	if t.QueueWaitMs > 0 {
 		attrs = append(attrs, slog.Float64("queue_wait_ms", t.QueueWaitMs))
 	}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/alert"
 )
 
 // Options configures a Store.
@@ -42,6 +43,10 @@ type Options struct {
 	// ProfileEpsilon is the GK-sketch rank error for profile quantiles
 	// (0 = 0.02).
 	ProfileEpsilon float64
+	// Alerts, when set, receives SLO burn alerts on the unified bus: a
+	// spec transitioning into breach raises a (source="slo", kind="burn",
+	// key=spec name) episode; leaving breach resolves it.
+	Alerts *alert.Bus
 }
 
 func (o Options) maxSegmentBytes() int64 {
@@ -119,7 +124,7 @@ func Open(dir string, opt Options) (*Store, error) {
 		counts:   map[string]int64{},
 		replayed: map[string]int64{},
 		prof:     newProfiler(opt.ProfileEpsilon),
-		mon:      newMonitor(opt.SLOs, opt.Registry),
+		mon:      newMonitor(opt.SLOs, opt.Registry, opt.Alerts),
 	}
 	start := time.Now()
 	nowSec := start.Unix()

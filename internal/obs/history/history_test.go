@@ -291,7 +291,7 @@ func TestSLOMonitorMath(t *testing.T) {
 		{Name: "cov", Kind: SLOCoverage, Objective: 0.93, Table: "T", WindowSec: 60},
 		{Name: "avail", Kind: SLOAvailability, Objective: 0.99, WindowSec: 60},
 	}
-	m := newMonitor(specs, nil)
+	m := newMonitor(specs, nil, nil)
 	now := int64(100000)
 	for i := 0; i < 8; i++ {
 		m.recordQuery(now, 10, "ok") // fast and good
@@ -355,7 +355,7 @@ func TestSLOWindowResolution(t *testing.T) {
 	m := newMonitor([]SLOSpec{
 		{Name: "short", Kind: SLOLatency, Objective: 0.5, ThresholdMs: 1, WindowSec: 60},
 		{Name: "long", Kind: SLOLatency, Objective: 0.5, ThresholdMs: 1, WindowSec: 600},
-	}, nil)
+	}, nil, nil)
 	now := int64(200000)
 	m.recordQuery(now-500, 50, "ok")
 	byName := map[string]SLOStatus{}

@@ -30,7 +30,11 @@ type Record struct {
 // values and estimates stay in the event log; the history store is about
 // shapes, not answers).
 type QueryRecord struct {
-	QID         uint64             `json:"qid"`
+	QID uint64 `json:"qid"`
+	// TraceID is the query's distributed-trace id (32 hex chars, "" when
+	// tracing is off) — the join key back to the span ring, event log and
+	// any exported OTLP spans.
+	TraceID     string             `json:"trace_id,omitempty"`
 	SQL         string             `json:"sql"`
 	Table       string             `json:"table,omitempty"`
 	Sample      string             `json:"sample,omitempty"`    // sample row count, or "exact"
@@ -69,7 +73,9 @@ type AggSample struct {
 // AuditRecord is one audited aggregate: the watchdog re-ran the query
 // exactly and compared the approximate CI against ground truth.
 type AuditRecord struct {
-	QID       uint64 `json:"qid"`
+	QID uint64 `json:"qid"`
+	// TraceID joins the audit back to the audited query's trace.
+	TraceID   string `json:"trace_id,omitempty"`
 	Table     string `json:"table,omitempty"`
 	Sample    string `json:"sample,omitempty"`
 	Predicate string `json:"predicate,omitempty"`

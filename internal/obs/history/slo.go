@@ -14,11 +14,13 @@ package history
 // the objective allows; above 1.0 the SLO is breaching.
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/obs/alert"
 )
 
 // SLO kinds.
@@ -178,16 +180,18 @@ type monitor struct {
 	tables   map[string]*tsRing
 	breached map[string]bool
 	reg      *obs.Registry
+	alerts   *alert.Bus
 	rollup   *rollup
 }
 
-func newMonitor(specs []SLOSpec, reg *obs.Registry) *monitor {
+func newMonitor(specs []SLOSpec, reg *obs.Registry, alerts *alert.Bus) *monitor {
 	m := &monitor{
 		specs:    append([]SLOSpec(nil), specs...),
 		global:   newTSRing(),
 		tables:   map[string]*tsRing{},
 		breached: map[string]bool{},
 		reg:      reg,
+		alerts:   alerts,
 		rollup:   newRollup(),
 	}
 	for i := range m.specs {
@@ -265,11 +269,12 @@ func goodLatency(lat []int64, thresholdMs float64) int64 {
 }
 
 // evaluate computes every spec's status at unix-second now, exporting
-// gauges and breach transitions to the registry when one is attached.
+// gauges and breach transitions to the registry when one is attached and
+// raising/resolving burn alerts on the alert bus when one is attached.
 func (m *monitor) evaluate(now int64) []SLOStatus {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	out := make([]SLOStatus, 0, len(m.specs))
+	var began, ended []SLOStatus // breach transitions, alerted outside mu
 	for _, spec := range m.specs {
 		st := SLOStatus{Spec: spec, GoodFraction: 1}
 		w := spec.windowSec()
@@ -300,13 +305,37 @@ func (m *monitor) evaluate(now int64) []SLOStatus {
 		if math.IsNaN(st.BurnRate) || math.IsInf(st.BurnRate, 0) {
 			st.BurnRate, st.BudgetRemaining = 0, 1
 		}
-		m.exportLocked(st)
+		was := m.breached[st.Spec.Name]
+		m.exportLocked(st, was)
+		m.breached[st.Spec.Name] = st.Breaching
+		if st.Breaching && !was {
+			began = append(began, st)
+		} else if !st.Breaching && was {
+			ended = append(ended, st)
+		}
 		out = append(out, st)
+	}
+	m.mu.Unlock()
+	for _, st := range began {
+		sev := alert.SeverityWarning
+		if st.BurnRate >= 2 {
+			sev = alert.SeverityCritical
+		}
+		m.alerts.Raise(alert.Alert{
+			Source: "slo", Kind: "burn", Key: st.Spec.Name, Severity: sev,
+			Observed: st.BurnRate, Expected: 1,
+			Message: fmt.Sprintf(
+				"SLO %s (%s, objective %.3g): burn rate %.2f over %ds window — error budget consuming faster than the objective allows",
+				st.Spec.Name, st.Spec.Kind, st.Spec.Objective, st.BurnRate, st.Spec.windowSec()),
+		})
+	}
+	for _, st := range ended {
+		m.alerts.Resolve("slo", "burn", st.Spec.Name)
 	}
 	return out
 }
 
-func (m *monitor) exportLocked(st SLOStatus) {
+func (m *monitor) exportLocked(st SLOStatus, was bool) {
 	if m.reg == nil {
 		return
 	}
@@ -323,9 +352,8 @@ func (m *monitor) exportLocked(st SLOStatus) {
 	}
 	m.reg.Gauge("aqp_slo_breaching",
 		"1 while the SLO's burn rate exceeds 1.", "slo", name).Set(breach)
-	if st.Breaching && !m.breached[name] {
+	if st.Breaching && !was {
 		m.reg.Counter("aqp_slo_breaches_total",
 			"Transitions into breach, per SLO.", "slo", name).Inc()
 	}
-	m.breached[name] = st.Breaching
 }

@@ -22,7 +22,10 @@ type Route struct {
 //	/metrics                   Prometheus text exposition: the registry
 //	                           plus Go runtime gauges (heap, GC, goroutines)
 //	/debug/queries             recent query traces as JSON, newest first
-//	                           (?n= limits; ordering matches Tracer.Recent)
+//	                           (ordering matches Tracer.Recent). Filters:
+//	                           ?outcome=ok|cancelled|error, ?trace_id=<hex>,
+//	                           and ?limit= (?n= is an alias) applied after
+//	                           the filters.
 //	/debug/queries/{id}/trace  one query as Chrome trace-event JSON, for
 //	                           chrome://tracing or ui.perfetto.dev
 //	/debug/histograms          registered histograms with p50/p90/p99
@@ -38,8 +41,31 @@ func (t *Tracer) Handler(extra ...Route) http.Handler {
 	})
 	mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, r *http.Request) {
 		traces := t.Recent()
-		if s := r.URL.Query().Get("n"); s != "" {
-			if n, err := strconv.Atoi(s); err == nil && n >= 0 && n < len(traces) {
+		q := r.URL.Query()
+		if outcome := q.Get("outcome"); outcome != "" {
+			kept := traces[:0:0]
+			for _, tr := range traces {
+				if tr.Outcome == outcome {
+					kept = append(kept, tr)
+				}
+			}
+			traces = kept
+		}
+		if tid := q.Get("trace_id"); tid != "" {
+			kept := traces[:0:0]
+			for _, tr := range traces {
+				if tr.TraceID == tid {
+					kept = append(kept, tr)
+				}
+			}
+			traces = kept
+		}
+		limit := q.Get("limit")
+		if limit == "" {
+			limit = q.Get("n")
+		}
+		if limit != "" {
+			if n, err := strconv.Atoi(limit); err == nil && n >= 0 && n < len(traces) {
 				traces = traces[:n]
 			}
 		}

@@ -38,12 +38,25 @@ const (
 	StageClusterSim = "cluster-sim"
 )
 
+// SpanExporter receives finished traces for out-of-process export (see
+// internal/obs/export). Implementations must never block: Finish calls
+// ExportTrace synchronously on the query path, so exporters enqueue into
+// a bounded buffer and drop (metered) on overflow.
+type SpanExporter interface {
+	ExportTrace(TraceSnapshot)
+}
+
+// exporterBox wraps the interface so Tracer can hold it in an
+// atomic.Pointer (interfaces are not directly atomically storable).
+type exporterBox struct{ exp SpanExporter }
+
 // Tracer records per-query traces into a bounded ring and aggregates
 // metrics into a Registry. Nil disables everything.
 type Tracer struct {
 	reg  *Registry
 	ring *traceRing
 	qid  atomic.Uint64
+	exp  atomic.Pointer[exporterBox]
 }
 
 // NewTracer returns a tracer with an empty registry and trace ring.
@@ -58,6 +71,19 @@ func (t *Tracer) Registry() *Registry {
 		return nil
 	}
 	return t.reg
+}
+
+// SetExporter attaches (or, with nil, detaches) a span exporter; every
+// subsequently finished trace is offered to it after the ring push.
+func (t *Tracer) SetExporter(exp SpanExporter) {
+	if t == nil {
+		return
+	}
+	if exp == nil {
+		t.exp.Store(nil)
+		return
+	}
+	t.exp.Store(&exporterBox{exp: exp})
 }
 
 // StartQuery opens a trace for one query. The returned QueryTrace (nil for
@@ -105,9 +131,35 @@ type QueryTrace struct {
 
 	mu        sync.Mutex
 	root      *Span
+	tc        TraceContext
 	queueWait time.Duration
 	done      bool
 	snap      TraceSnapshot
+}
+
+// SetTraceContext binds the query's distributed-trace identity; the IDs
+// land on the finished TraceSnapshot and flow to the event log, history
+// and exporter. A no-op after Finish or for an invalid context.
+func (q *QueryTrace) SetTraceContext(tc TraceContext) {
+	if q == nil || !tc.Valid() {
+		return
+	}
+	q.mu.Lock()
+	if !q.done {
+		q.tc = tc
+	}
+	q.mu.Unlock()
+}
+
+// TraceContext returns the identity bound by SetTraceContext (zero value
+// if none was bound).
+func (q *QueryTrace) TraceContext() TraceContext {
+	if q == nil {
+		return TraceContext{}
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.tc
 }
 
 // ID returns the tracer-scoped query id (0 for a nil trace).
@@ -189,6 +241,11 @@ func (q *QueryTrace) Finish(err error) {
 		QueueWaitMs: float64(q.queueWait) / float64(time.Millisecond),
 		Outcome:     outcome,
 	}
+	if q.tc.Valid() {
+		snap.TraceID = q.tc.TraceIDString()
+		snap.SpanID = q.tc.SpanIDString()
+		snap.ParentSpanID = q.tc.ParentString()
+	}
 	if err != nil {
 		snap.Err = err.Error()
 	}
@@ -199,6 +256,9 @@ func (q *QueryTrace) Finish(err error) {
 	q.mu.Unlock()
 
 	q.tr.ring.push(snap)
+	if box := q.tr.exp.Load(); box != nil {
+		box.exp.ExportTrace(snap)
+	}
 	reg := q.tr.Registry()
 	reg.Counter("aqp_queries_total",
 		"Queries answered, by outcome.", "outcome", outcome).Inc()
@@ -361,10 +421,19 @@ func Outcome(err error) string {
 // TraceSnapshot is a finished query trace, as served by /debug/queries
 // (newest first — the ring's Recent ordering is preserved in the JSON).
 type TraceSnapshot struct {
-	ID      uint64    `json:"id"`
-	SQL     string    `json:"sql"`
-	Start   time.Time `json:"start"`
-	TotalMs float64   `json:"total_ms"`
+	ID  uint64 `json:"id"`
+	SQL string `json:"sql"`
+	// TraceID/SpanID/ParentSpanID are the query's W3C trace-context
+	// identity (32/16/16 lowercase hex): the trace ID a client sent via
+	// traceparent (or a server-minted root), the span this process owns
+	// for the query, and the caller's span ("" for a root). They join
+	// the span ring to the event log, history records, audit records and
+	// exported OTLP spans.
+	TraceID      string    `json:"trace_id,omitempty"`
+	SpanID       string    `json:"span_id,omitempty"`
+	ParentSpanID string    `json:"parent_span_id,omitempty"`
+	Start        time.Time `json:"start"`
+	TotalMs      float64   `json:"total_ms"`
 	// QueueWaitMs is the admission-queue delay before execution began
 	// (zero for queries that bypassed a serving layer).
 	QueueWaitMs float64        `json:"queue_wait_ms,omitempty"`

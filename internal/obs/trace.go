@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// W3C trace-context identity for one query. The engine never generates
+// these from its own seeded RNG — IDs come from crypto/rand (with a
+// time+counter fallback), so tracing consumes no engine randomness and
+// cannot perturb sampling, bootstrap, or any other seeded decision.
+//
+// A TraceContext travels on the context.Context: transports
+// (serve/http, wire) parse an incoming traceparent or mint a root one,
+// inject it with ContextWithTrace, and the engine binds it to the
+// query's trace via QueryTrace.SetTraceContext. SpanID is the span this
+// process owns for the query; Parent is the caller's span (zero for a
+// locally minted root).
+type TraceContext struct {
+	TraceID [16]byte
+	SpanID  [8]byte
+	Parent  [8]byte
+}
+
+// Valid reports whether the context carries usable identifiers: a
+// non-zero trace ID and a non-zero span ID, per the W3C spec.
+func (tc TraceContext) Valid() bool {
+	return tc.TraceID != [16]byte{} && tc.SpanID != [8]byte{}
+}
+
+// TraceIDString renders the trace ID as 32 lowercase hex characters.
+func (tc TraceContext) TraceIDString() string { return hex.EncodeToString(tc.TraceID[:]) }
+
+// SpanIDString renders this process's span ID as 16 hex characters.
+func (tc TraceContext) SpanIDString() string { return hex.EncodeToString(tc.SpanID[:]) }
+
+// ParentString renders the caller's span ID, or "" for a root.
+func (tc TraceContext) ParentString() string {
+	if tc.Parent == ([8]byte{}) {
+		return ""
+	}
+	return hex.EncodeToString(tc.Parent[:])
+}
+
+// Traceparent renders the context as a W3C traceparent header value,
+// version 00, sampled flag set.
+func (tc TraceContext) Traceparent() string {
+	return fmt.Sprintf("00-%s-%s-01", tc.TraceIDString(), tc.SpanIDString())
+}
+
+// idFallback feeds the (never expected) path where crypto/rand fails:
+// a monotone counter mixed with wall time still yields unique IDs.
+var idFallback atomic.Uint64
+
+func randomBytes(b []byte) {
+	if _, err := rand.Read(b); err != nil {
+		n := idFallback.Add(1)
+		var seed [16]byte
+		binary.LittleEndian.PutUint64(seed[0:8], uint64(time.Now().UnixNano()))
+		binary.LittleEndian.PutUint64(seed[8:16], n*0x9e3779b97f4a7c15)
+		copy(b, seed[:])
+		for i := 16; i < len(b); i++ {
+			b[i] = byte(n >> (8 * (i % 8)))
+		}
+	}
+}
+
+// NewTraceContext mints a root context: fresh trace ID, fresh span ID,
+// no parent.
+func NewTraceContext() TraceContext {
+	var tc TraceContext
+	for tc.TraceID == ([16]byte{}) {
+		randomBytes(tc.TraceID[:])
+	}
+	for tc.SpanID == ([8]byte{}) {
+		randomBytes(tc.SpanID[:])
+	}
+	return tc
+}
+
+// ParseTraceparent parses a W3C traceparent header value
+// ("00-<32 hex trace-id>-<16 hex span-id>-<2 hex flags>"). The caller's
+// span ID becomes Parent and a fresh local span ID is minted, so the
+// returned context is ready to identify this process's work. Returns
+// ok=false for malformed values, version ff, or all-zero IDs — callers
+// should then mint a root with NewTraceContext.
+func ParseTraceparent(s string) (TraceContext, bool) {
+	var tc TraceContext
+	s = strings.TrimSpace(s)
+	parts := strings.Split(s, "-")
+	if len(parts) < 4 {
+		return tc, false
+	}
+	version, traceID, spanID, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(version) != 2 || !isHex(version) || strings.EqualFold(version, "ff") {
+		return tc, false
+	}
+	// Future versions may append fields; version 00 must have exactly 4.
+	if version == "00" && len(parts) != 4 {
+		return tc, false
+	}
+	if len(traceID) != 32 || len(spanID) != 16 || len(flags) != 2 || !isHex(flags) {
+		return tc, false
+	}
+	if _, err := hex.Decode(tc.TraceID[:], []byte(strings.ToLower(traceID))); err != nil {
+		return TraceContext{}, false
+	}
+	if _, err := hex.Decode(tc.Parent[:], []byte(strings.ToLower(spanID))); err != nil {
+		return TraceContext{}, false
+	}
+	if tc.TraceID == ([16]byte{}) || tc.Parent == ([8]byte{}) {
+		return TraceContext{}, false
+	}
+	for tc.SpanID == ([8]byte{}) {
+		randomBytes(tc.SpanID[:])
+	}
+	return tc, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f', c >= 'A' && c <= 'F':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+type traceCtxKey struct{}
+
+// ContextWithTrace attaches a trace context to ctx.
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFromContext extracts the trace context attached by
+// ContextWithTrace, if any.
+func TraceFromContext(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok && tc.Valid()
+}
+
+// EnsureTrace returns a context guaranteed to carry a valid trace
+// context, minting a root when none is attached. The engine calls this
+// at every public entry point so direct library callers get trace IDs
+// without going through a transport.
+func EnsureTrace(ctx context.Context) (context.Context, TraceContext) {
+	if tc, ok := TraceFromContext(ctx); ok {
+		return ctx, tc
+	}
+	tc := NewTraceContext()
+	return ContextWithTrace(ctx, tc), tc
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	const header = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	tc, ok := ParseTraceparent(header)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected a valid header", header)
+	}
+	if got := tc.TraceIDString(); got != "0af7651916cd43dd8448eb211c80319c" {
+		t.Errorf("trace ID = %s", got)
+	}
+	// The caller's span becomes our parent; we mint a fresh local span.
+	if got := tc.ParentString(); got != "b7ad6b7169203331" {
+		t.Errorf("parent = %s, want caller's span ID", got)
+	}
+	if tc.SpanIDString() == "b7ad6b7169203331" {
+		t.Error("local span ID must differ from the caller's")
+	}
+	if !tc.Valid() {
+		t.Error("parsed context not Valid")
+	}
+	// Round trip: our outgoing header carries the same trace ID and our
+	// own span ID.
+	out := tc.Traceparent()
+	tc2, ok := ParseTraceparent(out)
+	if !ok {
+		t.Fatalf("ParseTraceparent rejected our own header %q", out)
+	}
+	if tc2.TraceIDString() != tc.TraceIDString() {
+		t.Errorf("round-trip trace ID %s != %s", tc2.TraceIDString(), tc.TraceIDString())
+	}
+	if tc2.ParentString() != tc.SpanIDString() {
+		t.Errorf("round-trip parent %s != our span %s", tc2.ParentString(), tc.SpanIDString())
+	}
+}
+
+func TestParseTraceparentUppercaseAndPadding(t *testing.T) {
+	tc, ok := ParseTraceparent("  00-0AF7651916CD43DD8448EB211C80319C-B7AD6B7169203331-01  ")
+	if !ok {
+		t.Fatal("uppercase hex with surrounding space must parse")
+	}
+	if tc.TraceIDString() != "0af7651916cd43dd8448eb211c80319c" {
+		t.Errorf("trace ID = %s", tc.TraceIDString())
+	}
+}
+
+func TestParseTraceparentFutureVersion(t *testing.T) {
+	// A future version may carry extra fields; the known prefix still parses.
+	if _, ok := ParseTraceparent("01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra"); !ok {
+		t.Error("future version with trailing field must parse")
+	}
+	// Version 00 must have exactly four fields.
+	if _, ok := ParseTraceparent("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra"); ok {
+		t.Error("version 00 with trailing field must be rejected")
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"garbage",
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // version ff forbidden
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01", // zero trace ID
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", // zero span ID
+		"00-0af7651916cd43dd8448eb211c80319-b7ad6b7169203331-01",  // short trace ID
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b716920333-01",  // short span ID
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-0g", // bad flags hex
+		"zz-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // bad version hex
+		"00-xaf7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // bad trace hex
+	}
+	for _, s := range bad {
+		if _, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) accepted a malformed header", s)
+		}
+	}
+}
+
+func TestNewTraceContext(t *testing.T) {
+	a, b := NewTraceContext(), NewTraceContext()
+	if !a.Valid() || !b.Valid() {
+		t.Fatal("minted contexts must be valid")
+	}
+	if a.TraceID == b.TraceID {
+		t.Error("two minted trace IDs collided")
+	}
+	if a.ParentString() != "" {
+		t.Errorf("root context has parent %q", a.ParentString())
+	}
+	if !strings.HasPrefix(a.Traceparent(), "00-") {
+		t.Errorf("traceparent = %q", a.Traceparent())
+	}
+}
+
+func TestEnsureTrace(t *testing.T) {
+	ctx, tc := EnsureTrace(context.Background())
+	if !tc.Valid() {
+		t.Fatal("EnsureTrace minted an invalid context")
+	}
+	got, ok := TraceFromContext(ctx)
+	if !ok || got != tc {
+		t.Fatal("EnsureTrace did not attach the context it returned")
+	}
+	// Idempotent: a second call preserves the existing identity.
+	_, tc2 := EnsureTrace(ctx)
+	if tc2 != tc {
+		t.Error("EnsureTrace replaced an existing trace context")
+	}
+}

@@ -100,6 +100,10 @@ type QueryResponse struct {
 	SharedScan     bool          `json:"shared_scan,omitempty"`
 	FellBack       bool          `json:"fell_back,omitempty"`
 	ElapsedMs      float64       `json:"elapsed_ms"`
+	// TraceID is the query's W3C trace ID, set by the transport (not by
+	// EncodeAnswer): the join key into /debug/queries, the event log, the
+	// durable history, and any exported spans.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // EncodeAnswer flattens an engine answer into its transport form.

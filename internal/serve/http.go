@@ -136,6 +136,15 @@ func (a *httpAPI) handleQuery(w http.ResponseWriter, r *http.Request) {
 			"POST a JSON body to /query", false)
 		return
 	}
+	// Trace propagation: honour an incoming W3C traceparent (the caller's
+	// span becomes our parent), mint a root otherwise, and echo the
+	// server-side context on every response — success or failure — so the
+	// client can join its records to ours.
+	tc, ok := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	if !ok {
+		tc = obs.NewTraceContext()
+	}
+	w.Header().Set("traceparent", tc.Traceparent())
 	if a.opt.Authorize != nil {
 		if err := a.opt.Authorize(r); err != nil {
 			a.opt.EventLog.EmitConn(obs.ConnEvent{
@@ -169,7 +178,7 @@ func (a *httpAPI) handleQuery(w http.ResponseWriter, r *http.Request) {
 			`missing "sql" field`, false)
 		return
 	}
-	ctx := r.Context()
+	ctx := obs.ContextWithTrace(r.Context(), tc)
 	if req.TimeoutMs > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx,
@@ -188,7 +197,9 @@ func (a *httpAPI) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	a.count(route, http.StatusOK)
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(EncodeAnswer(ans)); err != nil {
+	resp := EncodeAnswer(ans)
+	resp.TraceID = tc.TraceIDString()
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		// Too late for a status change; the client sees a truncated body.
 		return
 	}

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/alert"
 	"repro/internal/obs/history"
 )
 
@@ -91,6 +92,21 @@ type Config struct {
 	// finishQuery path, so this hook is the only place availability SLOs
 	// can learn about them.
 	History *history.Store
+	// Alerts, when non-nil, receives admission-health alerts: a
+	// reject-spike alert (source "serve", kind "reject_spike", key =
+	// rejection reason) when RejectSpikeThreshold rejections of one reason
+	// land inside RejectSpikeWindow, and a queue-saturation alert (kind
+	// "queue_saturation") whenever an arrival is turned away because the
+	// wait queue is full. Alerts resolve as admissions resume and the
+	// reject windows drain. The server never blocks on the bus.
+	Alerts *alert.Bus
+	// RejectSpikeWindow is the sliding window for reject-spike detection
+	// (0 = 10s).
+	RejectSpikeWindow time.Duration
+	// RejectSpikeThreshold is how many same-reason rejections inside the
+	// window raise the alert (0 = 8). The alert resolves when the window
+	// drains below half the threshold.
+	RejectSpikeThreshold int
 }
 
 func (c Config) maxInFlight() int {
@@ -117,6 +133,20 @@ func (c Config) batchHold() time.Duration {
 	return c.BatchHold
 }
 
+func (c Config) rejectSpikeWindow() time.Duration {
+	if c.RejectSpikeWindow <= 0 {
+		return 10 * time.Second
+	}
+	return c.RejectSpikeWindow
+}
+
+func (c Config) rejectSpikeThreshold() int {
+	if c.RejectSpikeThreshold <= 0 {
+		return 8
+	}
+	return c.RejectSpikeThreshold
+}
+
 // Server serializes admission to a shared engine. The zero value is not
 // usable; construct with New.
 type Server struct {
@@ -139,6 +169,12 @@ type Server struct {
 	batchesRun     *obs.Counter
 	batchedQueries *obs.Counter
 	hBatchSize     *obs.Histogram
+
+	// Reject-spike tracking for the alert bus. Guarded by amu, never by
+	// s.mu: all bus calls happen outside the admission lock so a slow
+	// alert sink can never stall admission.
+	amu     sync.Mutex
+	rejects map[string][]time.Time // per-reason reject times inside the window
 }
 
 // New returns a server fronting the engine.
@@ -148,6 +184,7 @@ func New(eng *core.Engine, cfg Config) *Server {
 		eng:     eng,
 		cfg:     cfg,
 		drained: make(chan struct{}),
+		rejects: make(map[string][]time.Time),
 		gInflight: reg.Gauge("aqp_serve_inflight",
 			"Queries currently executing."),
 		gQueued: reg.Gauge("aqp_serve_queued",
@@ -173,6 +210,88 @@ func (s *Server) reject(reason string) {
 	s.cfg.Metrics.Counter("aqp_serve_rejected_total",
 		"Queries refused admission, by reason.", "reason", reason).Inc()
 	s.cfg.History.AppendReject(reason)
+	s.noteReject(reason)
+}
+
+// noteReject feeds one rejection into the alert bus: it slides the
+// per-reason window forward and raises reject_spike when the window
+// crosses the threshold, plus queue_saturation on every queue_full turn
+// -away. Callers never hold s.mu here (every reject() call site runs
+// after unlock), so bus sinks cannot stall admission.
+func (s *Server) noteReject(reason string) {
+	if s.cfg.Alerts == nil {
+		return
+	}
+	now := time.Now()
+	threshold := s.cfg.rejectSpikeThreshold()
+	s.amu.Lock()
+	w := append(s.rejects[reason], now)
+	w = pruneBefore(w, now.Add(-s.cfg.rejectSpikeWindow()))
+	s.rejects[reason] = w
+	n := len(w)
+	s.amu.Unlock()
+	if n >= threshold {
+		s.cfg.Alerts.Raise(alert.Alert{
+			Source:   "serve",
+			Kind:     "reject_spike",
+			Key:      reason,
+			Severity: alert.SeverityWarning,
+			Message: fmt.Sprintf("admission rejected %d queries (%s) within %s",
+				n, reason, s.cfg.rejectSpikeWindow()),
+			Observed: float64(n),
+			Expected: float64(threshold),
+		})
+	}
+	if reason == "queue_full" {
+		s.cfg.Alerts.Raise(alert.Alert{
+			Source:   "serve",
+			Kind:     "queue_saturation",
+			Key:      "queue",
+			Severity: alert.SeverityWarning,
+			Message: fmt.Sprintf("wait queue at capacity (%d); arrivals are being turned away",
+				s.cfg.maxQueue()),
+			Observed: float64(s.cfg.maxQueue()),
+			Expected: float64(s.cfg.maxQueue()),
+		})
+	}
+}
+
+// noteAdmit is noteReject's counterpart on the admission path: it drains
+// stale entries from every reject window and resolves alerts whose
+// condition has passed (window below half threshold; queue below half
+// capacity). Called with no locks held.
+func (s *Server) noteAdmit() {
+	if s.cfg.Alerts == nil {
+		return
+	}
+	cut := time.Now().Add(-s.cfg.rejectSpikeWindow())
+	half := s.cfg.rejectSpikeThreshold() / 2
+	var calm []string
+	s.amu.Lock()
+	for reason, w := range s.rejects {
+		w = pruneBefore(w, cut)
+		s.rejects[reason] = w
+		if len(w) <= half {
+			calm = append(calm, reason)
+		}
+	}
+	s.amu.Unlock()
+	for _, reason := range calm {
+		s.cfg.Alerts.Resolve("serve", "reject_spike", reason)
+	}
+	if s.Queued() <= s.cfg.maxQueue()/2 {
+		s.cfg.Alerts.Resolve("serve", "queue_saturation", "queue")
+	}
+}
+
+// pruneBefore drops timestamps older than cut from the front of a
+// time-ordered slice.
+func pruneBefore(w []time.Time, cut time.Time) []time.Time {
+	i := 0
+	for i < len(w) && w[i].Before(cut) {
+		i++
+	}
+	return w[i:]
 }
 
 // Submit answers one query under admission control: it waits for an
@@ -189,6 +308,7 @@ func (s *Server) Submit(ctx context.Context, query string) (*core.Answer, error)
 	wait := time.Since(arrived)
 	s.hQueueWait.Observe(wait.Seconds())
 	s.admitted.Inc()
+	s.noteAdmit()
 	if s.cfg.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)

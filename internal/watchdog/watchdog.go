@@ -70,7 +70,11 @@ type AggRecord struct {
 // downstream consumers (the history store's workload profiles) can file
 // coverage outcomes under richer keys.
 type Record struct {
-	QID       uint64
+	QID uint64
+	// TraceID is the query's distributed-trace id (32 hex chars, "" when
+	// tracing is off) — an opaque pass-through, stamped onto audit
+	// outcomes so an operator can join an audit back to the client call.
+	TraceID   string
 	SQL       string
 	Sample    string // sample label: row count, or "exact"
 	Table     string
@@ -94,6 +98,7 @@ type AuditFunc func(ctx context.Context, sql string) (map[AggInstance]float64, e
 // handed to the audit observer the moment the coverage window absorbs it.
 type AuditOutcome struct {
 	QID       uint64
+	TraceID   string // audited query's trace id ("" when tracing is off)
 	SQL       string
 	Table     string
 	Sample    string
@@ -348,11 +353,25 @@ type auditJob struct {
 	sql       string
 	seq       uint64
 	qid       uint64
+	traceID   string
 	table     string
 	sample    string
 	predicate string
 	key       func(g AggRecord) Key
 	aggs      []AggRecord
+}
+
+// AlertNotifier receives alert lifecycle transitions: firing=true the
+// moment a (kind, key) episode first raises, firing=false when it
+// clears. Re-raises while an episode is active do not re-notify. The
+// notifier runs outside the watchdog's lock — the unified alert bus
+// (internal/obs/alert) binds here via the engine.
+type AlertNotifier func(a Alert, firing bool)
+
+// alertTransition is one queued notifier delivery.
+type alertTransition struct {
+	alert  Alert
+	firing bool
 }
 
 // Watchdog monitors calibration online. Construct with New; a nil
@@ -368,6 +387,8 @@ type Watchdog struct {
 	seq      uint64
 	active   map[alertID]Alert
 	history  []Alert
+	notifier AlertNotifier
+	pending  []alertTransition // queued notifier deliveries, drained outside mu
 
 	auditCh chan auditJob
 	wg      sync.WaitGroup
@@ -459,6 +480,17 @@ func (w *Watchdog) SetAuditObserver(fn AuditObserver) {
 	w.mu.Unlock()
 }
 
+// SetAlertNotifier registers a sink for alert lifecycle transitions.
+// Call once, before the first Observe, alongside Bind.
+func (w *Watchdog) SetAlertNotifier(fn AlertNotifier) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.notifier = fn
+	w.mu.Unlock()
+}
+
 // Close stops the background audit worker, draining queued audits.
 func (w *Watchdog) Close() {
 	if w == nil {
@@ -509,13 +541,14 @@ func (w *Watchdog) Observe(rec Record) {
 	stride := w.cfg.stride()
 	doAudit := stride > 0 && seq%stride == 0
 	w.mu.Unlock()
+	w.drainAlerts()
 	w.mObs.Inc()
 
 	if !doAudit {
 		return
 	}
-	job := auditJob{sql: rec.SQL, seq: seq, qid: rec.QID, table: rec.Table,
-		sample: rec.Sample, predicate: rec.Predicate, aggs: rec.Aggs,
+	job := auditJob{sql: rec.SQL, seq: seq, qid: rec.QID, traceID: rec.TraceID,
+		table: rec.Table, sample: rec.Sample, predicate: rec.Predicate, aggs: rec.Aggs,
 		key: func(a AggRecord) Key { return Key{Agg: a.Agg, Sample: rec.Sample} }}
 	if w.cfg.Synchronous || w.auditCh == nil {
 		w.runAudit(job)
@@ -591,16 +624,34 @@ func (w *Watchdog) runAudit(job auditJob) {
 		w.checkCoverageLocked(k, st, job.seq)
 		if observer != nil {
 			outcomes = append(outcomes, AuditOutcome{
-				QID: job.qid, SQL: job.sql, Table: job.table,
-				Sample: job.sample, Predicate: job.predicate,
+				QID: job.qid, TraceID: job.traceID, SQL: job.sql,
+				Table: job.table, Sample: job.sample, Predicate: job.predicate,
 				Group: a.Group, Agg: a.Agg, Kind: a.Kind,
 				Covered: covered, Truth: truth, Interval: a.Interval,
 			})
 		}
 	}
 	w.mu.Unlock()
+	w.drainAlerts()
 	for _, o := range outcomes {
 		observer(o)
+	}
+}
+
+// drainAlerts delivers queued alert transitions to the notifier, outside
+// the lock — a slow notifier delays audits, never the serving path's
+// critical section.
+func (w *Watchdog) drainAlerts() {
+	w.mu.Lock()
+	fn := w.notifier
+	pend := w.pending
+	w.pending = nil
+	w.mu.Unlock()
+	if fn == nil {
+		return
+	}
+	for _, t := range pend {
+		fn(t.alert, t.firing)
 	}
 }
 
@@ -680,13 +731,24 @@ func (w *Watchdog) raiseLocked(a Alert) {
 		if max := w.cfg.alertHistory(); len(w.history) > max {
 			w.history = w.history[len(w.history)-max:]
 		}
+		if w.notifier != nil {
+			w.pending = append(w.pending, alertTransition{alert: a, firing: true})
+		}
 	}
 	w.active[id] = a
 	w.mActive.Set(int64(len(w.active)))
 }
 
 func (w *Watchdog) clearLocked(kind AlertKind, k Key) {
-	delete(w.active, alertID{kind, k})
+	id := alertID{kind, k}
+	a, was := w.active[id]
+	if !was {
+		return
+	}
+	delete(w.active, id)
+	if w.notifier != nil {
+		w.pending = append(w.pending, alertTransition{alert: a, firing: false})
+	}
 	w.mActive.Set(int64(len(w.active)))
 }
 

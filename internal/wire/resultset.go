@@ -17,10 +17,12 @@ import (
 //	a_verdict    VARCHAR  runtime diagnostic verdict ("accept" | "reject")
 //	a_exact      VARCHAR  "1" after an exact fallback, else "0"
 //
-// Grouped queries get a leading VARCHAR "group" column. Floats are
-// rendered in shortest round-trip form (serve.FormatF64): parsing a cell
-// back yields the identical float64 bits core.Run produced, which the
-// end-to-end equality test asserts.
+// Grouped queries get a leading VARCHAR "group" column and every row
+// ends with a VARCHAR "trace_id" column carrying the query's W3C trace
+// ID — the join key into /debug/queries, the event log, and the durable
+// history. Floats are rendered in shortest round-trip form
+// (serve.FormatF64): parsing a cell back yields the identical float64
+// bits core.Run produced, which the end-to-end equality test asserts.
 
 // Column type bytes (text protocol).
 const (
@@ -106,13 +108,18 @@ func answerRow(g core.GroupAnswer, grouped bool) []string {
 }
 
 // writeResultset writes an answer as a text-protocol resultset: column
-// count, column definitions, EOF, rows, EOF.
-func writeResultset(w io.Writer, seq *uint8, ans *core.Answer) error {
+// count, column definitions, EOF, rows, EOF. traceID, when non-empty,
+// is appended as a trailing VARCHAR "trace_id" column on every row.
+func writeResultset(w io.Writer, seq *uint8, ans *core.Answer, traceID string) error {
 	names, types := answerColumns(ans)
 	if len(names) == 0 {
 		// A query with no groups (empty table edge): an OK packet is the
 		// protocol-legal empty answer.
 		return writePacket(w, seq, okPayload())
+	}
+	if traceID != "" {
+		names = append(names, "trace_id")
+		types = append(types, typeVarString)
 	}
 	if err := writePacket(w, seq, appendLenencInt(nil, uint64(len(names)))); err != nil {
 		return err
@@ -130,6 +137,9 @@ func writeResultset(w io.Writer, seq *uint8, ans *core.Answer) error {
 		var row []byte
 		for _, cell := range answerRow(g, grouped) {
 			row = appendLenencBytes(row, []byte(cell))
+		}
+		if traceID != "" {
+			row = appendLenencBytes(row, []byte(traceID))
 		}
 		if err := writePacket(w, seq, row); err != nil {
 			return err

@@ -360,16 +360,42 @@ func (l *Listener) dispatch(c *conn, seq *uint8, payload []byte) bool {
 	}
 }
 
+// parseTraceComment extracts trace identity from an optional
+// /*traceparent=<W3C value>*/ comment prefix — the wire protocol has no
+// headers, so trace propagation rides in a comment the parser would
+// otherwise ignore. The comment is stripped before submission so the
+// trace ring, event log, and history record the clean SQL. A missing or
+// malformed comment mints a root context, mirroring the HTTP front end.
+func parseTraceComment(sql string) (obs.TraceContext, string) {
+	const prefix = "/*traceparent="
+	trimmed := strings.TrimLeft(sql, " \t\r\n")
+	if strings.HasPrefix(trimmed, prefix) {
+		if end := strings.Index(trimmed, "*/"); end >= len(prefix) {
+			value := trimmed[len(prefix):end]
+			rest := strings.TrimLeft(trimmed[end+2:], " \t\r\n")
+			if tc, ok := obs.ParseTraceparent(value); ok {
+				return tc, rest
+			}
+			return obs.NewTraceContext(), rest
+		}
+	}
+	return obs.NewTraceContext(), sql
+}
+
 // handleQuery answers one COM_QUERY through the admission layer. Errors
 // map to the MySQL codes clients expect: queue overflow →
 // ER_OUT_OF_RESOURCES, drain → ER_SERVER_SHUTDOWN (connection then
 // closes), deadline → ER_QUERY_TIMEOUT, cancellation →
 // ER_QUERY_INTERRUPTED, engine refusals → ER_PARSE_ERROR.
+// Successful resultsets carry a trailing trace_id column (the same ID
+// the HTTP front end echoes in its traceparent header).
 func (l *Listener) handleQuery(c *conn, seq *uint8, sql string) bool {
 	c.nq++
 	l.queries.Inc()
+	tc, sql := parseTraceComment(sql)
+	ctx := obs.ContextWithTrace(c.ctx, tc)
 	l.gActive.Inc()
-	ans, err := l.sub.Submit(c.ctx, sql)
+	ans, err := l.sub.Submit(ctx, sql)
 	l.gActive.Dec()
 	if err != nil {
 		code, _ := serve.Classify(err)
@@ -392,7 +418,7 @@ func (l *Listener) handleQuery(c *conn, seq *uint8, sql string) bool {
 				err.Error())) == nil
 		}
 	}
-	if err := writeResultset(c.nc, seq, ans); err != nil {
+	if err := writeResultset(c.nc, seq, ans, tc.TraceIDString()); err != nil {
 		l.connError("io")
 		return false
 	}
