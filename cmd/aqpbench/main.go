@@ -28,7 +28,11 @@
 // machine-readable BENCH_history.json), and serve-e2e (the network
 // front-end load sweep: hundreds of concurrent MySQL-wire and HTTP
 // connections driven through a full in-process aqpd stack, which writes
-// machine-readable BENCH_serve_e2e.json).
+// machine-readable BENCH_serve_e2e.json), and cache (the cross-query
+// decoded-block/answer cache: repeat-query speedup and hit-rate ramp with
+// the budget above the hot working set, bit-exactness and graceful
+// degradation with the budget far below it, which writes machine-readable
+// BENCH_cache.json).
 package main
 
 import (
@@ -121,6 +125,13 @@ func main() {
 			}
 			return storageBench(rows, sample, int(cfg.Seed))
 		},
+		"cache": func() result {
+			rows, sample, rounds := 100000, 16384, 6
+			if *full {
+				rows, sample, rounds = 1000000, 100000, 8
+			}
+			return cacheBench(rows, sample, rounds, int(cfg.Seed))
+		},
 		"serve-e2e": func() result {
 			rows, sample, perConn := 100000, 10000, 4
 			connCounts := []int{16, 64, 128}
@@ -134,7 +145,7 @@ func main() {
 			return serveBench(rows, sample, perConn, connCounts, int(cfg.Seed))
 		},
 	}
-	order := []string{"1", "3", "4b", "4c", "7", "8ab", "8c", "8d", "8ef", "9", "ablation", "stages", "obs-overhead", "history", "kernel", "concurrency", "shared-scan", "storage", "serve-e2e"}
+	order := []string{"1", "3", "4b", "4c", "7", "8ab", "8c", "8d", "8ef", "9", "ablation", "stages", "obs-overhead", "history", "kernel", "concurrency", "shared-scan", "storage", "cache", "serve-e2e"}
 
 	var selected []string
 	switch strings.ToLower(*fig) {

@@ -60,6 +60,9 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "RNG seed: all sampling and resampling derives from it")
 		workers  = flag.Int("workers", 0, "engine execution parallelism (0 = 4)")
 
+		cacheMB  = flag.Int("cache-mb", 0, "decoded-block/answer cache budget in MiB (0 = caching off)")
+		cacheTTL = flag.Duration("cache-ttl", 0, "answer-cache entry lifetime (0 = 60s default; needs -cache-mb)")
+
 		maxInFlight = flag.Int("max-inflight", 0, "concurrently executing queries (0 = 4)")
 		maxQueue    = flag.Int("max-queue", 0, "admission queue depth (0 = 16; negative = reject when saturated)")
 		timeout     = flag.Duration("timeout", 0, "per-query deadline applied on admission (0 = none)")
@@ -86,6 +89,7 @@ func main() {
 		httpAddr: *httpAddr, mysqlAddr: *mysqlAddr, metricsAddr: *metrics,
 		csvPath: *csvPath, tblName: *tblName, colTypes: *colTypes,
 		genRows: *genRows, sample: *sample, seed: *seed, workers: *workers,
+		cacheMB: *cacheMB, cacheTTL: *cacheTTL,
 		maxInFlight: *maxInFlight, maxQueue: *maxQueue, timeout: *timeout,
 		maxK: *maxK, maxBatch: *maxBatch, batchHold: *batchHold,
 		maxConns: *maxConns, maxPacket: *maxPacket, users: *users,
@@ -104,6 +108,8 @@ type daemonConfig struct {
 	genRows, sample                  int
 	seed                             uint64
 	workers                          int
+	cacheMB                          int
+	cacheTTL                         time.Duration
 	maxInFlight, maxQueue            int
 	timeout                          time.Duration
 	maxK, maxBatch                   int
@@ -174,6 +180,8 @@ func run(cfg daemonConfig) error {
 	engine := core.New(core.Config{
 		Seed:        cfg.seed,
 		Workers:     cfg.workers,
+		CacheBytes:  int64(cfg.cacheMB) << 20,
+		CacheTTL:    cfg.cacheTTL,
 		Obs:         tracer,
 		ObsConfig:   obsCfg,
 		MetricsAddr: cfg.metricsAddr,

@@ -40,7 +40,7 @@ import (
 
 const demoRows = 1000000
 
-func buildDemo(metricsAddr string, elog *obs.EventLog, audit float64, obsCfg obs.Config, profileDir string) (*core.Engine, *watchdog.Watchdog, *history.Store, error) {
+func buildDemo(metricsAddr string, elog *obs.EventLog, audit float64, obsCfg obs.Config, profileDir string, cacheMB int) (*core.Engine, *watchdog.Watchdog, *history.Store, error) {
 	src := rng.New(42)
 	times := make(table.Float64Col, demoRows)
 	cities := make(table.StringCol, demoRows)
@@ -82,16 +82,24 @@ func buildDemo(metricsAddr string, elog *obs.EventLog, audit float64, obsCfg obs
 			return nil, nil, nil, err
 		}
 	}
-	e := core.New(core.Config{
+	cfg := core.Config{
 		Seed:        42,
 		Workers:     8,
+		CacheBytes:  int64(cacheMB) << 20,
 		Obs:         tracer,
 		ObsConfig:   obsCfg,
 		MetricsAddr: metricsAddr,
 		EventLog:    elog,
 		Watchdog:    wd,
 		History:     hist,
-	})
+	}
+	if cacheMB > 0 {
+		// Give the block layer something to do: compressed samples are
+		// decode-bound, which is the workload the cache accelerates.
+		// Answers are bit-identical across sample backings either way.
+		cfg.SampleBacking = table.BackingCompressed
+	}
+	e := core.New(cfg)
 	if err := e.RegisterTable("Sessions", tbl); err != nil {
 		return nil, nil, nil, err
 	}
@@ -150,6 +158,8 @@ func main() {
 		"export query spans to this OTLP/HTTP collector endpoint")
 	otlpFile := flag.String("otlp-file", "",
 		"append OTLP JSON span batches to this file (combines with -otlp)")
+	cacheMB := flag.Int("cache-mb", 0,
+		"decoded-block/answer cache budget in MiB (0 = caching off; with -metrics, serves /debug/cache)")
 	flag.Parse()
 
 	obsCfg := obs.Config{RingSize: *ringSize, SlowQueryMs: *slowMs, MaxRelErr: *maxRelErr,
@@ -177,7 +187,7 @@ func main() {
 	fmt.Println("demo table: Sessions(Time FLOAT64, City STRING, KB FLOAT64),",
 		demoRows, "rows; samples: 10k, 100k")
 	fmt.Println(`type \help for commands`)
-	engine, wd, hist, err := buildDemo(*metricsAddr, elog, *audit, obsCfg, *profileDir)
+	engine, wd, hist, err := buildDemo(*metricsAddr, elog, *audit, obsCfg, *profileDir, *cacheMB)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aqpshell:", err)
 		os.Exit(1)
@@ -220,6 +230,9 @@ func main() {
 		if ans != nil {
 			fmt.Println(verdictSummary(ans))
 		}
+		if s := cacheSummary(engine); s != "" {
+			fmt.Println(s)
+		}
 	}
 
 	scanner := bufio.NewScanner(os.Stdin)
@@ -253,6 +266,9 @@ func main() {
 				continue
 			}
 			fmt.Print(history.FormatWorkload(hist.Profiles()))
+			if s := cacheSummary(engine); s != "" {
+				fmt.Println(s)
+			}
 		case strings.HasPrefix(line, `\load `):
 			// \load <csv-path> <table-name> <type,type,...> [sample-rows]
 			args := strings.Fields(strings.TrimPrefix(line, `\load `))
@@ -422,12 +438,44 @@ func printAnswer(ans *core.Answer, err error) {
 	if ans.Counters.BlocksSkipped > 0 {
 		skipped = fmt.Sprintf(", %d block(s) skipped", ans.Counters.BlocksSkipped)
 	}
-	if ans.SampleRows > 0 {
+	if ans.Counters.CacheHits > 0 {
+		skipped += fmt.Sprintf(", %d cached block(s)", ans.Counters.CacheHits)
+	}
+	if ans.Cached {
+		fmt.Printf("[answer cache, %v]\n", ans.Elapsed.Round(1000))
+	} else if ans.SampleRows > 0 {
 		fmt.Printf("[sample %d rows, %v, %d scan(s)%s]\n",
 			ans.SampleRows, ans.Elapsed.Round(1000), ans.Counters.Scans, skipped)
 	} else {
 		fmt.Printf("[full data, %v%s]\n", ans.Elapsed.Round(1000), skipped)
 	}
+}
+
+// cacheSummary renders the engine's cache state for the -explain footer
+// and the \profile summary; empty when caching is off.
+func cacheSummary(engine *core.Engine) string {
+	st := engine.CacheStatsSnapshot(3)
+	if !st.Enabled {
+		return ""
+	}
+	var b strings.Builder
+	lookups := st.Block.Hits + st.Block.Misses
+	rate := 0.0
+	if lookups > 0 {
+		rate = float64(st.Block.Hits) / float64(lookups)
+	}
+	fmt.Fprintf(&b, "cache: blocks %d/%d hits (%.0f%%), %s resident of %s budget, %d evicted; answers %d entries (%d replays); predicates %d memo hits",
+		st.Block.Hits, lookups, rate*100, mib(st.Block.Bytes), mib(st.Block.Budget),
+		st.Block.Evictions, st.Answer.Entries, st.Answer.Hits, st.Predicate.Hits)
+	for _, t := range st.Tables {
+		fmt.Fprintf(&b, "\n  hot: %s %.0f%% resident (%s of %s)",
+			t.Name, t.HotFraction*100, mib(t.ResidentBytes), mib(t.LogicalBytes))
+	}
+	return b.String()
+}
+
+func mib(n int64) string {
+	return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
 }
 
 // verdictSummary renders the final per-aggregate diagnostic verdicts for

@@ -83,6 +83,7 @@ func (e *Engine) RunSharedBatch(reqs []BatchRequest) []BatchResponse {
 	if len(reqs) == 0 {
 		return out
 	}
+	gen := e.gen.Load()
 
 	type memberState struct {
 		ctx   context.Context
@@ -110,6 +111,16 @@ func (e *Engine) RunSharedBatch(reqs []BatchRequest) []BatchResponse {
 			ms.qt.SetQueueWait(r.Opts.QueueWait)
 		}
 		states[i] = ms
+		// Answer reuse applies to batch members too: a replay costs no slot
+		// in the shared pass. Replays are answer-neutral because re-execution
+		// would be bit-identical anyway (randomness is (seed, stream) derived).
+		if hit := e.answerCacheGet(gen, r.Query, r.Opts.BootstrapK); hit != nil {
+			hit.Elapsed = time.Since(ms.start)
+			ms.qt.Root().SetAttr("answer_cached", true)
+			out[i] = BatchResponse{Ans: hit}
+			e.finishQuery(ms.ctx, ms.qt, r.Query, hit, nil, true)
+			continue
+		}
 		def, rt, err := e.analyze(ms.qt, r.Query)
 		if err != nil {
 			out[i].Err = err
@@ -166,6 +177,7 @@ func (e *Engine) RunSharedBatch(reqs []BatchRequest) []BatchResponse {
 				e.finishQuery(ms.ctx, ms.qt, q, nil, err, true)
 				return
 			}
+			e.answerCachePut(gen, q, reqs[i].Opts.BootstrapK, ans)
 			out[i] = BatchResponse{Ans: ans}
 			e.finishQuery(ms.ctx, ms.qt, q, ans, nil, true)
 		}(i)
@@ -178,11 +190,7 @@ func (e *Engine) RunSharedBatch(reqs []BatchRequest) []BatchResponse {
 			items[si] = exec.SharedItem{
 				Ctx:  ms.ctx,
 				Plan: ms.p,
-				Cfg: exec.Config{
-					Workers: e.cfg.workers(),
-					Seed:    e.cfg.Seed,
-					Span:    ms.qt.Root(),
-				},
+				Cfg:  e.execConfig(ms.qt.Root()),
 			}
 		}
 		first := states[shared[0]]
@@ -225,6 +233,7 @@ func (e *Engine) RunSharedBatch(reqs []BatchRequest) []BatchResponse {
 				e.finishQuery(ms.ctx, ms.qt, q, nil, err, true)
 				continue
 			}
+			e.answerCachePut(gen, q, reqs[i].Opts.BootstrapK, ans)
 			out[i] = BatchResponse{Ans: ans}
 			e.finishQuery(ms.ctx, ms.qt, q, ans, nil, true)
 		}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/exec"
+	"repro/internal/obs"
+	"repro/internal/table"
+)
+
+// execConfig assembles the executor configuration for one stage span,
+// attaching the engine's cross-query cache layers (nil when caching is
+// off, which reproduces decode-every-time execution exactly).
+func (e *Engine) execConfig(span *obs.Span) exec.Config {
+	return exec.Config{
+		Workers: e.cfg.workers(),
+		Seed:    e.cfg.Seed,
+		Span:    span,
+		Blocks:  e.blocks,
+		Preds:   e.preds,
+	}
+}
+
+// answerKey builds the answer-cache key: catalog generation, resample
+// cap, and whitespace-canonicalized SQL. The generation makes every
+// registration mutation an instant invalidation; the kCap keeps a
+// serving-layer-capped answer from being replayed to an uncapped caller.
+func answerCacheKey(gen uint64, kCap int, query string) string {
+	return fmt.Sprintf("g%d|k%d|%s", gen, kCap, cache.CanonicalSQL(query))
+}
+
+// answerCacheGet returns a private deep clone of a cached answer for
+// (gen, query, kCap), or nil on a miss. The clone carries zeroed Counters
+// (no physical work happened) and Cached=true.
+func (e *Engine) answerCacheGet(gen uint64, query string, kCap int) *Answer {
+	if e.answers == nil {
+		return nil
+	}
+	v, ok := e.answers.Get(answerCacheKey(gen, kCap, query))
+	if !ok {
+		return nil
+	}
+	src := v.(*Answer)
+	ans := *src
+	ans.Groups = append([]GroupAnswer(nil), src.Groups...)
+	for gi := range ans.Groups {
+		ans.Groups[gi].Aggs = append([]AggAnswer(nil), src.Groups[gi].Aggs...)
+	}
+	if src.Simulated != nil {
+		sim := *src.Simulated
+		ans.Simulated = &sim
+	}
+	ans.Counters = exec.Counters{}
+	ans.Cached = true
+	return &ans
+}
+
+// answerCachePut stores a deep clone of a finished answer under the
+// generation the query STARTED at — if the catalog changed mid-flight the
+// entry lands under the old generation and is never served again, rather
+// than poisoning the new one.
+func (e *Engine) answerCachePut(gen uint64, query string, kCap int, ans *Answer) {
+	if e.answers == nil || ans == nil || ans.Cached {
+		return
+	}
+	cp := *ans
+	cp.Groups = append([]GroupAnswer(nil), ans.Groups...)
+	for gi := range cp.Groups {
+		cp.Groups[gi].Aggs = append([]AggAnswer(nil), ans.Groups[gi].Aggs...)
+	}
+	if ans.Simulated != nil {
+		sim := *ans.Simulated
+		cp.Simulated = &sim
+	}
+	e.answers.Put(answerCacheKey(gen, kCap, query), &cp)
+}
+
+// CachedAnswer returns a replay of a finished answer for the exact same
+// canonical SQL (and resample cap) when one is cached under the current
+// catalog generation. It performs no execution and consumes no admission
+// or worker resources — the serving layer calls it BEFORE spending an
+// admission slot. The replayed answer still gets a query trace, event-log
+// record and history entry (marked cached); the watchdog is NOT
+// re-observed, since no new statistical work happened. ok=false when the
+// answer cache is disabled or has no entry.
+func (e *Engine) CachedAnswer(ctx context.Context, query string, kCap int) (*Answer, bool) {
+	if e.answers == nil {
+		return nil, false
+	}
+	gen := e.gen.Load()
+	start := time.Now()
+	ans := e.answerCacheGet(gen, query, kCap)
+	if ans == nil {
+		return nil, false
+	}
+	ctx, tc := obs.EnsureTrace(ctx)
+	qt := e.obs.StartQuery(query)
+	qt.SetTraceContext(tc)
+	qt.Root().SetAttr("answer_cached", true)
+	ans.Elapsed = time.Since(start)
+	e.finishQuery(ctx, qt, query, ans, nil, true)
+	return ans, true
+}
+
+// CacheStats is the /debug/cache document: per-layer counters plus the
+// per-table hot residency breakdown.
+type CacheStats struct {
+	Enabled    bool               `json:"enabled"`
+	Generation uint64             `json:"catalog_generation"`
+	Block      cache.BlockStats   `json:"block"`
+	Predicate  cache.PredStats    `json:"predicate"`
+	Answer     cache.AnswerStats  `json:"answer"`
+	Tables     []TableCacheStats  `json:"tables,omitempty"`
+}
+
+// TableCacheStats reports how much of one stored table (a registered full
+// table or one of its samples) is resident in the block cache.
+type TableCacheStats struct {
+	// Name is the registered table name; samples append "/sample[rows]".
+	Name string `json:"name"`
+	// ResidentBytes is decoded bytes of this table held in the cache.
+	ResidentBytes int64 `json:"resident_bytes"`
+	// PhysicalBytes is the table's stored (encoded) footprint.
+	PhysicalBytes int64 `json:"physical_bytes"`
+	// LogicalBytes is the decoded size of the whole table; HotFraction is
+	// ResidentBytes/LogicalBytes — how much of the table's decoded form is
+	// being kept hot.
+	LogicalBytes int64   `json:"logical_bytes"`
+	HotFraction  float64 `json:"hot_fraction"`
+}
+
+// residentBytes sums the block cache's residency over one stored table's
+// columns (keyed by base-column identity).
+func (e *Engine) residentBytes(t *table.Table) int64 {
+	if e.blocks == nil || t == nil {
+		return 0
+	}
+	var n int64
+	for i := 0; i < t.NumCols(); i++ {
+		if base, _ := table.BlockBase(t.Column(i)); base != nil {
+			n += e.blocks.BytesFor(base)
+		}
+	}
+	return n
+}
+
+// CacheStatsSnapshot assembles the cache layers' counters and the
+// per-table residency breakdown, sorted by resident bytes descending and
+// truncated to limit entries (<= 0 means no table breakdown).
+func (e *Engine) CacheStatsSnapshot(limit int) CacheStats {
+	st := CacheStats{
+		Enabled:    e.blocks != nil,
+		Generation: e.gen.Load(),
+		Block:      e.blocks.Stats(),
+		Predicate:  e.preds.Stats(),
+		Answer:     e.answers.Stats(),
+	}
+	if e.blocks == nil || limit <= 0 {
+		return st
+	}
+	e.mu.RLock()
+	type named struct {
+		name string
+		t    *table.Table
+	}
+	var stored []named
+	for name, rt := range e.tables {
+		stored = append(stored, named{name, rt.full})
+		for _, s := range rt.samples {
+			stored = append(stored,
+				named{fmt.Sprintf("%s/sample[%d]", name, s.Data.NumRows()), s.Data})
+		}
+		for _, ss := range rt.stratified {
+			stored = append(stored,
+				named{fmt.Sprintf("%s/stratified[%s]", name, ss.keyColumn), ss.st.Data})
+		}
+	}
+	e.mu.RUnlock()
+	for _, nt := range stored {
+		res := e.residentBytes(nt.t)
+		if res == 0 {
+			continue
+		}
+		ts := TableCacheStats{
+			Name:          nt.name,
+			ResidentBytes: res,
+			PhysicalBytes: nt.t.PhysicalSizeBytes(),
+			LogicalBytes:  nt.t.SizeBytes(),
+		}
+		if ts.LogicalBytes > 0 {
+			ts.HotFraction = float64(res) / float64(ts.LogicalBytes)
+			if ts.HotFraction > 1 {
+				ts.HotFraction = 1 // accounting overhead can round above the logical size
+			}
+		}
+		st.Tables = append(st.Tables, ts)
+	}
+	sort.Slice(st.Tables, func(i, j int) bool {
+		if st.Tables[i].ResidentBytes != st.Tables[j].ResidentBytes {
+			return st.Tables[i].ResidentBytes > st.Tables[j].ResidentBytes
+		}
+		return st.Tables[i].Name < st.Tables[j].Name
+	})
+	if len(st.Tables) > limit {
+		st.Tables = st.Tables[:limit]
+	}
+	return st
+}
+
+// cacheHandler serves /debug/cache as JSON. The table breakdown honours
+// the debug pages' shared ?limit= clamp (obs.LimitParam: default 64,
+// cap 1024).
+func (e *Engine) cacheHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q, _ := url.ParseQuery(r.URL.RawQuery)
+		limit := obs.LimitParam(q, obs.DebugLimitDefault, obs.DebugLimitMax)
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(e.CacheStatsSnapshot(limit))
+	})
+}

@@ -1,0 +1,427 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/table"
+)
+
+// cacheTestQueries exercises every decoded-block kind (float64 scans,
+// string group keys and filters) plus grouped and filtered aggregates, so
+// bit-identity over them covers the cache's full read surface.
+var cacheTestQueries = []string{
+	"SELECT AVG(Time) FROM Sessions",
+	"SELECT COUNT(*), SUM(Time) FROM Sessions WHERE City = 'NYC'",
+	"SELECT City, AVG(Time) FROM Sessions GROUP BY City",
+	"SELECT PERCENTILE(Time, 0.9) FROM Sessions WHERE Time > 40",
+}
+
+// cacheAnswerBits flattens an answer's statistical content to raw bits:
+// any cache-induced drift, however small, breaks equality.
+func cacheAnswerBits(ans *Answer) []uint64 {
+	var bits []uint64
+	for _, g := range ans.Groups {
+		for _, a := range g.Aggs {
+			bits = append(bits,
+				math.Float64bits(a.Estimate),
+				math.Float64bits(a.ErrorBar.Lo()),
+				math.Float64bits(a.ErrorBar.Hi()))
+		}
+	}
+	return bits
+}
+
+func bitsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildCachedSessions builds a Sessions engine with samples; cacheBytes=0
+// is the cache-off reference configuration.
+func buildCachedSessions(t *testing.T, cfg Config, n, sampleRows int) *Engine {
+	t.Helper()
+	e, _ := buildSessions(t, cfg, n)
+	if err := e.BuildSamples("Sessions", sampleRows); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestCacheBitIdentityAcrossBackings pins the ISSUE's core acceptance
+// criterion: with any budget, answers are bit-identical to cache-off
+// across raw, compressed, and mmap-backed base tables, on both the solo
+// Run path and RunSharedBatch, including repeat executions that are served
+// from the block and answer caches.
+func TestCacheBitIdentityAcrossBackings(t *testing.T) {
+	const n, sampleRows = 30000, 4000
+	backings := map[string]Config{
+		"raw":        {Seed: 71},
+		"compressed": {Seed: 71, Backing: table.BackingCompressed},
+	}
+	for name, base := range backings {
+		base := base
+		t.Run(name, func(t *testing.T) {
+			base.SampleBacking = table.BackingCompressed
+			off := buildCachedSessions(t, base, n, sampleRows)
+			cfgOn := base
+			cfgOn.CacheBytes = 8 << 20
+			on := buildCachedSessions(t, cfgOn, n, sampleRows)
+
+			for _, q := range cacheTestQueries {
+				ref, err := off.Query(q)
+				if err != nil {
+					t.Fatalf("cache-off %q: %v", q, err)
+				}
+				for round := 0; round < 3; round++ {
+					got, err := on.Query(q)
+					if err != nil {
+						t.Fatalf("cache-on %q round %d: %v", q, round, err)
+					}
+					if !bitsEqual(cacheAnswerBits(ref), cacheAnswerBits(got)) {
+						t.Fatalf("%q round %d: cached answer diverged from cache-off", q, round)
+					}
+					if round > 0 && !got.Cached {
+						t.Errorf("%q round %d: repeat not served from the answer cache", q, round)
+					}
+				}
+			}
+
+			// Shared-scan batches must match too, warm or cold.
+			reqs := make([]BatchRequest, len(cacheTestQueries))
+			for i, q := range cacheTestQueries {
+				reqs[i] = BatchRequest{Query: q}
+			}
+			for round := 0; round < 2; round++ {
+				offResp := off.RunSharedBatch(reqs)
+				onResp := on.RunSharedBatch(reqs)
+				for i := range reqs {
+					if offResp[i].Err != nil || onResp[i].Err != nil {
+						t.Fatalf("batch %q: %v / %v", reqs[i].Query, offResp[i].Err, onResp[i].Err)
+					}
+					if !bitsEqual(cacheAnswerBits(offResp[i].Ans), cacheAnswerBits(onResp[i].Ans)) {
+						t.Fatalf("batch %q round %d diverged", reqs[i].Query, round)
+					}
+				}
+			}
+
+			st := on.CacheStatsSnapshot(0)
+			if !st.Enabled {
+				t.Fatal("cache-on engine reports caching disabled")
+			}
+			if st.Block.Hits+st.Answer.Hits == 0 {
+				t.Error("repeat rounds produced no cache hits at all")
+			}
+		})
+	}
+}
+
+// TestCacheBitIdentityMmapStore covers the third backing: a disk-backed
+// (mmap) base table registered from table.OpenStore, with compressed
+// samples on top, read warm and cold under a block budget.
+func TestCacheBitIdentityMmapStore(t *testing.T) {
+	const n, sampleRows = 20000, 3000
+	build := func(cacheBytes int64) *Engine {
+		t.Helper()
+		eRaw, raw := buildSessions(t, Config{Seed: 72}, n)
+		eRaw.Close()
+		path := filepath.Join(t.TempDir(), "sessions.blk")
+		if err := table.WriteStore(path, raw); err != nil {
+			t.Fatal(err)
+		}
+		tbl, closer, err := table.OpenStore(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { closer.Close() })
+		e := New(Config{Seed: 72, SampleBacking: table.BackingCompressed, CacheBytes: cacheBytes})
+		if err := e.RegisterTable("Sessions", tbl); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.BuildSamples("Sessions", sampleRows); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	off := build(0)
+	on := build(4 << 20)
+	for _, q := range cacheTestQueries {
+		ref, err := off.Query(q)
+		if err != nil {
+			t.Fatalf("cache-off %q: %v", q, err)
+		}
+		for round := 0; round < 2; round++ {
+			got, err := on.Query(q)
+			if err != nil {
+				t.Fatalf("cache-on %q: %v", q, err)
+			}
+			if !bitsEqual(cacheAnswerBits(ref), cacheAnswerBits(got)) {
+				t.Fatalf("%q round %d: mmap-backed cached answer diverged", q, round)
+			}
+		}
+	}
+}
+
+// TestCacheDisabledByDefault pins CacheBytes=0 as a true off switch: no
+// cache structures exist and the snapshot reports disabled.
+func TestCacheDisabledByDefault(t *testing.T) {
+	e := buildCachedSessions(t, Config{Seed: 73}, 10000, 2000)
+	defer e.Close()
+	if st := e.CacheStatsSnapshot(4); st.Enabled {
+		t.Fatal("default engine reports caching enabled")
+	}
+	a1, err := e.Query(cacheTestQueries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := e.Query(cacheTestQueries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Cached || a2.Cached {
+		t.Fatal("answers marked Cached with caching off")
+	}
+	if a1.Counters.CacheHits != 0 || a2.Counters.CacheBytes != 0 {
+		t.Fatal("cache counters nonzero with caching off")
+	}
+}
+
+// TestAnswerCacheReplayAndInvalidation pins the replay contract (Cached
+// flag, zeroed counters, identical bits) and generation-based
+// invalidation: any catalog change makes previously cached answers
+// unreachable.
+func TestAnswerCacheReplayAndInvalidation(t *testing.T) {
+	e := buildCachedSessions(t, Config{Seed: 74, CacheBytes: 4 << 20,
+		SampleBacking: table.BackingCompressed}, 20000, 3000)
+	defer e.Close()
+	q := "SELECT City, AVG(Time) FROM Sessions GROUP BY City"
+
+	cold, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cached {
+		t.Fatal("first execution marked Cached")
+	}
+	warm, err := e.Query("  SELECT   City, AVG(Time) FROM Sessions GROUP BY City ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Fatal("whitespace-variant repeat missed the answer cache (canonicalization)")
+	}
+	if !bitsEqual(cacheAnswerBits(cold), cacheAnswerBits(warm)) {
+		t.Fatal("replayed answer differs from the original")
+	}
+	if warm.Counters.BlocksDecoded != 0 || warm.Counters.RowsScanned != 0 {
+		t.Fatalf("replay reported fresh work: %+v", warm.Counters)
+	}
+
+	// Different BootstrapK budgets must not share entries.
+	capped, err := e.RunWithOptions(context.Background(), q, RunOptions{BootstrapK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Cached {
+		t.Fatal("k-capped run replayed a full-k answer")
+	}
+
+	gen := e.CatalogGeneration()
+	other := table.MustNew(table.Schema{{Name: "x", Type: table.Float64}},
+		table.Float64Col{1, 2, 3})
+	if err := e.RegisterTable("Other", other); err != nil {
+		t.Fatal(err)
+	}
+	if e.CatalogGeneration() == gen {
+		t.Fatal("RegisterTable did not bump the catalog generation")
+	}
+	after, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Cached {
+		t.Fatal("stale answer served across a catalog change")
+	}
+	if !bitsEqual(cacheAnswerBits(cold), cacheAnswerBits(after)) {
+		t.Fatal("re-executed answer diverged after catalog change")
+	}
+
+	// Sample rebuilds invalidate too.
+	gen = e.CatalogGeneration()
+	if err := e.BuildSamples("Sessions", 3000); err != nil {
+		t.Fatal(err)
+	}
+	if e.CatalogGeneration() == gen {
+		t.Fatal("BuildSamples did not bump the catalog generation")
+	}
+	if ans, err := e.Query(q); err != nil {
+		t.Fatal(err)
+	} else if ans.Cached {
+		t.Fatal("stale answer served across a sample rebuild")
+	}
+}
+
+// TestAnswerCacheTTLExpiry pins that an expired answer re-executes rather
+// than replays.
+func TestAnswerCacheTTLExpiry(t *testing.T) {
+	e := buildCachedSessions(t, Config{Seed: 75, CacheBytes: 4 << 20,
+		CacheTTL: 30 * time.Millisecond}, 10000, 2000)
+	defer e.Close()
+	q := cacheTestQueries[0]
+	if _, err := e.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if ans, err := e.Query(q); err != nil || !ans.Cached {
+		t.Fatalf("fresh repeat not replayed: %v, cached=%v", err, ans != nil && ans.Cached)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if ans, err := e.Query(q); err != nil {
+		t.Fatal(err)
+	} else if ans.Cached {
+		t.Fatal("expired answer replayed past its TTL")
+	}
+}
+
+// TestCacheChurnRace is the ISSUE's -race stress: concurrent queries fill
+// and evict a deliberately tight block budget while catalog changes
+// (RegisterTable) invalidate the answer layer mid-flight. Every answer
+// must stay bit-identical to the cache-off reference, and the block layer
+// must never exceed its budget by more than one block.
+func TestCacheChurnRace(t *testing.T) {
+	const n, sampleRows = 30000, 6000
+	workers, rounds := 6, 8
+	if testing.Short() {
+		workers, rounds = 4, 3
+	}
+	base := Config{Seed: 76, SampleBacking: table.BackingCompressed, Workers: 2}
+	off := buildCachedSessions(t, base, n, sampleRows)
+	defer off.Close()
+	refs := make(map[string][]uint64, len(cacheTestQueries))
+	for _, q := range cacheTestQueries {
+		ans, err := off.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[q] = cacheAnswerBits(ans)
+	}
+
+	cfg := base
+	// A budget of a few blocks forces constant eviction under load.
+	budget := int64(3 * (table.BlockRows*8 + 96))
+	cfg.CacheBytes = budget
+	on := buildCachedSessions(t, cfg, n, sampleRows)
+	defer on.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*rounds*len(cacheTestQueries)+rounds)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for qi, q := range cacheTestQueries {
+					ans, err := on.Run(context.Background(), q)
+					if err != nil {
+						errs <- fmt.Errorf("worker %d round %d %q: %w", w, r, q, err)
+						return
+					}
+					if !bitsEqual(refs[q], cacheAnswerBits(ans)) {
+						errs <- fmt.Errorf("worker %d round %d query %d diverged under churn", w, r, qi)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// Catalog churn: new registrations bump the generation while queries
+	// are in flight, exercising invalidation under contention.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			tbl := table.MustNew(table.Schema{{Name: "x", Type: table.Float64}},
+				table.Float64Col{float64(r)})
+			if err := on.RegisterTable(fmt.Sprintf("churn%d", r), tbl); err != nil {
+				errs <- fmt.Errorf("churn register %d: %w", r, err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := on.CacheStatsSnapshot(0)
+	// Eviction happens before insert, so residency can exceed the budget
+	// by at most one block (here: one string block, whose payload size is
+	// data-dependent — allow a generous single-block bound).
+	maxBlock := int64(table.BlockRows*24 + 96)
+	if st.Block.Bytes > budget+maxBlock {
+		t.Errorf("resident %d exceeds budget %d by more than one block", st.Block.Bytes, budget)
+	}
+	if st.Block.Evictions == 0 {
+		t.Error("tight budget under churn evicted nothing")
+	}
+}
+
+// TestExecPoolNoLeak is the ISSUE's pooled-scratch audit regression test:
+// every release path — exact scans, approximate runs, cache-hit replays,
+// failed parses and cancelled queries — must return its pooled buffers.
+func TestExecPoolNoLeak(t *testing.T) {
+	settle := func(base int64) bool {
+		for i := 0; i < 100; i++ {
+			if exec.PoolOutstanding() == base {
+				return true
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return false
+	}
+	base := exec.PoolOutstanding()
+
+	for _, cacheBytes := range []int64{0, 4 << 20} {
+		e := buildCachedSessions(t, Config{Seed: 77, CacheBytes: cacheBytes,
+			SampleBacking: table.BackingCompressed}, 20000, 3000)
+		for round := 0; round < 2; round++ { // round 2 replays from the answer cache
+			for _, q := range cacheTestQueries {
+				if _, err := e.Query(q); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if _, err := e.QueryExact("SELECT AVG(Time) FROM Sessions"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Query("SELECT AVG(nope) FROM Sessions"); err == nil {
+			t.Fatal("bad query accepted")
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		// A fresh query string: already-cached answers replay instantly and
+		// would not exercise the cancellation release path.
+		if _, err := e.Run(ctx, "SELECT SUM(Time) FROM Sessions WHERE City = 'SF'"); err == nil {
+			t.Fatal("cancelled query succeeded")
+		}
+		e.Close()
+		if !settle(base) {
+			t.Fatalf("cacheBytes=%d: %d pooled buffers outstanding after all paths",
+				cacheBytes, exec.PoolOutstanding()-base)
+		}
+	}
+}

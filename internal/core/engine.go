@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/cluster"
 	"repro/internal/estimator"
 	"repro/internal/exec"
@@ -75,6 +76,33 @@ type Config struct {
 	// in-memory; use table.OpenStore to get a disk-backed table and
 	// register that.
 	Backing table.Backing
+	// SampleBacking selects the storage backing for samples drawn by
+	// BuildSamples (default BackingRaw, PR-6 behavior: small samples stay
+	// raw and decode-free). BackingCompressed block-compresses each sample
+	// like registered tables; that makes sampled queries decode-bound,
+	// which is exactly the workload the decoded-block cache (CacheBytes)
+	// accelerates. Answers are bit-identical across sample backings.
+	SampleBacking table.Backing
+	// CacheBytes, when positive, enables the cross-query decoded-block
+	// cache with this global byte budget: blocks decoded from compressed
+	// or mmap-backed columns are kept resident (scan-resistant CLOCK
+	// eviction, per-block singleflight) and served to later queries
+	// without re-decoding. 0 disables all three cache layers — behavior
+	// and answers are then byte-identical to an engine without this
+	// feature; with any budget, answers are bit-identical to cache-off
+	// (decodes are deterministic, pinned by tests).
+	CacheBytes int64
+	// CacheTTL bounds answer-cache reuse of a finished answer
+	// (0 = cache.DefaultAnswerTTL, 60s). Catalog changes (RegisterTable,
+	// BuildSamples, RegisterUDF) invalidate immediately regardless, via
+	// the engine's catalog generation counter baked into cache keys.
+	CacheTTL time.Duration
+	// DisableAnswerCache and DisablePredMemo turn off the answer-reuse and
+	// predicate-memo layers individually while CacheBytes keeps the block
+	// layer on (ablations; the block layer has no flag — CacheBytes=0 is
+	// its off switch).
+	DisableAnswerCache bool
+	DisablePredMemo    bool
 	// FallbackToExact re-runs rejected or out-of-bound queries on the
 	// full dataset (default on; disable for pure-approximation mode).
 	DisableFallback bool
@@ -187,6 +215,16 @@ type Engine struct {
 	alerts *alert.Bus
 	exp    *export.Exporter
 	qid    atomic.Uint64 // untraced query ids for error wrapping
+
+	// Cross-query reuse layers (all nil when Config.CacheBytes == 0).
+	blocks  *cache.BlockCache
+	preds   *cache.PredMemo
+	answers *cache.AnswerCache
+	// gen is the catalog generation: bumped by every registration mutation
+	// (RegisterTable, RegisterUDF, BuildSamples, BuildStratifiedSample).
+	// Answer-cache keys embed it, so any catalog change invalidates all
+	// cached answers by construction.
+	gen atomic.Uint64
 }
 
 // New returns an engine with the given configuration.
@@ -213,6 +251,19 @@ func New(cfg Config) *Engine {
 	}
 	if cfg.MetricsAddr != "" && e.obs == nil {
 		e.obs = obs.NewTracer(cfg.ObsConfig)
+	}
+	if cfg.CacheBytes > 0 {
+		var reg *obs.Registry
+		if e.obs != nil {
+			reg = e.obs.Registry()
+		}
+		e.blocks = cache.NewBlockCache(cache.BlockConfig{Bytes: cfg.CacheBytes, Metrics: reg})
+		if !cfg.DisablePredMemo {
+			e.preds = cache.NewPredMemo(reg)
+		}
+		if !cfg.DisableAnswerCache {
+			e.answers = cache.NewAnswerCache(cache.AnswerConfig{TTL: cfg.CacheTTL, Metrics: reg})
+		}
 	}
 	if e.obs != nil &&
 		(cfg.ObsConfig.ExportURL != "" || cfg.ObsConfig.ExportPath != "") {
@@ -245,6 +296,11 @@ func New(cfg Config) *Engine {
 		if e.alerts != nil {
 			extra = append(extra, obs.Route{
 				Pattern: "/debug/alerts", Handler: e.alerts.Handler(),
+			})
+		}
+		if e.blocks != nil {
+			extra = append(extra, obs.Route{
+				Pattern: "/debug/cache", Handler: e.cacheHandler(),
 			})
 		}
 		srv, err := obs.Serve(cfg.MetricsAddr, e.obs, extra...)
@@ -338,9 +394,16 @@ func (e *Engine) RegisterTable(name string, t *table.Table) error {
 		t.BuildZones()
 	}
 	e.tables[name] = &registeredTable{full: t}
+	e.gen.Add(1)
 	e.recordStorage(name, t)
 	return nil
 }
+
+// CatalogGeneration returns the catalog generation counter: it increases
+// on every registration mutation and never otherwise. Cached answers are
+// keyed by it, so a reader holding a generation can tell whether any
+// answer computed under it is still current.
+func (e *Engine) CatalogGeneration() uint64 { return e.gen.Load() }
 
 // recordStorage publishes per-table storage gauges: the logical
 // (backing-invariant) size and the resident physical size. Called under
@@ -370,6 +433,7 @@ func (e *Engine) RegisterUDF(name string, fn exec.UDF) {
 	}
 	next[upper(name)] = fn
 	e.udfs = next
+	e.gen.Add(1)
 }
 
 // udfRegistry returns the current UDF snapshot. The returned map is never
@@ -424,6 +488,14 @@ func (e *Engine) BuildSamples(name string, rowCounts ...int) error {
 				n, name, rt.full.NumRows())
 		}
 		s := sample.TableWithoutReplacement(e.src.Split(), rt.full, n)
+		if e.cfg.SampleBacking != table.BackingRaw && !s.Lazy() {
+			// Compressed samples mirror RegisterTable's backing treatment:
+			// Compress attaches zones, and the ablation drops them after.
+			s = table.Compress(s)
+			if e.cfg.DisableZoneMaps {
+				s.DropZones()
+			}
+		}
 		if !e.cfg.DisableZoneMaps {
 			s.BuildZones()
 		}
@@ -437,6 +509,7 @@ func (e *Engine) BuildSamples(name string, rowCounts ...int) error {
 		return samples[i].Data.NumRows() < samples[j].Data.NumRows()
 	})
 	rt.samples = samples
+	e.gen.Add(1)
 	return nil
 }
 
@@ -496,6 +569,11 @@ type Answer struct {
 	// physical pass was shared with other queries (and Counters carries
 	// only this query's share of it).
 	SharedScan bool
+	// Cached marks an answer replayed from the engine's answer cache
+	// without executing. Its Groups are bit-identical to what re-execution
+	// would produce; Counters are zeroed because no physical work happened,
+	// and Elapsed is the cache-lookup time.
+	Cached bool
 	// Elapsed is the local wall-clock execution time.
 	Elapsed time.Duration
 	// Simulated, when the engine has a cluster model attached, is the

@@ -87,6 +87,7 @@ func (e *Engine) BuildStratifiedSample(name, keyColumn string, capPerGroup int) 
 			},
 			groupFraction: fractions,
 		})
+	e.gen.Add(1)
 	return nil
 }
 

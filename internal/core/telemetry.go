@@ -28,7 +28,9 @@ import (
 // trace id reaches history and watchdog records either way.
 func (e *Engine) finishQuery(ctx context.Context, qt *obs.QueryTrace, query string, ans *Answer, err error, observeWatchdog bool) {
 	qt.Finish(err)
-	watch := observeWatchdog && e.wd != nil && err == nil && ans != nil
+	// Cached replays performed no new statistical work, so the watchdog
+	// (which audits interval calibration) must not count them again.
+	watch := observeWatchdog && e.wd != nil && err == nil && ans != nil && !ans.Cached
 	if e.elog == nil && !watch && e.hist == nil {
 		return
 	}
@@ -58,6 +60,9 @@ func (e *Engine) finishQuery(ctx context.Context, qt *obs.QueryTrace, query stri
 			ev.BlocksDecoded = ans.Counters.BlocksDecoded
 			ev.DecodeNs = ans.Counters.DecodeNanos
 			ev.SharedScan = ans.SharedScan
+			ev.Cached = ans.Cached
+			ev.CacheHits = ans.Counters.CacheHits
+			ev.CacheBytes = ans.Counters.CacheBytes
 			if ans.Plan != nil {
 				ev.BootstrapK = ans.Plan.Opt.BootstrapK
 			}

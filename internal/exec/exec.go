@@ -8,10 +8,12 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/diagnostic"
 	"repro/internal/estimator"
 	"repro/internal/kernel"
 	"repro/internal/obs"
+	"repro/internal/obs/history"
 	"repro/internal/plan"
 	"repro/internal/rng"
 	"repro/internal/sql"
@@ -52,6 +54,15 @@ type Config struct {
 	// at the cost of one branch; execution results are identical either
 	// way (tracing consumes no randomness).
 	Span *obs.Span
+	// Blocks, when non-nil, is the cross-query decoded-block cache: reader
+	// gathers consult it before paying a codec decode. Hits are metered in
+	// Counters.CacheHits/CacheBytes. Nil reproduces decode-every-time
+	// behavior exactly.
+	Blocks *cache.BlockCache
+	// Preds, when non-nil, memoizes zone-map skip lists per (table,
+	// predicate text) and feeds measured-selectivity hints back into the
+	// scan. Hints affect allocation sizes only, never answers.
+	Preds *cache.PredMemo
 }
 
 func (c Config) workers() int {
@@ -90,6 +101,13 @@ type Counters struct {
 	// observable: skipped blocks never appear in BlocksDecoded.
 	BlocksDecoded int64
 	DecodeNanos   int64
+	// CacheHits counts storage blocks served from the cross-query decoded-
+	// block cache instead of being decoded; CacheBytes totals the bytes
+	// those hits copied out of the cache. A cached block appears in
+	// CacheHits, a decoded one in BlocksDecoded — the two never double
+	// count. Always zero when no cache is attached.
+	CacheHits  int64
+	CacheBytes int64
 	// WeightDraws is the number of Poisson weight draws the plan's
 	// resample placement implies (pushdown reduces this).
 	WeightDraws int64
@@ -109,6 +127,8 @@ func (c *Counters) add(o Counters) {
 	c.BlocksSkipped += o.BlocksSkipped
 	c.BlocksDecoded += o.BlocksDecoded
 	c.DecodeNanos += o.DecodeNanos
+	c.CacheHits += o.CacheHits
+	c.CacheBytes += o.CacheBytes
 	c.WeightDraws += o.WeightDraws
 	c.DiagSubqueries += o.DiagSubqueries
 	c.Tasks += o.Tasks
@@ -257,6 +277,8 @@ func runDownstream(ctx context.Context, nodes nodeSet, st *StoredTable, tbl *tab
 				BlocksSkipped: rescan.counters.BlocksSkipped,
 				BlocksDecoded: rescan.counters.BlocksDecoded,
 				DecodeNanos:   rescan.counters.DecodeNanos,
+				CacheHits:     rescan.counters.CacheHits,
+				CacheBytes:    rescan.counters.CacheBytes,
 				Tasks:         rescan.counters.Tasks,
 			})
 		}
@@ -366,6 +388,8 @@ func addCounterAttrs(s *obs.Span, c Counters) {
 	s.AddInt("blocks_skipped", c.BlocksSkipped)
 	s.AddInt("blocks_decoded", c.BlocksDecoded)
 	s.AddInt("decode_ns", c.DecodeNanos)
+	s.AddInt("cache_hits", c.CacheHits)
+	s.AddInt("cache_bytes", c.CacheBytes)
 	s.AddInt("weight_draws", c.WeightDraws)
 	s.AddInt("diag_subqueries", int64(c.DiagSubqueries))
 	s.AddInt("tasks", int64(c.Tasks))
@@ -383,6 +407,8 @@ func recordCounters(reg *obs.Registry, c Counters) {
 	reg.Counter("aqp_storage_blocks_skipped_total", "Storage blocks never decoded thanks to zone-map pruning.").Add(c.BlocksSkipped)
 	reg.Counter("aqp_storage_blocks_decoded_total", "Storage blocks decoded from compressed/mmap columns.").Add(c.BlocksDecoded)
 	reg.Counter("aqp_storage_decode_ns_total", "Wall nanoseconds spent decoding storage blocks.").Add(c.DecodeNanos)
+	reg.Counter("aqp_storage_cache_hits_total", "Storage blocks served from the decoded-block cache.").Add(c.CacheHits)
+	reg.Counter("aqp_storage_cache_bytes_total", "Bytes copied out of the decoded-block cache.").Add(c.CacheBytes)
 	reg.Counter("aqp_exec_weight_draws_total", "Poisson resampling weight draws.").Add(c.WeightDraws)
 	reg.Counter("aqp_exec_diag_subqueries_total", "Diagnostic subsample query executions.").Add(int64(c.DiagSubqueries))
 	reg.Counter("aqp_exec_tasks_total", "Parallel tasks launched locally.").Add(int64(c.Tasks))
@@ -440,11 +466,15 @@ func scanFilterProject(ctx context.Context, nodes nodeSet, tbl *table.Table, st 
 }
 
 // predWork is one distinct filter predicate appearing in a member batch,
-// with its precomputed zone-map skip list.
+// with its precomputed zone-map skip list. With a predicate memo
+// attached, sig carries the literal-normalized shape signature and hint a
+// remembered selectivity in [0,1] (-1 = unknown).
 type predWork struct {
 	pred    sql.Expr
 	skip    []bool
 	skipped int64
+	sig     string
+	hint    float64
 }
 
 // colWork describes how one distinct projected column is computed: which
@@ -513,11 +543,29 @@ func scanFilterProjectMulti(ctx context.Context, members []nodeSet, tbl *table.T
 		if nodes.filter != nil {
 			pk = nodes.filter.Pred.String()
 			if _, ok := preds[pk]; !ok {
-				skip, skipped := blockSkip(tbl, nodes.filter.Pred)
-				preds[pk] = &predWork{pred: nodes.filter.Pred, skip: skip, skipped: skipped}
+				// The skip list is a pure function of (table zones, predicate
+				// text), so the predicate memo replays it for repeated
+				// predicates without re-walking the range analyzer. Skip
+				// lists are exact-keyed — literals decide which blocks are
+				// admissible — while the selectivity hint below shares one
+				// estimate across all literals of the same shape.
+				pw := &predWork{pred: nodes.filter.Pred, hint: -1}
+				if skip, skipped, ok := cfg.Preds.Lookup(tbl, pk); ok {
+					pw.skip, pw.skipped = skip, skipped
+				} else {
+					pw.skip, pw.skipped = blockSkip(tbl, nodes.filter.Pred)
+					cfg.Preds.Store(tbl, pk, pw.skip, pw.skipped)
+				}
+				if cfg.Preds != nil {
+					pw.sig = history.PredicateSignature(nodes.filter.Pred)
+					if h, ok := cfg.Preds.Hint(tbl, pw.sig); ok {
+						pw.hint = h
+					}
+				}
+				preds[pk] = pw
 			}
 		} else if _, ok := preds[pk]; !ok {
-			preds[pk] = &predWork{}
+			preds[pk] = &predWork{hint: -1}
 		}
 		memberPred[m] = pk
 		keys := make([]string, len(nodes.agg.Aggs))
@@ -582,7 +630,7 @@ func scanFilterProjectMulti(ctx context.Context, members []nodeSet, tbl *table.T
 					o.sels[pk] = abs
 					continue
 				}
-				sel, err := evalPredicateSkipping(ctx, pw.pred, part, offsets[i], pw.skip, &o.meter)
+				sel, err := evalPredicateSkipping(ctx, pw.pred, part, offsets[i], pw.skip, &o.meter, cfg.Blocks, pw.hint)
 				if err != nil {
 					o.errs[pk] = err
 					continue
@@ -608,14 +656,14 @@ func scanFilterProjectMulti(ctx context.Context, members []nodeSet, tbl *table.T
 				var err error
 				switch {
 				case cw.masked:
-					vals, err = maskedColumn(cw.input, part, sel, &o.meter)
+					vals, err = maskedColumn(cw.input, part, sel, &o.meter, cfg.Blocks)
 				case cw.input == nil:
 					vals = make([]float64, n)
 					for j := range vals {
 						vals[j] = 1
 					}
 				default:
-					vals, err = evalNumericMetered(cw.input, part, sel, &o.meter)
+					vals, err = evalNumericMetered(cw.input, part, sel, &o.meter, cfg.Blocks)
 				}
 				if err != nil {
 					o.errs[key] = err
@@ -637,6 +685,8 @@ func scanFilterProjectMulti(ctx context.Context, members []nodeSet, tbl *table.T
 		}
 		decode.blocks += o.meter.blocks
 		decode.nanos += o.meter.nanos
+		decode.hits += o.meter.hits
+		decode.hitBytes += o.meter.hitBytes
 		for k, e := range o.errs {
 			if keyErrs[k] == nil {
 				keyErrs[k] = e
@@ -659,6 +709,12 @@ func scanFilterProjectMulti(ctx context.Context, members []nodeSet, tbl *table.T
 			sel = append(sel, o.sels[pk]...)
 		}
 		selByPred[pk] = sel
+		// Feed the measured selectivity back into the memo so the NEXT scan
+		// of this predicate shape pre-sizes its selection vectors correctly.
+		if pw := preds[pk]; cfg.Preds != nil && pw.pred != nil && tbl.NumRows() > 0 {
+			cfg.Preds.ObserveSelectivity(tbl, pw.sig,
+				float64(len(sel))/float64(tbl.NumRows()))
+		}
 	}
 	colByKey := map[string][]float64{}
 	for key, cw := range colWorks {
@@ -706,6 +762,8 @@ func scanFilterProjectMulti(ctx context.Context, members []nodeSet, tbl *table.T
 			r.counters.BytesScanned = tbl.SizeBytes()
 			r.counters.BlocksDecoded = decode.blocks
 			r.counters.DecodeNanos = decode.nanos
+			r.counters.CacheHits = decode.hits
+			r.counters.CacheBytes = decode.hitBytes
 			r.counters.Tasks = len(parts)
 		}
 		if !skipCharged[pk] {
@@ -719,7 +777,7 @@ func scanFilterProjectMulti(ctx context.Context, members []nodeSet, tbl *table.T
 
 // maskedColumn evaluates the aggregation input over ALL rows of the part,
 // zeroing rows the filter rejected. A nil input is COUNT(*)'s indicator.
-func maskedColumn(input sql.Expr, part *table.Table, sel []int, m *decodeMeter) ([]float64, error) {
+func maskedColumn(input sql.Expr, part *table.Table, sel []int, m *decodeMeter, cc *cache.BlockCache) ([]float64, error) {
 	n := part.NumRows()
 	out := make([]float64, n)
 	if input == nil {
@@ -734,7 +792,7 @@ func maskedColumn(input sql.Expr, part *table.Table, sel []int, m *decodeMeter) 
 		}
 		return out, nil
 	}
-	vals, err := evalNumericMetered(input, part, nil, m)
+	vals, err := evalNumericMetered(input, part, nil, m, cc)
 	if err != nil {
 		return nil, err
 	}

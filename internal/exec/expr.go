@@ -13,8 +13,10 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/sql"
 	"repro/internal/table"
 )
@@ -42,12 +44,34 @@ var (
 	}}
 )
 
+// Pool accounting: every pooled get and put is counted so tests can pin
+// that scratch discipline holds on every exit branch — errors, context
+// cancellation and block-cache hits included (a cache hit skips the
+// decode but its gather output still comes from, and returns to, the
+// pool).
+var (
+	poolGets atomic.Int64
+	poolPuts atomic.Int64
+)
+
+// PoolOutstanding reports pooled scratch slices currently checked out
+// (gets minus puts). Between queries — once Run/RunShared has returned —
+// the value must be unchanged from before the query; the leak regression
+// test pins this across success, error, cancellation and cache-hit
+// paths.
+func PoolOutstanding() int64 { return poolGets.Load() - poolPuts.Load() }
+
 // decodeMeter accumulates lazy-decode work (blocks decoded, wall ns spent
 // decoding) during expression evaluation; it flows into Counters so the
 // storage layer's cost is visible per query, per stage and on /metrics.
+// With a block cache attached, hits/hitBytes count blocks (and copied
+// bytes) served from the cache instead of decoding — those blocks are NOT
+// charged to blocks, so BlocksDecoded keeps meaning "codec work done".
 type decodeMeter struct {
-	blocks int64
-	nanos  int64
+	blocks   int64
+	nanos    int64
+	hits     int64
+	hitBytes int64
 }
 
 type scratch struct {
@@ -59,6 +83,9 @@ type scratch struct {
 	noPool bool
 	// m, when non-nil, receives decode work performed during evaluation.
 	m *decodeMeter
+	// blocks, when non-nil, is the cross-query decoded-block cache; reader
+	// gathers consult it before decoding.
+	blocks *cache.BlockCache
 }
 
 func (sc *scratch) meter() *decodeMeter {
@@ -66,6 +93,13 @@ func (sc *scratch) meter() *decodeMeter {
 		return nil
 	}
 	return sc.m
+}
+
+func (sc *scratch) cache() *cache.BlockCache {
+	if sc == nil {
+		return nil
+	}
+	return sc.blocks
 }
 
 func (sc *scratch) getF64(n int) []float64 {
@@ -77,6 +111,7 @@ func (sc *scratch) getF64(n int) []float64 {
 		*p = make([]float64, n)
 	}
 	sc.f64s = append(sc.f64s, p)
+	poolGets.Add(1)
 	return (*p)[:n]
 }
 
@@ -89,6 +124,7 @@ func (sc *scratch) getBool(n int) []bool {
 		*p = make([]bool, n)
 	}
 	sc.bools = append(sc.bools, p)
+	poolGets.Add(1)
 	return (*p)[:n]
 }
 
@@ -108,6 +144,7 @@ func (sc *scratch) release() {
 	for _, p := range sc.bools {
 		boolPool.Put(p)
 	}
+	poolPuts.Add(int64(len(sc.f64s) + len(sc.bools)))
 	sc.f64s, sc.bools = sc.f64s[:0], sc.bools[:0]
 }
 
@@ -273,11 +310,72 @@ func gatherReaderF64(r table.F64Reader, sel []int, n int, sc *scratch) []float64
 	if m != nil {
 		start = time.Now()
 	}
-	var blocks int64
-	if sel == nil {
+	var blocks, hits, hitBytes int64
+	base, boff := table.BlockBase(r)
+	br, cacheable := base.(table.F64Reader)
+	cc := sc.cache()
+	switch {
+	case cc != nil && cacheable && sel == nil:
+		// Cross-query cache, full-range read: walk the base column's
+		// blocks, copying each block's cached decode (filling on a miss).
+		// A hit replaces the codec decode with a memcpy; the decoded values
+		// are bit-identical either way, since block decodes are
+		// deterministic.
+		baseLen := base.Len()
+		for covered := 0; covered < n; {
+			abs := boff + covered
+			b := abs / table.BlockRows
+			bStart := b * table.BlockRows
+			bLen := baseLen - bStart
+			if bLen > table.BlockRows {
+				bLen = table.BlockRows
+			}
+			vals, hit := cc.GetF64(base, b, bLen, func(dst []float64) { br.ReadF64(dst, bStart) })
+			k := copy(out[covered:], vals[abs-bStart:])
+			covered += k
+			if hit {
+				hits++
+				hitBytes += int64(k) * 8
+			} else {
+				blocks++
+			}
+		}
+	case cc != nil && cacheable && boff%table.BlockRows == 0:
+		// Selection over a block-aligned view (partitions and the skipping
+		// block walk are both zone-aligned): selections ascend, so each
+		// touched base block is fetched from the cache exactly once.
+		baseLen := base.Len()
+		rows := r.Len()
+		var vals []float64
+		lo, hi := 0, 0 // empty window
+		for i, j := range sel {
+			if j < lo || j >= hi {
+				lo = j - j%table.BlockRows
+				hi = lo + table.BlockRows
+				if hi > rows {
+					hi = rows
+				}
+				b := (boff + lo) / table.BlockRows
+				bStart := b * table.BlockRows
+				bLen := baseLen - bStart
+				if bLen > table.BlockRows {
+					bLen = table.BlockRows
+				}
+				var hit bool
+				vals, hit = cc.GetF64(base, b, bLen, func(dst []float64) { br.ReadF64(dst, bStart) })
+				if hit {
+					hits++
+					hitBytes += int64(bLen) * 8
+				} else {
+					blocks++
+				}
+			}
+			out[i] = vals[j-lo]
+		}
+	case sel == nil:
 		r.ReadF64(out, 0)
 		blocks = int64((n + table.ZoneBlockRows - 1) / table.ZoneBlockRows)
-	} else {
+	default:
 		buf := sc.getF64(table.ZoneBlockRows)
 		rows := r.Len()
 		lo, hi := 0, 0 // empty window
@@ -296,6 +394,8 @@ func gatherReaderF64(r table.F64Reader, sel []int, n int, sc *scratch) []float64
 	}
 	if m != nil {
 		m.blocks += blocks
+		m.hits += hits
+		m.hitBytes += hitBytes
 		m.nanos += time.Since(start).Nanoseconds()
 	}
 	return out
@@ -311,11 +411,64 @@ func gatherReaderStr(r table.StrReader, sel []int, n int, sc *scratch) []string 
 	if m != nil {
 		start = time.Now()
 	}
-	var blocks int64
-	if sel == nil {
+	var blocks, hits, hitBytes int64
+	base, boff := table.BlockBase(r)
+	br, cacheable := base.(table.StrReader)
+	cc := sc.cache()
+	switch {
+	case cc != nil && cacheable && sel == nil:
+		baseLen := base.Len()
+		for covered := 0; covered < n; {
+			abs := boff + covered
+			b := abs / table.BlockRows
+			bStart := b * table.BlockRows
+			bLen := baseLen - bStart
+			if bLen > table.BlockRows {
+				bLen = table.BlockRows
+			}
+			vals, hit := cc.GetStr(base, b, bLen, func(dst []string) { br.ReadStr(dst, bStart) })
+			k := copy(out[covered:], vals[abs-bStart:])
+			covered += k
+			if hit {
+				hits++
+				hitBytes += int64(k) * 16 // string headers; payload bytes are shared
+			} else {
+				blocks++
+			}
+		}
+	case cc != nil && cacheable && boff%table.BlockRows == 0:
+		baseLen := base.Len()
+		rows := r.Len()
+		var vals []string
+		lo, hi := 0, 0
+		for i, j := range sel {
+			if j < lo || j >= hi {
+				lo = j - j%table.BlockRows
+				hi = lo + table.BlockRows
+				if hi > rows {
+					hi = rows
+				}
+				b := (boff + lo) / table.BlockRows
+				bStart := b * table.BlockRows
+				bLen := baseLen - bStart
+				if bLen > table.BlockRows {
+					bLen = table.BlockRows
+				}
+				var hit bool
+				vals, hit = cc.GetStr(base, b, bLen, func(dst []string) { br.ReadStr(dst, bStart) })
+				if hit {
+					hits++
+					hitBytes += int64(bLen) * 16
+				} else {
+					blocks++
+				}
+			}
+			out[i] = vals[j-lo]
+		}
+	case sel == nil:
 		r.ReadStr(out, 0)
 		blocks = int64((n + table.ZoneBlockRows - 1) / table.ZoneBlockRows)
-	} else {
+	default:
 		buf := make([]string, table.ZoneBlockRows)
 		rows := r.Len()
 		lo, hi := 0, 0
@@ -334,6 +487,8 @@ func gatherReaderStr(r table.StrReader, sel []int, n int, sc *scratch) []string 
 	}
 	if m != nil {
 		m.blocks += blocks
+		m.hits += hits
+		m.hitBytes += hitBytes
 		m.nanos += time.Since(start).Nanoseconds()
 	}
 	return out
@@ -451,20 +606,21 @@ func applyStrCmp(op string, a, b string) bool {
 // tbl, returning one float64 per selected row. sel == nil means all rows.
 // Results are retained by aggregation, so no scratch pooling is used here.
 func EvalNumeric(e sql.Expr, tbl *table.Table, sel []int) ([]float64, error) {
-	return evalNumericMetered(e, tbl, sel, nil)
+	return evalNumericMetered(e, tbl, sel, nil, nil)
 }
 
 // evalNumericMetered is EvalNumeric with decode metering: allocations stay
 // fresh (outputs are retained), but block decodes performed on lazy columns
-// are charged to m.
-func evalNumericMetered(e sql.Expr, tbl *table.Table, sel []int, m *decodeMeter) ([]float64, error) {
+// are charged to m, and cc (when non-nil) serves decoded blocks across
+// queries.
+func evalNumericMetered(e sql.Expr, tbl *table.Table, sel []int, m *decodeMeter, cc *cache.BlockCache) ([]float64, error) {
 	n := tbl.NumRows()
 	if sel != nil {
 		n = len(sel)
 	}
 	var sc *scratch
-	if m != nil {
-		sc = &scratch{noPool: true, m: m}
+	if m != nil || cc != nil {
+		sc = &scratch{noPool: true, m: m, blocks: cc}
 	}
 	v, err := evalExpr(e, tbl, sel, n, sc)
 	if err != nil {
@@ -521,14 +677,26 @@ func EvalPredicate(e sql.Expr, tbl *table.Table) ([]int, error) {
 //
 // Cancellation is checked between blocks (every ctxCheckBlocks); the
 // deferred release hands all pooled buffers back on that return path too.
-func evalPredicateSkipping(ctx context.Context, e sql.Expr, tbl *table.Table, absOffset int, skip []bool, m *decodeMeter) ([]int, error) {
+// selHint, when in [0,1], is a remembered selectivity for this predicate
+// shape from the predicate memo; it pre-sizes the selection vector so a
+// repeated shape neither over-allocates (a 1% filter reserving n/2) nor
+// regrows repeatedly (a 90% filter starting at n/2). Capacity only —
+// never affects which rows match.
+func evalPredicateSkipping(ctx context.Context, e sql.Expr, tbl *table.Table, absOffset int, skip []bool, m *decodeMeter, cc *cache.BlockCache, selHint float64) ([]int, error) {
 	if skip == nil && !tbl.Lazy() {
 		return EvalPredicate(e, tbl)
 	}
 	const ctxCheckBlocks = 64
 	n := tbl.NumRows()
-	sel := make([]int, 0, n/2)
-	sc := &scratch{m: m}
+	selCap := n / 2
+	if selHint >= 0 && selHint <= 1 {
+		selCap = int(selHint*float64(n)) + 16
+		if selCap > n {
+			selCap = n
+		}
+	}
+	sel := make([]int, 0, selCap)
+	sc := &scratch{m: m, blocks: cc}
 	defer sc.release()
 	// Walk the partition in runs aligned to the base table's zone blocks.
 	// The first run may be short when the partition starts mid-block.

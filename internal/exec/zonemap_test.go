@@ -139,7 +139,7 @@ func TestZoneSkipPreservesSelection(t *testing.T) {
 		if skipped > 0 {
 			anySkipped = true
 		}
-		got, err := evalPredicateSkipping(context.Background(), pred, tbl, 0, skip, nil)
+		got, err := evalPredicateSkipping(context.Background(), pred, tbl, 0, skip, nil, nil, -1)
 		if err != nil {
 			t.Fatalf("%q: %v", cond, err)
 		}
@@ -178,7 +178,7 @@ func TestZoneSkipAcrossPartitions(t *testing.T) {
 		var got []int
 		offset := 0
 		for _, part := range parts {
-			sel, err := evalPredicateSkipping(context.Background(), pred, part, offset, skip, nil)
+			sel, err := evalPredicateSkipping(context.Background(), pred, part, offset, skip, nil, nil, -1)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -76,6 +76,13 @@ type QueryEvent struct {
 	// SharedScan marks a query answered from a shared-scan batch rather
 	// than its own physical pass.
 	SharedScan bool
+	// Cached marks an answer replayed from the answer cache — no scan,
+	// decode, or resampling happened for this record.
+	Cached bool
+	// CacheHits counts decoded blocks served from the block cache.
+	CacheHits int64
+	// CacheBytes is the decoded bytes those hits avoided re-decoding.
+	CacheBytes int64
 	Aggs       []AggEvent
 }
 
@@ -134,6 +141,15 @@ func (l *EventLog) Emit(ev QueryEvent) {
 	}
 	if ev.SharedScan {
 		attrs = append(attrs, slog.Bool("shared_scan", true))
+	}
+	if ev.Cached {
+		attrs = append(attrs, slog.Bool("cached", true))
+	}
+	if ev.CacheHits > 0 {
+		attrs = append(attrs, slog.Int64("cache_hits", ev.CacheHits))
+	}
+	if ev.CacheBytes > 0 {
+		attrs = append(attrs, slog.Int64("cache_bytes", ev.CacheBytes))
 	}
 	if slow {
 		attrs = append(attrs, slog.Bool("slow", true))

@@ -6,8 +6,43 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"strconv"
 )
+
+// Debug-page list clamping, shared by every JSON debug surface that
+// renders a variable-length list (/debug/queries here, /debug/cache in
+// the engine): ?limit= (alias ?n=) selects the entry count, defaulting
+// to DebugLimitDefault and clamped to DebugLimitMax so a stray request
+// cannot serialize an unbounded document.
+const (
+	DebugLimitDefault = 64
+	DebugLimitMax     = 1024
+)
+
+// LimitParam parses the shared ?limit= (alias ?n=) query parameter:
+// missing or malformed values yield def, negatives yield 0, and
+// anything above max clamps to max.
+func LimitParam(q url.Values, def, max int) int {
+	s := q.Get("limit")
+	if s == "" {
+		s = q.Get("n")
+	}
+	if s == "" {
+		return def
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return def
+	}
+	if n < 0 {
+		return 0
+	}
+	if n > max {
+		return max
+	}
+	return n
+}
 
 // Route is an extra HTTP route mounted on the tracer's debug mux — the
 // hook the engine uses to attach surfaces owned by other subsystems (the
@@ -25,7 +60,8 @@ type Route struct {
 //	                           (ordering matches Tracer.Recent). Filters:
 //	                           ?outcome=ok|cancelled|error, ?trace_id=<hex>,
 //	                           and ?limit= (?n= is an alias) applied after
-//	                           the filters.
+//	                           the filters — default 64, capped at 1024
+//	                           (the shared LimitParam clamp).
 //	/debug/queries/{id}/trace  one query as Chrome trace-event JSON, for
 //	                           chrome://tracing or ui.perfetto.dev
 //	/debug/histograms          registered histograms with p50/p90/p99
@@ -60,14 +96,8 @@ func (t *Tracer) Handler(extra ...Route) http.Handler {
 			}
 			traces = kept
 		}
-		limit := q.Get("limit")
-		if limit == "" {
-			limit = q.Get("n")
-		}
-		if limit != "" {
-			if n, err := strconv.Atoi(limit); err == nil && n >= 0 && n < len(traces) {
-				traces = traces[:n]
-			}
+		if n := LimitParam(q, DebugLimitDefault, DebugLimitMax); n < len(traces) {
+			traces = traces[:n]
 		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

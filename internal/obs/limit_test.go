@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"net/url"
+	"testing"
+)
+
+// TestLimitParam pins the shared ?limit= clamp used by /debug/queries and
+// /debug/cache: default on absence or garbage, floor at zero, cap at max,
+// and the legacy ?n= alias.
+func TestLimitParam(t *testing.T) {
+	cases := []struct {
+		query string
+		want  int
+	}{
+		{"", DebugLimitDefault},
+		{"limit=", DebugLimitDefault},
+		{"limit=abc", DebugLimitDefault},
+		{"limit=7", 7},
+		{"limit=0", 0},
+		{"limit=-3", 0},
+		{"limit=999999", DebugLimitMax},
+		{"n=5", 5},
+		{"limit=7&n=5", 7}, // limit wins over the alias
+	}
+	for _, tc := range cases {
+		q, err := url.ParseQuery(tc.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := LimitParam(q, DebugLimitDefault, DebugLimitMax); got != tc.want {
+			t.Errorf("LimitParam(%q) = %d, want %d", tc.query, got, tc.want)
+		}
+	}
+	if got := LimitParam(url.Values{}, 10, 20); got != 10 {
+		t.Errorf("custom default: got %d, want 10", got)
+	}
+	if got := LimitParam(url.Values{"limit": {"50"}}, 10, 20); got != 20 {
+		t.Errorf("custom cap: got %d, want 20", got)
+	}
+}

@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// TestSubmitAnswerCacheSkipsAdmission pins the serve-layer reuse contract:
+// a query whose answer is already cached replays before admission, so it
+// neither consumes an execution slot nor can be rejected by a full queue.
+func TestSubmitAnswerCacheSkipsAdmission(t *testing.T) {
+	eng := testEngine(t, core.Config{Seed: 8, CacheBytes: 4 << 20})
+	reg := obs.NewRegistry()
+	s := New(eng, Config{MaxInFlight: 1, MaxQueue: -1, Metrics: reg})
+	defer s.Shutdown(context.Background())
+
+	const q = "SELECT AVG(Price) FROM Orders GROUP BY Region"
+	warm, err := s.Submit(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cached {
+		t.Fatal("first submission marked Cached")
+	}
+
+	// Occupy the only execution slot; with no queue, any query that needs
+	// admission is now rejected outright.
+	if err := s.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer s.release()
+	if _, err := s.Submit(context.Background(), "SELECT SUM(Price) FROM Orders"); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("fresh query under a held slot: err = %v, want ErrQueueFull", err)
+	}
+
+	got, err := s.Submit(context.Background(), q)
+	if err != nil {
+		t.Fatalf("cached query under a held slot: %v", err)
+	}
+	if !got.Cached {
+		t.Fatal("repeat submission not served from the answer cache")
+	}
+	for i := range got.Groups {
+		for j := range got.Groups[i].Aggs {
+			g, w := got.Groups[i].Aggs[j], warm.Groups[i].Aggs[j]
+			if g.Estimate != w.Estimate {
+				t.Errorf("group %d agg %d: replayed estimate %v, want %v", i, j, g.Estimate, w.Estimate)
+			}
+		}
+	}
+	if n := reg.Counter("aqp_serve_answer_cache_total", "").Value(); n != 1 {
+		t.Errorf("aqp_serve_answer_cache_total = %d, want 1", n)
+	}
+}

@@ -162,9 +162,10 @@ type Server struct {
 
 	gInflight  *obs.Gauge
 	gQueued    *obs.Gauge
-	admitted   *obs.Counter
-	cancelled  *obs.Counter
-	hQueueWait *obs.Histogram
+	admitted    *obs.Counter
+	cancelled   *obs.Counter
+	cacheServed *obs.Counter
+	hQueueWait  *obs.Histogram
 
 	batchesRun     *obs.Counter
 	batchedQueries *obs.Counter
@@ -193,6 +194,8 @@ func New(eng *core.Engine, cfg Config) *Server {
 			"Queries granted an execution slot."),
 		cancelled: reg.Counter("aqp_serve_cancelled_total",
 			"Admitted queries that ended cancelled or past deadline."),
+		cacheServed: reg.Counter("aqp_serve_answer_cache_total",
+			"Queries answered from the engine's answer cache before admission."),
 		hQueueWait: reg.Histogram("aqp_serve_queue_wait_seconds",
 			"Time admitted queries spent waiting for an execution slot.",
 			obs.LatencyBuckets),
@@ -301,6 +304,16 @@ func pruneBefore(w []time.Time, cut time.Time) []time.Time {
 // cancelled while queued leaves the queue without consuming a slot.
 func (s *Server) Submit(ctx context.Context, query string) (*core.Answer, error) {
 	arrived := time.Now()
+	// Answer reuse happens BEFORE admission: a replayed answer does no
+	// physical work, so it must not queue behind — or steal a slot from —
+	// queries that do. The engine keys the lookup on its catalog
+	// generation, so a replay is always as fresh as a re-execution.
+	if s.eng != nil {
+		if ans, ok := s.eng.CachedAnswer(ctx, query, s.cfg.MaxBootstrapK); ok {
+			s.cacheServed.Inc()
+			return ans, nil
+		}
+	}
 	if err := s.acquire(ctx); err != nil {
 		return nil, err
 	}

@@ -1049,6 +1049,32 @@ func (cu *StrCursor) At(i int) string {
 	return cu.buf[i-cu.lo]
 }
 
+// BlockBase unwraps a column (or a row-range view of one) to its
+// underlying block column and the view's row offset within it. The base
+// column's identity is stable across queries and views — a registered
+// table or sample holds one block column per field for its lifetime — so
+// it serves as the cache key for decoded blocks: block b of the base
+// covers base rows [b*BlockRows, (b+1)*BlockRows). Non-block columns
+// return (nil, 0); raw columns are already decoded, so caching them would
+// only duplicate memory.
+func BlockBase(c Column) (base Column, off int) {
+	switch v := c.(type) {
+	case *F64BlockCol:
+		return v, 0
+	case *I64BlockCol:
+		return v, 0
+	case *StrBlockCol:
+		return v, 0
+	case *f64BlockView:
+		return v.c, v.off
+	case *i64BlockView:
+		return v.c, v.off
+	case *strBlockView:
+		return v.c, v.off
+	}
+	return nil, 0
+}
+
 // ensure interfaces are satisfied (compile-time checks).
 var (
 	_ F64Reader = Float64Col(nil)
